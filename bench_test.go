@@ -1,0 +1,393 @@
+package mbtls_test
+
+// Benchmarks regenerating the paper's evaluation as testing.B targets.
+// Mapping to the paper (§5):
+//
+//	BenchmarkHandshake/*            → Figure 5 (per-configuration handshake cost)
+//	BenchmarkDataPlane/*            → Figure 7 (middlebox record processing,
+//	                                  forward vs re-encrypt, host vs enclave)
+//	BenchmarkTable2Site             → Table 2 (one filtered-network handshake)
+//	BenchmarkLegacySiteFetch        → §5.1 (one legacy-site fetch via the proxy)
+//	BenchmarkAblation*              → DESIGN.md §5 design-choice ablations
+//
+// The full paper-shaped reports (means, CIs, all rows/series) come from
+// cmd/mbtls-bench; these benches give allocation and per-op costs.
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	mbtls "repro"
+	"repro/internal/certs"
+	"repro/internal/core"
+	"repro/internal/enclave"
+	"repro/internal/netsim"
+	"repro/internal/splittls"
+	"repro/internal/tls12"
+)
+
+// benchPKI is shared, read-only fixture state.
+type benchPKI struct {
+	ca         *certs.CA
+	serverCert *tls12.Certificate
+	mbCert     *tls12.Certificate
+	splitCA    *certs.CA
+}
+
+func newBenchPKI(b *testing.B) *benchPKI {
+	b.Helper()
+	ca, err := certs.NewCA("bench root")
+	if err != nil {
+		b.Fatal(err)
+	}
+	serverCert, err := ca.Issue("server.example", []string{"server.example"}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mbCert, err := ca.Issue("mbox.example", []string{"mbox.example"}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	splitCA, err := certs.NewCA("bench split root")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &benchPKI{ca: ca, serverCert: serverCert, mbCert: mbCert, splitCA: splitCA}
+}
+
+// buildChain wires client → middleboxes → server over in-memory pipes.
+func buildChain(b *testing.B, pki *benchPKI, clientMboxes, serverMboxes int) (net.Conn, net.Conn) {
+	b.Helper()
+	left, right := netsim.Pipe()
+	prev := net.Conn(right)
+	mk := func(mode core.Mode) {
+		mb, err := mbtls.NewMiddlebox(mbtls.MiddleboxConfig{Mode: mode, Certificate: pki.mbCert})
+		if err != nil {
+			b.Fatal(err)
+		}
+		upL, upR := netsim.Pipe()
+		go mb.Handle(prev, upL) //nolint:errcheck
+		prev = upR
+	}
+	for i := 0; i < clientMboxes; i++ {
+		mk(mbtls.ClientSide)
+	}
+	for i := 0; i < serverMboxes; i++ {
+		mk(mbtls.ServerSide)
+	}
+	return left, prev
+}
+
+// runMbTLSSetup performs one full mbTLS session establishment.
+func runMbTLSSetup(b *testing.B, pki *benchPKI, clientMboxes, serverMboxes int) {
+	b.Helper()
+	clientEnd, serverEnd := buildChain(b, pki, clientMboxes, serverMboxes)
+	sch := make(chan error, 1)
+	var ssess *mbtls.Session
+	go func() {
+		var err error
+		ssess, err = mbtls.Accept(serverEnd, &mbtls.ServerConfig{
+			TLS:               &mbtls.TLSConfig{Certificate: pki.serverCert},
+			AcceptMiddleboxes: true,
+			MiddleboxTLS:      &mbtls.TLSConfig{RootCAs: pki.ca.Pool()},
+		})
+		sch <- err
+	}()
+	csess, err := mbtls.Dial(clientEnd, &mbtls.ClientConfig{
+		TLS:          &mbtls.TLSConfig{RootCAs: pki.ca.Pool(), ServerName: "server.example"},
+		MiddleboxTLS: &mbtls.TLSConfig{RootCAs: pki.ca.Pool()},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := <-sch; err != nil {
+		b.Fatal(err)
+	}
+	csess.Close()
+	ssess.Close()
+}
+
+// BenchmarkHandshake reproduces Figure 5's configurations as per-op
+// costs of complete session establishment.
+func BenchmarkHandshake(b *testing.B) {
+	pki := newBenchPKI(b)
+
+	b.Run("TLS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cp, sp := netsim.Pipe()
+			server := tls12.NewServerConn(sp, &tls12.Config{Certificate: pki.serverCert})
+			errc := make(chan error, 1)
+			go func() { errc <- server.Handshake() }()
+			client := tls12.NewClientConn(cp, &tls12.Config{RootCAs: pki.ca.Pool(), ServerName: "server.example"})
+			if err := client.Handshake(); err != nil {
+				b.Fatal(err)
+			}
+			if err := <-errc; err != nil {
+				b.Fatal(err)
+			}
+			client.Close()
+			server.Close()
+		}
+	})
+	b.Run("SplitTLS_1mbox", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c0a, c0b := netsim.Pipe()
+			c1a, c1b := netsim.Pipe()
+			ic := &splittls.Interceptor{CA: pki.splitCA, Upstream: &tls12.Config{RootCAs: pki.ca.Pool()}, VerifyUpstream: true}
+			go ic.Handle(c0b, c1a) //nolint:errcheck
+			server := tls12.NewServerConn(c1b, &tls12.Config{Certificate: pki.serverCert})
+			errc := make(chan error, 1)
+			go func() { errc <- server.Handshake() }()
+			client := tls12.NewClientConn(c0a, &tls12.Config{RootCAs: pki.splitCA.Pool(), ServerName: "server.example"})
+			if err := client.Handshake(); err != nil {
+				b.Fatal(err)
+			}
+			if err := <-errc; err != nil {
+				b.Fatal(err)
+			}
+			client.Close()
+			server.Close()
+		}
+	})
+	for _, cfg := range []struct {
+		name                       string
+		clientMboxes, serverMboxes int
+	}{
+		{"MbTLS_0mbox", 0, 0},
+		{"MbTLS_1clientMbox", 1, 0},
+		{"MbTLS_1serverMbox", 0, 1},
+		{"MbTLS_2serverMboxes", 0, 2},
+		{"MbTLS_3serverMboxes", 0, 3},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runMbTLSSetup(b, pki, cfg.clientMboxes, cfg.serverMboxes)
+			}
+		})
+	}
+}
+
+// BenchmarkDataPlane reproduces Figure 7's cells as per-record costs of
+// the middlebox stage alone.
+func BenchmarkDataPlane(b *testing.B) {
+	authority, err := enclave.NewAuthority()
+	if err != nil {
+		b.Fatal(err)
+	}
+	platform, err := authority.NewPlatform()
+	if err != nil {
+		b.Fatal(err)
+	}
+	platform.SetBoundaryCost(time.Microsecond)
+
+	for _, reencrypt := range []bool{false, true} {
+		for _, sgx := range []bool{false, true} {
+			mode := "Forward"
+			if reencrypt {
+				mode = "Reencrypt"
+			}
+			env := "Host"
+			if sgx {
+				env = "Enclave"
+			}
+			for _, size := range []int{512, 1024, 2048, 4096, 8192, 12288} {
+				b.Run(fmt.Sprintf("%s/%s/%d", mode, env, size), func(b *testing.B) {
+					var encl *enclave.Enclave
+					if sgx {
+						encl = platform.CreateEnclave(enclave.CodeImage{Name: "bench", Version: "1"})
+					}
+					h, err := core.NewBenchHarness(encl, tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384, reencrypt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					plaintext := core.RandomPlaintext(size)
+					b.SetBytes(int64(size))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						rec := h.Seal(plaintext)
+						b.StartTimer()
+						outs, err := h.MiddleboxProcess(rec)
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.StopTimer()
+						for _, out := range outs {
+							if _, err := h.Open(out); err != nil {
+								b.Fatal(err)
+							}
+						}
+						b.StartTimer()
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Site measures one handshake through a typical
+// filtered client network (Table 2's unit of work).
+func BenchmarkTable2Site(b *testing.B) {
+	pki := newBenchPKI(b)
+	for i := 0; i < b.N; i++ {
+		clientEnd, filteredEnd := netsim.FilteredLink(netsim.SiteFilters(netsim.Enterprise, i)...)
+		mb, err := mbtls.NewMiddlebox(mbtls.MiddleboxConfig{Mode: mbtls.ClientSide, Certificate: pki.mbCert})
+		if err != nil {
+			b.Fatal(err)
+		}
+		upA, upB := netsim.Pipe()
+		go mb.Handle(filteredEnd, upA) //nolint:errcheck
+		sch := make(chan error, 1)
+		var ssess *mbtls.Session
+		go func() {
+			var err error
+			ssess, err = mbtls.Accept(upB, &mbtls.ServerConfig{TLS: &mbtls.TLSConfig{Certificate: pki.serverCert}})
+			sch <- err
+		}()
+		csess, err := mbtls.Dial(clientEnd, &mbtls.ClientConfig{
+			TLS: &mbtls.TLSConfig{RootCAs: pki.ca.Pool(), ServerName: "server.example"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := <-sch; err != nil {
+			b.Fatal(err)
+		}
+		csess.Close()
+		ssess.Close()
+	}
+}
+
+// BenchmarkAblationInterleavedHandshake compares mbTLS's interleaved
+// session setup against the naïve Figure 1 approach (establish the
+// end-to-end TLS session first, then a separate sequential TLS session
+// to pass keys to the middlebox) over a realistic-latency path —
+// quantifying the round trips the optimistic ClientHello reuse saves
+// (DESIGN.md ablation 3).
+func BenchmarkAblationInterleavedHandshake(b *testing.B) {
+	pki := newBenchPKI(b)
+	const latency = 5 * time.Millisecond // one-way per hop
+
+	b.Run("mbTLS_interleaved", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c0a, c0b := netsim.NewLink(netsim.LinkConfig{Latency: latency})
+			c1a, c1b := netsim.NewLink(netsim.LinkConfig{Latency: latency})
+			mb, err := mbtls.NewMiddlebox(mbtls.MiddleboxConfig{Mode: mbtls.ClientSide, Certificate: pki.mbCert})
+			if err != nil {
+				b.Fatal(err)
+			}
+			go mb.Handle(c0b, c1a) //nolint:errcheck
+			sch := make(chan error, 1)
+			var ssess *mbtls.Session
+			go func() {
+				var err error
+				ssess, err = mbtls.Accept(c1b, &mbtls.ServerConfig{TLS: &mbtls.TLSConfig{Certificate: pki.serverCert}})
+				sch <- err
+			}()
+			csess, err := mbtls.Dial(c0a, &mbtls.ClientConfig{
+				TLS: &mbtls.TLSConfig{RootCAs: pki.ca.Pool(), ServerName: "server.example"},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			<-sch
+			csess.Close()
+			ssess.Close()
+		}
+	})
+	b.Run("naive_sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// End-to-end TLS over the full path (2 hops of latency)...
+			c0a, c0b := netsim.NewLink(netsim.LinkConfig{Latency: 2 * latency})
+			server := tls12.NewServerConn(c0b, &tls12.Config{Certificate: pki.serverCert})
+			errc := make(chan error, 1)
+			go func() { errc <- server.Handshake() }()
+			client := tls12.NewClientConn(c0a, &tls12.Config{RootCAs: pki.ca.Pool(), ServerName: "server.example"})
+			if err := client.Handshake(); err != nil {
+				b.Fatal(err)
+			}
+			<-errc
+			// ...then a separate, sequential TLS session to the
+			// middlebox (1 hop of latency) to hand it the keys.
+			m0a, m0b := netsim.NewLink(netsim.LinkConfig{Latency: latency})
+			mbServer := tls12.NewServerConn(m0b, &tls12.Config{Certificate: pki.mbCert})
+			go func() { errc <- mbServer.Handshake() }()
+			mbClient := tls12.NewClientConn(m0a, &tls12.Config{RootCAs: pki.ca.Pool()})
+			if err := mbClient.Handshake(); err != nil {
+				b.Fatal(err)
+			}
+			<-errc
+			if sk, err := client.ExportSessionKeys(); err != nil || sk == nil {
+				b.Fatal(err)
+			} else if _, err := mbClient.Write(sk.ClientWriteKey); err != nil {
+				b.Fatal(err)
+			}
+			client.Close()
+			server.Close()
+			mbClient.Close()
+			mbServer.Close()
+		}
+	})
+}
+
+// BenchmarkAblationBoundaryCost sweeps the simulated SGX transition
+// cost to locate where Figure 7's "no noticeable impact" claim would
+// break (DESIGN.md ablation 4).
+func BenchmarkAblationBoundaryCost(b *testing.B) {
+	authority, err := enclave.NewAuthority()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cost := range []time.Duration{0, time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond} {
+		b.Run(cost.String(), func(b *testing.B) {
+			platform, err := authority.NewPlatform()
+			if err != nil {
+				b.Fatal(err)
+			}
+			platform.SetBoundaryCost(cost)
+			encl := platform.CreateEnclave(enclave.CodeImage{Name: "bench", Version: "1"})
+			h, err := core.NewBenchHarness(encl, tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plaintext := core.RandomPlaintext(4096)
+			b.SetBytes(4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				rec := h.Seal(plaintext)
+				b.StartTimer()
+				outs, err := h.MiddleboxProcess(rec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				for _, out := range outs {
+					if _, err := h.Open(out); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPerHopKeying measures the extra setup cost of
+// unique per-hop keys (generation + distribution) relative to reusing
+// the session key on every hop (DESIGN.md ablation 2).
+func BenchmarkAblationPerHopKeying(b *testing.B) {
+	for _, hops := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("hops=%d", hops), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for h := 0; h < hops; h++ {
+					if _, err := core.GenerateHopKeys(tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

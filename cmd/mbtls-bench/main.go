@@ -1,0 +1,91 @@
+// Command mbtls-bench regenerates every table and figure of the
+// paper's evaluation (§5):
+//
+//	mbtls-bench table1            Table 1: threats and defenses (live attacks)
+//	mbtls-bench table2            Table 2: handshake viability across 241 networks
+//	mbtls-bench fig5              Figure 5: handshake CPU microbenchmarks
+//	mbtls-bench fig6              Figure 6: mbTLS vs TLS session latency
+//	mbtls-bench fig7              Figure 7: SGX (non-)overhead on throughput
+//	mbtls-bench legacy            §5.1: legacy interoperability breakdown
+//	mbtls-bench design            §2: the design-space matrix, with live probes
+//	mbtls-bench all               everything above
+//
+// Absolute numbers depend on this machine; the shapes (who wins, by
+// roughly what factor) are what reproduce the paper. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	trials := flag.Int("trials", 0, "trials per configuration (0 = per-experiment default)")
+	scale := flag.Float64("scale", 0.1, "latency scale for fig6 (1.0 = real inter-DC latencies)")
+	window := flag.Duration("window", 250*time.Millisecond, "measurement window per fig7 cell")
+	boundary := flag.Duration("boundary-cost", time.Microsecond, "simulated SGX transition cost for fig7")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mbtls-bench [flags] {design|table1|table2|fig5|fig6|fig7|legacy|all}\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "table1":
+			fmt.Print(experiments.FormatTable1(experiments.RunTable1()))
+		case "table2":
+			rows, err := experiments.RunTable2(experiments.Table2Options{})
+			exitOn(err)
+			fmt.Print(experiments.FormatTable2(rows))
+		case "fig5":
+			rows, err := experiments.RunFig5(experiments.Fig5Options{Trials: *trials})
+			exitOn(err)
+			fmt.Print(experiments.FormatFig5(rows))
+		case "fig6":
+			rows, err := experiments.RunFig6(experiments.Fig6Options{Trials: *trials, Scale: *scale})
+			exitOn(err)
+			fmt.Print(experiments.FormatFig6(rows))
+		case "fig7":
+			cells, err := experiments.RunFig7(experiments.Fig7Options{Window: *window, BoundaryCost: *boundary})
+			exitOn(err)
+			fmt.Print(experiments.FormatFig7(cells))
+		case "legacy":
+			r, err := experiments.RunLegacy(experiments.LegacyOptions{})
+			exitOn(err)
+			fmt.Print(experiments.FormatLegacy(r))
+		case "design":
+			fmt.Print(experiments.FormatDesignSpace(experiments.DesignSpace()))
+		default:
+			fmt.Fprintf(os.Stderr, "mbtls-bench: unknown experiment %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if cmd == "all" {
+		for _, name := range []string{"design", "table1", "table2", "fig5", "fig6", "fig7", "legacy"} {
+			run(name)
+		}
+		return
+	}
+	run(cmd)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbtls-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+// Command mbtls-proxy runs the paper's prototype middlebox: an mbTLS
+// HTTP proxy that performs HTTP header insertion (§5, "Prototype
+// Implementation"). It relays each accepted connection to -next,
+// joining mbTLS sessions via in-band discovery. With -sgx it runs its
+// TLS termination and data plane inside a simulated SGX enclave and
+// attests during the secondary handshake.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"path/filepath"
+
+	mbtls "repro"
+	"repro/internal/certs"
+	"repro/internal/mbapps"
+)
+
+func main() {
+	listen := flag.String("listen", ":8444", "address to listen on")
+	next := flag.String("next", "localhost:8443", "next hop (server or next middlebox)")
+	pkiDir := flag.String("pki", "./pki", "PKI directory (provisioned by mbtls-server)")
+	mode := flag.String("mode", "client-side", "middlebox mode: client-side or server-side")
+	sgx := flag.Bool("sgx", false, "run inside a simulated SGX enclave")
+	header := flag.String("header", "1.1 mbtls-proxy", "Via header value to insert")
+	flag.Parse()
+
+	cert, err := certs.LoadCertPEM(filepath.Join(*pkiDir, "proxy.pem"), filepath.Join(*pkiDir, "proxy.key"))
+	if err != nil {
+		log.Fatalf("mbtls-proxy: load certificate (run mbtls-server once to provision): %v", err)
+	}
+
+	cfg := mbtls.MiddleboxConfig{
+		Mode:        mbtls.ClientSide,
+		Certificate: cert,
+		NewProcessor: func() mbtls.Processor {
+			return mbapps.NewHeaderInserter("Via", *header)
+		},
+	}
+	if *mode == "server-side" {
+		cfg.Mode = mbtls.ServerSide
+	}
+	if *sgx {
+		authority, err := mbtls.NewAuthority()
+		if err != nil {
+			log.Fatalf("mbtls-proxy: %v", err)
+		}
+		platform, err := authority.NewPlatform()
+		if err != nil {
+			log.Fatalf("mbtls-proxy: %v", err)
+		}
+		encl := platform.CreateEnclave(mbtls.CodeImage{Name: "mbtls-proxy", Version: "1.0"})
+		cfg.Enclave = encl
+		log.Printf("mbtls-proxy: enclave measurement %s", encl.Measurement())
+	}
+
+	mb, err := mbtls.NewMiddlebox(cfg)
+	if err != nil {
+		log.Fatalf("mbtls-proxy: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("mbtls-proxy: %v", err)
+	}
+	log.Printf("mbtls-proxy: %s middlebox on %s → %s (sgx=%v)", *mode, *listen, *next, *sgx)
+	err = mb.Serve(ln, func() (net.Conn, error) {
+		return net.Dial("tcp", *next)
+	})
+	log.Fatalf("mbtls-proxy: %v", err)
+}

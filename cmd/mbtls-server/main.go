@@ -1,0 +1,125 @@
+// Command mbtls-server runs an HTTP-over-mbTLS origin server. On first
+// start it provisions a PKI under -pki (root CA, server certificate,
+// middlebox-provider certificate) that the companion mbtls-proxy and
+// mbtls-client commands load.
+//
+// Example session (three shells):
+//
+//	mbtls-server -listen :8443 -pki ./pki
+//	mbtls-proxy  -listen :8444 -next localhost:8443 -pki ./pki
+//	mbtls-client -connect localhost:8444 -pki ./pki /index.html
+package main
+
+import (
+	"crypto/x509"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+
+	mbtls "repro"
+	"repro/internal/certs"
+	"repro/internal/httpx"
+)
+
+func main() {
+	listen := flag.String("listen", ":8443", "address to listen on")
+	pkiDir := flag.String("pki", "./pki", "PKI directory (created if missing)")
+	serverName := flag.String("name", "origin.example", "server certificate name")
+	acceptMboxes := flag.Bool("accept-middleboxes", true, "accept server-side middlebox announcements")
+	flag.Parse()
+
+	pool, serverCert, err := loadOrCreatePKI(*pkiDir, *serverName)
+	if err != nil {
+		log.Fatalf("mbtls-server: pki: %v", err)
+	}
+
+	cfg := &mbtls.ServerConfig{
+		TLS:               &mbtls.TLSConfig{Certificate: serverCert},
+		AcceptMiddleboxes: *acceptMboxes,
+		MiddleboxTLS:      &mbtls.TLSConfig{RootCAs: pool},
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("mbtls-server: %v", err)
+	}
+	log.Printf("mbtls-server: serving https(mbTLS)://%s on %s (pki: %s)", *serverName, *listen, *pkiDir)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("mbtls-server: accept: %v", err)
+		}
+		go handle(conn, cfg, *serverName)
+	}
+}
+
+func handle(conn net.Conn, cfg *mbtls.ServerConfig, serverName string) {
+	sess, err := mbtls.Accept(conn, cfg)
+	if err != nil {
+		log.Printf("mbtls-server: handshake from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	defer sess.Close()
+	for _, mb := range sess.Middleboxes() {
+		log.Printf("mbtls-server: session includes middlebox %q (attested=%v)", mb.Name, mb.Attested)
+	}
+	err = httpx.Serve(sess, func(req *httpx.Request) *httpx.Response {
+		log.Printf("mbtls-server: %s %s (Via: %q)", req.Method, req.Path, req.Header.Get("Via"))
+		body := fmt.Sprintf("hello from %s — you asked for %s\nVia header seen: %q\n",
+			serverName, req.Path, req.Header.Get("Via"))
+		return &httpx.Response{
+			StatusCode: 200,
+			Header:     httpx.Header{"Content-Type": "text/plain"},
+			Body:       []byte(body),
+		}
+	})
+	if err != nil {
+		log.Printf("mbtls-server: session from %s: %v", conn.RemoteAddr(), err)
+	}
+}
+
+// loadOrCreatePKI provisions (or loads) root.pem, server.pem/.key, and
+// proxy.pem/.key under dir.
+func loadOrCreatePKI(dir, serverName string) (*x509.CertPool, *mbtls.Certificate, error) {
+	rootPath := filepath.Join(dir, "root.pem")
+	if _, err := os.Stat(rootPath); os.IsNotExist(err) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, err
+		}
+		ca, err := certs.NewCA("mbtls demo root")
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := ca.SaveRootPEM(rootPath); err != nil {
+			return nil, nil, err
+		}
+		serverCert, err := ca.Issue(serverName, []string{serverName}, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := certs.SaveCertPEM(serverCert, filepath.Join(dir, "server.pem"), filepath.Join(dir, "server.key")); err != nil {
+			return nil, nil, err
+		}
+		proxyCert, err := ca.Issue("proxy.example", []string{"proxy.example"}, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := certs.SaveCertPEM(proxyCert, filepath.Join(dir, "proxy.pem"), filepath.Join(dir, "proxy.key")); err != nil {
+			return nil, nil, err
+		}
+		log.Printf("mbtls-server: provisioned new PKI in %s", dir)
+	}
+	pool, err := certs.LoadPoolPEM(rootPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	serverCert, err := certs.LoadCertPEM(filepath.Join(dir, "server.pem"), filepath.Join(dir, "server.key"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return pool, serverCert, nil
+}

@@ -1,0 +1,62 @@
+// Package mbtls implements Middlebox TLS (mbTLS), the secure
+// multi-entity communication protocol from:
+//
+//	David Naylor, Richard Li, Christos Gkantsidis, Thomas Karagiannis,
+//	and Peter Steenkiste. "And Then There Were More: Secure
+//	Communication for More Than Two Parties." CoNEXT 2017.
+//	DOI 10.1145/3143361.3143383
+//
+// mbTLS lets TLS sessions explicitly include application-layer
+// middleboxes — caches, compression proxies, virus scanners — without
+// the security collapse of today's "split TLS" interception. Its
+// properties (paper §3.2):
+//
+//   - P1 Data secrecy: only endpoints and authorized middlebox software
+//     read session data; each hop is encrypted under its own key, so
+//     observers cannot even tell whether a middlebox changed a record.
+//   - P2 Data authentication: per-hop AEAD protection; the middlebox
+//     infrastructure provider cannot forge records, because keys live
+//     inside an SGX enclave.
+//   - P3 Entity authentication: certificates identify the middlebox
+//     service provider, and remote attestation identifies the exact
+//     middlebox software (code measurement) bound to this handshake.
+//   - P4 Path integrity: unique per-hop keys make skipped or reordered
+//     middleboxes cryptographically detectable.
+//   - P5 Legacy interoperability: either endpoint may be an unmodified
+//     TLS 1.2 peer.
+//   - P6 In-band discovery: on-path middleboxes join during the
+//     handshake, with endpoint approval.
+//   - P7 Minimal overhead: no added round trips; secondary handshakes
+//     interleave with the primary one over one TCP connection.
+//
+// # Quick start
+//
+// A client dials through zero or more middleboxes:
+//
+//	sess, err := mbtls.Dial(conn, &mbtls.ClientConfig{
+//		TLS: &mbtls.TLSConfig{RootCAs: roots, ServerName: "origin.example"},
+//	})
+//
+// A server accepts, optionally welcoming announced middleboxes:
+//
+//	sess, err := mbtls.Accept(conn, &mbtls.ServerConfig{
+//		TLS:               &mbtls.TLSConfig{Certificate: cert},
+//		AcceptMiddleboxes: true,
+//		MiddleboxTLS:      &mbtls.TLSConfig{RootCAs: mspRoots},
+//	})
+//
+// A middlebox relays a hop and processes plaintext under its per-hop
+// keys, optionally inside a (simulated) SGX enclave:
+//
+//	mb, err := mbtls.NewMiddlebox(mbtls.MiddleboxConfig{
+//		Mode:        mbtls.ClientSide,
+//		Certificate: mspCert,
+//		Enclave:     encl,
+//		NewProcessor: func() mbtls.Processor { return myProxy() },
+//	})
+//	go mb.Serve(listener, dialNextHop)
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the reproduction of the
+// paper's evaluation.
+package mbtls

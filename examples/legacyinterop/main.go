@@ -1,0 +1,135 @@
+// Legacy interoperability (property P5): an upgraded mbTLS client and
+// its middlebox talk to a completely unmodified TLS 1.2 server, and an
+// unmodified TLS client traverses a server-side middlebox to an mbTLS
+// server. Neither legacy endpoint knows mbTLS exists.
+//
+//	go run ./examples/legacyinterop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mbtls "repro"
+	"repro/internal/httpx"
+	"repro/internal/mbapps"
+	"repro/internal/netsim"
+	"repro/internal/tls12"
+)
+
+func main() {
+	ca, err := mbtls.NewCA("interop root")
+	if err != nil {
+		log.Fatal(err)
+	}
+	serverCert := mustIssue(ca, "origin.example")
+	proxyCert := mustIssue(ca, "proxy.example")
+
+	fmt.Println("=== Case 1: mbTLS client + middlebox → legacy TLS server ===")
+	legacyServerCase(ca, serverCert, proxyCert)
+
+	fmt.Println()
+	fmt.Println("=== Case 2: legacy TLS client → middlebox → mbTLS server ===")
+	legacyClientCase(ca, serverCert, proxyCert)
+}
+
+func legacyServerCase(ca *mbtls.CA, serverCert, proxyCert *mbtls.Certificate) {
+	proxy, err := mbtls.NewMiddlebox(mbtls.MiddleboxConfig{
+		Mode:        mbtls.ClientSide,
+		Certificate: proxyCert,
+		NewProcessor: func() mbtls.Processor {
+			return mbapps.NewHeaderInserter("Via", "1.1 mbtls-proxy")
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clientEnd, proxyDown := netsim.Pipe()
+	proxyUp, serverEnd := netsim.Pipe()
+	go proxy.Handle(proxyDown, proxyUp) //nolint:errcheck
+
+	// The legacy server: plain TLS 1.2, no mbTLS awareness at all.
+	go func() {
+		conn := tls12.NewServerConn(serverEnd, &tls12.Config{Certificate: serverCert})
+		if err := conn.Handshake(); err != nil {
+			log.Fatalf("legacy server: %v", err)
+		}
+		defer conn.Close()
+		httpx.Serve(conn, func(req *httpx.Request) *httpx.Response { //nolint:errcheck
+			return &httpx.Response{
+				StatusCode: 200,
+				Header:     httpx.Header{},
+				Body:       []byte(fmt.Sprintf("legacy server saw Via: %q", req.Header.Get("Via"))),
+			}
+		})
+	}()
+
+	sess, err := mbtls.Dial(clientEnd, &mbtls.ClientConfig{
+		TLS:          &mbtls.TLSConfig{RootCAs: ca.Pool(), ServerName: "origin.example"},
+		MiddleboxTLS: &mbtls.TLSConfig{RootCAs: ca.Pool()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	fmt.Printf("client: joined by %d middlebox(es); server is an unmodified TLS stack\n", len(sess.Middleboxes()))
+	resp, err := httpx.Do(sess, &httpx.Request{Method: "GET", Path: "/", Host: "origin.example", Header: httpx.Header{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client: %d — %s\n", resp.StatusCode, resp.Body)
+}
+
+func legacyClientCase(ca *mbtls.CA, serverCert, proxyCert *mbtls.Certificate) {
+	cdn, err := mbtls.NewMiddlebox(mbtls.MiddleboxConfig{
+		Mode:        mbtls.ServerSide,
+		Certificate: proxyCert,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clientEnd, cdnDown := netsim.Pipe()
+	cdnUp, serverEnd := netsim.Pipe()
+	go cdn.Handle(cdnDown, cdnUp) //nolint:errcheck
+
+	serverReady := make(chan *mbtls.Session, 1)
+	go func() {
+		sess, err := mbtls.Accept(serverEnd, &mbtls.ServerConfig{
+			TLS:               &mbtls.TLSConfig{Certificate: serverCert},
+			AcceptMiddleboxes: true,
+			MiddleboxTLS:      &mbtls.TLSConfig{RootCAs: ca.Pool()},
+		})
+		if err != nil {
+			log.Fatalf("mbTLS server: %v", err)
+		}
+		serverReady <- sess
+	}()
+
+	// The legacy client: plain TLS 1.2.
+	conn := tls12.NewClientConn(clientEnd, &tls12.Config{RootCAs: ca.Pool(), ServerName: "origin.example"})
+	if err := conn.Handshake(); err != nil {
+		log.Fatalf("legacy client: %v", err)
+	}
+	defer conn.Close()
+	server := <-serverReady
+	defer server.Close()
+	for _, mb := range server.Middleboxes() {
+		fmt.Printf("server: middlebox %q joined via announcement; the legacy client never noticed\n", mb.Name)
+	}
+
+	go conn.Write([]byte("ping from the legacy client")) //nolint:errcheck
+	buf := make([]byte, 64)
+	n, err := server.Read(buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server: received %q through the server-side middlebox\n", buf[:n])
+}
+
+func mustIssue(ca *mbtls.CA, name string) *mbtls.Certificate {
+	cert, err := ca.Issue(name, []string{name}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return cert
+}

@@ -1,0 +1,97 @@
+// Parental filter: the opt-in filtering service of the paper's trust
+// discussion (§3.5: "the user might sign up for a service (e.g.,
+// parental filtering from their ISP) and explicitly configure their
+// browser to trust it"). A client-side middlebox inspects responses
+// and blocks pages containing prohibited words; thanks to path
+// integrity (P4), traffic cannot be routed around it without detection.
+//
+//	go run ./examples/parentalfilter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mbtls "repro"
+	"repro/internal/httpx"
+	"repro/internal/mbapps"
+	"repro/internal/netsim"
+)
+
+func main() {
+	ca, err := mbtls.NewCA("isp root")
+	if err != nil {
+		log.Fatal(err)
+	}
+	serverCert := mustIssue(ca, "origin.example")
+	filterCert := mustIssue(ca, "familyshield.isp.example")
+
+	filter, err := mbtls.NewMiddlebox(mbtls.MiddleboxConfig{
+		Mode:        mbtls.ClientSide,
+		Certificate: filterCert,
+		NewProcessor: func() mbtls.Processor {
+			return mbapps.NewWordFilter("gambling", "malware")
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	clientEnd, filterDown := netsim.Pipe()
+	filterUp, serverEnd := netsim.Pipe()
+	go filter.Handle(filterDown, filterUp) //nolint:errcheck
+
+	pages := map[string]string{
+		"/news":   "All quiet on the protocol front today.",
+		"/casino": "Try our online gambling tables!",
+	}
+	go func() {
+		sess, err := mbtls.Accept(serverEnd, &mbtls.ServerConfig{
+			TLS: &mbtls.TLSConfig{Certificate: serverCert},
+		})
+		if err != nil {
+			log.Fatalf("server: %v", err)
+		}
+		defer sess.Close()
+		httpx.Serve(sess, func(req *httpx.Request) *httpx.Response { //nolint:errcheck
+			body, ok := pages[req.Path]
+			if !ok {
+				return &httpx.Response{StatusCode: 404, Header: httpx.Header{}}
+			}
+			return &httpx.Response{StatusCode: 200, Header: httpx.Header{}, Body: []byte(body)}
+		})
+	}()
+
+	// The user signed up for the service: the client recognizes the
+	// filter by its certificate name and approves it.
+	sess, err := mbtls.Dial(clientEnd, &mbtls.ClientConfig{
+		TLS:          &mbtls.TLSConfig{RootCAs: ca.Pool(), ServerName: "origin.example"},
+		MiddleboxTLS: &mbtls.TLSConfig{RootCAs: ca.Pool()},
+		Approve: func(mb mbtls.MiddleboxSummary) bool {
+			approved := mb.Name == "familyshield.isp.example"
+			fmt.Printf("client: middlebox %q discovered — approved=%v\n", mb.Name, approved)
+			return approved
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	client := httpx.NewClient(sess)
+	for _, path := range []string{"/news", "/casino"} {
+		resp, err := client.Do(&httpx.Request{Method: "GET", Path: path, Host: "origin.example", Header: httpx.Header{}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("GET %-8s → %d %s: %q\n", path, resp.StatusCode, resp.Reason, resp.Body)
+	}
+}
+
+func mustIssue(ca *mbtls.CA, name string) *mbtls.Certificate {
+	cert, err := ca.Issue(name, []string{name}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return cert
+}

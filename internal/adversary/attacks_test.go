@@ -1,0 +1,20 @@
+package adversary
+
+import "testing"
+
+// TestTable1Attacks runs the paper's Table 1 threat suite against live
+// mbTLS sessions: every attack must be defended.
+func TestTable1Attacks(t *testing.T) {
+	for _, r := range RunAll() {
+		r := r
+		t.Run(r.Property+"/"+r.Threat, func(t *testing.T) {
+			if r.Err != nil {
+				t.Fatalf("harness failure: %v", r.Err)
+			}
+			if !r.Defended {
+				t.Fatalf("attack succeeded: %s", r.Detail)
+			}
+			t.Log(r.Detail)
+		})
+	}
+}

@@ -1,0 +1,209 @@
+package adversary
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/certs"
+	"repro/internal/core"
+	"repro/internal/enclave"
+	"repro/internal/netsim"
+	"repro/internal/tls12"
+)
+
+// Opts configures a standard attack scenario: an mbTLS client, one
+// client-side middlebox, and an mbTLS server, with adversary tamper
+// points on both links around the middlebox.
+type Opts struct {
+	// EnclaveMbox runs the middlebox inside a simulated SGX enclave.
+	EnclaveMbox bool
+	// Processor optionally installs a data-plane transformer.
+	Processor func() core.Processor
+	// NeighborKeys selects the §4.2 neighbor-negotiated hop keys mode.
+	NeighborKeys bool
+}
+
+// Scenario is a live session under attack.
+type Scenario struct {
+	CA        *certs.CA
+	Authority *enclave.Authority
+	Enclave   *enclave.Enclave
+	Mbox      *core.Middlebox
+	Client    *core.Session
+	Server    *core.Session
+	// T1 sits between the client and the middlebox (hop key K(C-M)),
+	// T2 between the middlebox and the server (the bridge key K(C-S)).
+	T1, T2 *TamperPoint
+
+	serverRecv chan []byte
+	serverErr  chan error
+	clientRecv chan []byte
+	clientErr  chan error
+}
+
+// ErrTimeout reports that an expected delivery did not happen.
+var ErrTimeout = errors.New("adversary: timed out")
+
+// NewScenario builds and handshakes the standard scenario.
+func NewScenario(opts Opts) (*Scenario, error) {
+	sc := &Scenario{
+		serverRecv: make(chan []byte, 64),
+		serverErr:  make(chan error, 4),
+		clientRecv: make(chan []byte, 64),
+		clientErr:  make(chan error, 4),
+	}
+	var err error
+	if sc.CA, err = certs.NewCA("adversary harness root"); err != nil {
+		return nil, err
+	}
+	if sc.Authority, err = enclave.NewAuthority(); err != nil {
+		return nil, err
+	}
+	serverCert, err := sc.CA.Issue("origin.example", []string{"origin.example"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	mbCert, err := sc.CA.Issue("mbox.example", []string{"mbox.example"}, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	mbCfg := core.MiddleboxConfig{
+		Mode:        core.ClientSide,
+		Certificate: mbCert,
+	}
+	if opts.NeighborKeys {
+		mbCfg.NeighborRoots = sc.CA.Pool()
+	}
+	if opts.Processor != nil {
+		mbCfg.NewProcessor = opts.Processor
+	}
+	var image enclave.CodeImage
+	if opts.EnclaveMbox {
+		platform, err := sc.Authority.NewPlatform()
+		if err != nil {
+			return nil, err
+		}
+		image = enclave.CodeImage{Name: "mbtls-mbox", Version: "1.0"}
+		sc.Enclave = platform.CreateEnclave(image)
+		mbCfg.Enclave = sc.Enclave
+	}
+	if sc.Mbox, err = core.NewMiddlebox(mbCfg); err != nil {
+		return nil, err
+	}
+
+	// client --T1-- mbox --T2-- server
+	c0a, c0b := netsim.Pipe()
+	c1a, c1b := netsim.Pipe()
+	c2a, c2b := netsim.Pipe()
+	c3a, c3b := netsim.Pipe()
+	sc.T1 = NewTamperPoint(c0b, c1a, true)
+	go sc.Mbox.Handle(c1b, c2a) //nolint:errcheck
+	sc.T2 = NewTamperPoint(c2b, c3a, true)
+
+	ccfg := &core.ClientConfig{
+		TLS:          &tls12.Config{RootCAs: sc.CA.Pool(), ServerName: "origin.example"},
+		NeighborKeys: opts.NeighborKeys,
+	}
+	if opts.EnclaveMbox {
+		ccfg.RequireMiddleboxAttestation = true
+		ccfg.MiddleboxVerifier = &enclave.Verifier{
+			Authority: sc.Authority.PublicKey(),
+			Allowed:   []enclave.Measurement{image.Measurement()},
+		}
+	}
+	scfg := &core.ServerConfig{TLS: &tls12.Config{Certificate: serverCert}}
+
+	type res struct {
+		sess *core.Session
+		err  error
+	}
+	cch := make(chan res, 1)
+	sch := make(chan res, 1)
+	go func() {
+		s, err := core.Dial(c0a, ccfg)
+		cch <- res{s, err}
+	}()
+	go func() {
+		s, err := core.Accept(c3b, scfg)
+		sch <- res{s, err}
+	}()
+	cr, sr := <-cch, <-sch
+	if cr.err != nil {
+		return nil, fmt.Errorf("adversary: client setup: %w", cr.err)
+	}
+	if sr.err != nil {
+		return nil, fmt.Errorf("adversary: server setup: %w", sr.err)
+	}
+	sc.Client = cr.sess
+	sc.Server = sr.sess
+
+	go pumpReads(sc.Server, sc.serverRecv, sc.serverErr)
+	go pumpReads(sc.Client, sc.clientRecv, sc.clientErr)
+	return sc, nil
+}
+
+func pumpReads(r interface{ Read([]byte) (int, error) }, recv chan<- []byte, errc chan<- error) {
+	for {
+		buf := make([]byte, 16384)
+		n, err := r.Read(buf)
+		if n > 0 {
+			recv <- buf[:n]
+		}
+		if err != nil {
+			errc <- err
+			return
+		}
+	}
+}
+
+// Close tears the scenario down.
+func (sc *Scenario) Close() {
+	if sc.Client != nil {
+		sc.Client.Close()
+	}
+	if sc.Server != nil {
+		sc.Server.Close()
+	}
+}
+
+// ServerRecv waits for the next chunk the server accepted.
+func (sc *Scenario) ServerRecv(timeout time.Duration) ([]byte, error) {
+	select {
+	case b := <-sc.serverRecv:
+		return b, nil
+	case err := <-sc.serverErr:
+		return nil, err
+	case <-time.After(timeout):
+		return nil, ErrTimeout
+	}
+}
+
+// ServerReadErr waits for the server's read loop to fail (how a
+// tampered record surfaces: a fatal bad_record_mac).
+func (sc *Scenario) ServerReadErr(timeout time.Duration) error {
+	select {
+	case err := <-sc.serverErr:
+		return err
+	case b := <-sc.serverRecv:
+		return fmt.Errorf("adversary: server accepted %d bytes instead of failing", len(b))
+	case <-time.After(timeout):
+		return ErrTimeout
+	}
+}
+
+// ClientRecv waits for the next chunk the client accepted.
+func (sc *Scenario) ClientRecv(timeout time.Duration) ([]byte, error) {
+	select {
+	case b := <-sc.clientRecv:
+		return b, nil
+	case err := <-sc.clientErr:
+		return nil, err
+	case <-time.After(timeout):
+		return nil, ErrTimeout
+	}
+}
+
+// Suite returns the negotiated primary cipher suite.
+func (sc *Scenario) Suite() uint16 { return sc.Client.ConnectionState().CipherSuite }

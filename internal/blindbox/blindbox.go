@@ -1,0 +1,194 @@
+// Package blindbox implements "BlindBox-lite", a scoped executable
+// model of BlindBox (Sherry et al., SIGCOMM 2015) — the paper's §2.2
+// comparison point for inspection over encrypted traffic. Like
+// internal/mctls, it exists so the design-space report can back the
+// BlindBox column with running code, modeling exactly the properties
+// §2.2 discusses:
+//
+//   - Functional crypto [Data access: func. crypto]: a middlebox
+//     detects rule matches in traffic it cannot decrypt. The sender
+//     attaches deterministic per-window tokens alongside the AEAD
+//     ciphertext; the middlebox holds only the encrypted rule set
+//     (tokens of the rules, which in real BlindBox it obtains through
+//     a garbled-circuit exchange that keeps the rules and the token
+//     key mutually secret — simulated here by the endpoint handing
+//     over the finished rule tokens).
+//
+//   - Limited computation [Computation: limited]: token equality
+//     supports pattern matching only — the middlebox cannot compress,
+//     cache, or transform, which is §2.2's criticism.
+//
+//   - Both endpoints upgraded [Legacy: both upgrade]: sender and
+//     receiver must both speak the tokenized record format.
+package blindbox
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+)
+
+// WindowSize is the sliding-window width for tokenization (BlindBox
+// uses 8-byte windows, the minimum Snort keyword length).
+const WindowSize = 8
+
+// tokenLen truncates tokens (BlindBox truncates to save bandwidth;
+// false positives are resolved out of band).
+const tokenLen = 10
+
+// Session holds the sender/receiver side of a BlindBox-lite channel:
+// an AEAD key for the payload and a token key for detection tokens.
+type Session struct {
+	aead     cipher.AEAD
+	tokenKey []byte
+	sendSeq  uint64
+	recvSeq  uint64
+}
+
+// NewSession derives a session from 64 bytes of shared secret (both
+// endpoints run the usual TLS handshake to get it).
+func NewSession(secret []byte) (*Session, error) {
+	if len(secret) < 64 {
+		return nil, errors.New("blindbox: need 64 bytes of secret")
+	}
+	block, err := aes.NewCipher(secret[:32])
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{aead: aead, tokenKey: secret[32:64]}, nil
+}
+
+// NewRandomSession draws a fresh session secret (testing/demo helper);
+// both "endpoints" share the returned session.
+func NewRandomSession() (*Session, error) {
+	secret := make([]byte, 64)
+	if _, err := io.ReadFull(rand.Reader, secret); err != nil {
+		return nil, err
+	}
+	return NewSession(secret)
+}
+
+// token computes the deterministic encryption of one window.
+func token(key []byte, window []byte) []byte {
+	h := hmac.New(sha256.New, key)
+	h.Write(window)
+	return h.Sum(nil)[:tokenLen]
+}
+
+// Record is one BlindBox-lite record: AEAD ciphertext plus detection
+// tokens for every sliding window of the plaintext.
+type Record struct {
+	Seq        uint64
+	Ciphertext []byte
+	Tokens     [][]byte
+}
+
+// Seal encrypts payload and attaches its detection tokens.
+func (s *Session) Seal(payload []byte) (*Record, error) {
+	nonce := make([]byte, s.aead.NonceSize())
+	binary.BigEndian.PutUint64(nonce[4:], s.sendSeq)
+	if _, err := io.ReadFull(rand.Reader, nonce[:4]); err != nil {
+		return nil, err
+	}
+	rec := &Record{
+		Seq:        s.sendSeq,
+		Ciphertext: s.aead.Seal(nonce, nonce, payload, nil),
+	}
+	lowered := []byte(strings.ToLower(string(payload)))
+	for i := 0; i+WindowSize <= len(lowered); i++ {
+		rec.Tokens = append(rec.Tokens, token(s.tokenKey, lowered[i:i+WindowSize]))
+	}
+	s.sendSeq++
+	return rec, nil
+}
+
+// Open decrypts a record at the receiving endpoint.
+func (s *Session) Open(rec *Record) ([]byte, error) {
+	if rec.Seq != s.recvSeq {
+		return nil, errors.New("blindbox: out-of-order record")
+	}
+	if len(rec.Ciphertext) < s.aead.NonceSize() {
+		return nil, errors.New("blindbox: short ciphertext")
+	}
+	nonce := rec.Ciphertext[:s.aead.NonceSize()]
+	payload, err := s.aead.Open(nil, nonce, rec.Ciphertext[s.aead.NonceSize():], nil)
+	if err != nil {
+		return nil, errors.New("blindbox: decryption failed")
+	}
+	s.recvSeq++
+	return payload, nil
+}
+
+// RuleTokens prepares the middlebox's encrypted rule set for the given
+// session: each rule keyword (≥ WindowSize bytes) becomes the tokens of
+// its windows. In real BlindBox this computation happens inside a
+// garbled circuit so neither side learns the other's secret; the
+// outcome — the middlebox holding rule tokens but no token key and no
+// plaintext rules from the other party — is the same.
+func (s *Session) RuleTokens(rules []string) (*Inspector, error) {
+	insp := &Inspector{rules: make(map[string][][]byte)}
+	for _, r := range rules {
+		rl := strings.ToLower(r)
+		if len(rl) < WindowSize {
+			return nil, errors.New("blindbox: rules must be at least one window long")
+		}
+		var toks [][]byte
+		for i := 0; i+WindowSize <= len(rl); i++ {
+			toks = append(toks, token(s.tokenKey, []byte(rl[i:i+WindowSize])))
+		}
+		insp.rules[r] = toks
+	}
+	return insp, nil
+}
+
+// Inspector is the middlebox side: it holds encrypted rules only and
+// matches them against record tokens. It has no decryption capability.
+type Inspector struct {
+	rules map[string][][]byte
+	// Matches counts detections per rule.
+	Matches map[string]int
+}
+
+// Inspect scans one record's tokens, returning the rules whose full
+// window sequences appear consecutively. The ciphertext is never
+// touched.
+func (in *Inspector) Inspect(rec *Record) []string {
+	if in.Matches == nil {
+		in.Matches = make(map[string]int)
+	}
+	index := make(map[string][]int, len(rec.Tokens))
+	for i, tok := range rec.Tokens {
+		index[string(tok)] = append(index[string(tok)], i)
+	}
+	var hits []string
+	for rule, toks := range in.rules {
+		if len(toks) == 0 {
+			continue
+		}
+		for _, start := range index[string(toks[0])] {
+			ok := true
+			for j := 1; j < len(toks); j++ {
+				if start+j >= len(rec.Tokens) || string(rec.Tokens[start+j]) != string(toks[j]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				hits = append(hits, rule)
+				in.Matches[rule]++
+				break
+			}
+		}
+	}
+	return hits
+}

@@ -1,0 +1,150 @@
+package blindbox
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func newPair(t *testing.T, rules ...string) (*Session, *Inspector) {
+	t.Helper()
+	sess, err := NewRandomSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	insp, err := sess.RuleTokens(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, insp
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	sess, _ := newPair(t, "malware-sig")
+	payload := []byte("ordinary web traffic with nothing to hide")
+	rec, err := sess.Seal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Open(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+// TestDetectionWithoutDecryption: the §2.2 "func. crypto" cell — the
+// inspector flags rule matches while holding no decryption key.
+func TestDetectionWithoutDecryption(t *testing.T) {
+	sess, insp := newPair(t, "exploit-kit-x", "evil-payload")
+	rec, err := sess.Seal([]byte("GET /downloads/EXPLOIT-KIT-X.bin HTTP/1.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := insp.Inspect(rec)
+	if len(hits) != 1 || hits[0] != "exploit-kit-x" {
+		t.Fatalf("hits = %v", hits)
+	}
+	// The payload itself is invisible to the inspector: it appears
+	// nowhere in what the inspector examines.
+	for _, tok := range rec.Tokens {
+		if bytes.Contains(bytes.ToLower(tok), []byte("exploit")) {
+			t.Fatal("token leaks plaintext bytes")
+		}
+	}
+	if bytes.Contains(rec.Ciphertext, []byte("EXPLOIT")) {
+		t.Fatal("ciphertext leaks plaintext")
+	}
+}
+
+func TestNoFalseMatchesOnCleanTraffic(t *testing.T) {
+	sess, insp := newPair(t, "forbidden-keyword")
+	for _, payload := range []string{
+		"completely unremarkable request body",
+		"forbidden",                 // shorter than the rule
+		"forbidden-keywor_ almost!", // near miss
+	} {
+		rec, err := sess.Seal([]byte(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hits := insp.Inspect(rec); len(hits) != 0 {
+			t.Fatalf("%q: spurious hits %v", payload, hits)
+		}
+	}
+}
+
+func TestDetectionIsCaseInsensitive(t *testing.T) {
+	sess, insp := newPair(t, "Malware-Download")
+	rec, _ := sess.Seal([]byte("fetching mAlWaRe-dOwNlOaD now"))
+	if hits := insp.Inspect(rec); len(hits) != 1 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+// TestTokensSessionBound: tokens from one session do not match rules
+// prepared for another (per-session token keys).
+func TestTokensSessionBound(t *testing.T) {
+	sessA, _ := newPair(t, "shared-rule-word")
+	_, inspB := newPair(t, "shared-rule-word")
+	rec, _ := sessA.Seal([]byte("triggering shared-rule-word here"))
+	if hits := inspB.Inspect(rec); len(hits) != 0 {
+		t.Fatalf("cross-session match: %v", hits)
+	}
+}
+
+// TestLimitedComputation documents the §2.2 criticism: the inspector
+// API supports equality matching only — there is no way to transform
+// traffic, which is why BlindBox cannot host compression proxies.
+func TestLimitedComputation(t *testing.T) {
+	sess, insp := newPair(t, "some-rule")
+	rec, _ := sess.Seal([]byte("data that a compression proxy would want to rewrite"))
+	insp.Inspect(rec)
+	// The record reaching the receiver is byte-identical: the
+	// middlebox had no means to alter it meaningfully.
+	got, err := sess.Open(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "compression proxy") {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestReplayAndReorderRejected(t *testing.T) {
+	sess, _ := newPair(t, "whatever-rule")
+	r1, _ := sess.Seal([]byte("first record payload"))
+	r2, _ := sess.Seal([]byte("second record payload"))
+	if _, err := sess.Open(r2); err == nil {
+		t.Fatal("out-of-order record accepted")
+	}
+	if _, err := sess.Open(r1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Open(r1); err == nil {
+		t.Fatal("replayed record accepted")
+	}
+}
+
+func TestShortRuleRejected(t *testing.T) {
+	sess, err := NewRandomSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RuleTokens([]string{"short"}); err == nil {
+		t.Fatal("rule shorter than a window accepted")
+	}
+}
+
+func TestMatchCounting(t *testing.T) {
+	sess, insp := newPair(t, "counted-rule")
+	for i := 0; i < 3; i++ {
+		rec, _ := sess.Seal([]byte("hit the counted-rule again"))
+		insp.Inspect(rec)
+	}
+	if insp.Matches["counted-rule"] != 3 {
+		t.Fatalf("matches = %v", insp.Matches)
+	}
+}

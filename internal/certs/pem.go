@@ -1,0 +1,102 @@
+package certs
+
+import (
+	"crypto/ed25519"
+	"crypto/x509"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/tls12"
+)
+
+// PEM block types used by the on-disk format.
+const (
+	pemTypeCert = "CERTIFICATE"
+	pemTypeKey  = "PRIVATE KEY"
+)
+
+// SaveCertPEM writes a certificate chain and its PKCS#8 private key to
+// certPath and keyPath.
+func SaveCertPEM(cert *tls12.Certificate, certPath, keyPath string) error {
+	var certOut []byte
+	for _, der := range cert.Chain {
+		certOut = append(certOut, pem.EncodeToMemory(&pem.Block{Type: pemTypeCert, Bytes: der})...)
+	}
+	if err := os.WriteFile(certPath, certOut, 0o644); err != nil {
+		return err
+	}
+	keyDER, err := x509.MarshalPKCS8PrivateKey(cert.PrivateKey)
+	if err != nil {
+		return err
+	}
+	keyOut := pem.EncodeToMemory(&pem.Block{Type: pemTypeKey, Bytes: keyDER})
+	return os.WriteFile(keyPath, keyOut, 0o600)
+}
+
+// LoadCertPEM reads a certificate chain and key written by SaveCertPEM.
+func LoadCertPEM(certPath, keyPath string) (*tls12.Certificate, error) {
+	certData, err := os.ReadFile(certPath)
+	if err != nil {
+		return nil, err
+	}
+	var cert tls12.Certificate
+	for rest := certData; ; {
+		var block *pem.Block
+		block, rest = pem.Decode(rest)
+		if block == nil {
+			break
+		}
+		if block.Type == pemTypeCert {
+			cert.Chain = append(cert.Chain, block.Bytes)
+		}
+	}
+	if len(cert.Chain) == 0 {
+		return nil, fmt.Errorf("certs: no certificates in %s", certPath)
+	}
+	leaf, err := x509.ParseCertificate(cert.Chain[0])
+	if err != nil {
+		return nil, err
+	}
+	cert.Leaf = leaf
+
+	keyData, err := os.ReadFile(keyPath)
+	if err != nil {
+		return nil, err
+	}
+	block, _ := pem.Decode(keyData)
+	if block == nil || block.Type != pemTypeKey {
+		return nil, fmt.Errorf("certs: no private key in %s", keyPath)
+	}
+	keyAny, err := x509.ParsePKCS8PrivateKey(block.Bytes)
+	if err != nil {
+		return nil, err
+	}
+	key, ok := keyAny.(ed25519.PrivateKey)
+	if !ok {
+		return nil, errors.New("certs: private key is not Ed25519")
+	}
+	cert.PrivateKey = key
+	return &cert, nil
+}
+
+// SaveRootPEM writes only the CA certificate (the trust anchor clients
+// need) to path.
+func (ca *CA) SaveRootPEM(path string) error {
+	out := pem.EncodeToMemory(&pem.Block{Type: pemTypeCert, Bytes: ca.Cert.Raw})
+	return os.WriteFile(path, out, 0o644)
+}
+
+// LoadPoolPEM reads one or more CA certificates into a pool.
+func LoadPoolPEM(path string) (*x509.CertPool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(data) {
+		return nil, fmt.Errorf("certs: no CA certificates in %s", path)
+	}
+	return pool, nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"crypto/rand"
+	"io"
+
+	"repro/internal/enclave"
+	"repro/internal/tls12"
+)
+
+// BenchHarness is a standalone middlebox data plane for the Figure 7
+// throughput experiment: a record source playing the clients, the
+// middlebox stage under test (forward vs decrypt/re-encrypt, inside or
+// outside an enclave), and a sink playing the server. Only
+// MiddleboxProcess belongs in the timed region; Seal and Open account
+// for the client and server machines of the paper's testbed.
+type BenchHarness struct {
+	srcSeal  *tls12.CipherState // client sealing toward the middlebox
+	sinkOpen *tls12.CipherState // server opening what the middlebox sent
+
+	reencrypt bool
+	encl      *enclave.Enclave
+	dp        dataPlaneHandler
+}
+
+// NewBenchHarness builds the harness. reencrypt selects the paper's
+// "Encryption" middlebox behavior (decrypt on hop A, re-encrypt on hop
+// B); otherwise records are forwarded untouched ("No Encryption"). A
+// non-nil enclave routes the middlebox stage through it.
+func NewBenchHarness(encl *enclave.Enclave, suite uint16, reencrypt bool) (*BenchHarness, error) {
+	hopA, err := GenerateHopKeys(suite)
+	if err != nil {
+		return nil, err
+	}
+	hopB, err := GenerateHopKeys(suite)
+	if err != nil {
+		return nil, err
+	}
+	h := &BenchHarness{reencrypt: reencrypt, encl: encl}
+	if h.srcSeal, err = tls12.NewCipherState(suite, hopA.C2SKey, hopA.C2SIV, 0); err != nil {
+		return nil, err
+	}
+	if !reencrypt {
+		// Forwarding middlebox: the sink opens hop A directly.
+		if h.sinkOpen, err = tls12.NewCipherState(suite, hopA.C2SKey, hopA.C2SIV, 0); err != nil {
+			return nil, err
+		}
+		return h, nil
+	}
+	if h.sinkOpen, err = tls12.NewCipherState(suite, hopB.C2SKey, hopB.C2SIV, 0); err != nil {
+		return nil, err
+	}
+	km := &KeyMaterial{Version: tls12.VersionTLS12, Down: *hopA, Up: *hopB}
+	if encl != nil {
+		h.dp, err = installEnclaveDataPlane(encl, km, nil)
+	} else {
+		h.dp, err = newDataPlane(km, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Seal produces one client record of the given plaintext (untimed
+// client work).
+func (h *BenchHarness) Seal(plaintext []byte) tls12.RawRecord {
+	return tls12.RawRecord{
+		Type:    tls12.TypeApplicationData,
+		Payload: h.srcSeal.Seal(tls12.TypeApplicationData, plaintext),
+	}
+}
+
+// MiddleboxProcess runs one record through the middlebox stage under
+// test — the timed region of the Figure 7 experiment.
+func (h *BenchHarness) MiddleboxProcess(rec tls12.RawRecord) ([]tls12.RawRecord, error) {
+	if h.reencrypt {
+		return h.dp.handleRecord(DirClientToServer, rec)
+	}
+	// Forwarding only. With an enclave, the record still traverses the
+	// enclave application (one ecall round trip and a copy), matching
+	// the paper's "No Encryption + Enclave" configuration.
+	if h.encl != nil {
+		var out []byte
+		h.encl.Enter(func(enclave.Memory) {
+			out = append([]byte(nil), rec.Payload...)
+		})
+		return []tls12.RawRecord{{Type: rec.Type, Payload: out}}, nil
+	}
+	return []tls12.RawRecord{rec}, nil
+}
+
+// Open validates one middlebox output record at the sink (untimed
+// server work). It returns the plaintext length.
+func (h *BenchHarness) Open(rec tls12.RawRecord) (int, error) {
+	plaintext, err := h.sinkOpen.Open(rec.Type, rec.Payload)
+	if err != nil {
+		return 0, err
+	}
+	return len(plaintext), nil
+}
+
+// RandomPlaintext returns a buffer of random bytes for the workload
+// generator.
+func RandomPlaintext(n int) []byte {
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rand.Reader, b); err != nil {
+		panic(err)
+	}
+	return b
+}

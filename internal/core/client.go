@@ -1,0 +1,242 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"repro/internal/tls12"
+)
+
+// secondaryResult is the outcome of one secondary handshake.
+type secondaryResult struct {
+	sub     uint8
+	conn    *tls12.Conn
+	summary MiddleboxSummary
+	err     error
+	// skip marks subchannels intentionally ignored (announcements at a
+	// server configured not to accept middleboxes).
+	skip bool
+}
+
+// watchSubchannels dispatches each peer-opened subchannel to handle and
+// closes results once stop is signaled and all handlers finished. The
+// single goroutine owns the WaitGroup, so no handler can start after
+// the final Wait.
+func watchSubchannels(m *mux, stop <-chan struct{}, results chan<- secondaryResult, handle func(uint8) secondaryResult) {
+	var wg sync.WaitGroup
+	defer func() {
+		wg.Wait()
+		close(results)
+	}()
+	dispatch := func(sub uint8) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- handle(sub)
+		}()
+	}
+	for {
+		select {
+		case sub, ok := <-m.newSub:
+			if !ok {
+				return
+			}
+			dispatch(sub)
+		case <-stop:
+			// Subchannels opened during the handshake may still be
+			// queued; drain them before closing the window.
+			for {
+				select {
+				case sub, ok := <-m.newSub:
+					if !ok {
+						return
+					}
+					dispatch(sub)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Dial establishes an mbTLS session as the client over an existing
+// transport connection (paper §3.4). The transport should reach the
+// server, possibly through on-path middleboxes, or reach the first
+// pre-configured middlebox from cfg.KnownMiddleboxes.
+//
+// The primary handshake and all secondary (middlebox) handshakes run
+// interleaved over the single connection; no round trips are added
+// (property P7). If the server is a legacy TLS endpoint the session
+// still succeeds, with client-side middleboxes bridging to it over the
+// primary session key (property P5).
+func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
+	if cfg == nil || cfg.TLS == nil {
+		return nil, errors.New("core: ClientConfig.TLS is required")
+	}
+	tcfg := *cfg.TLS
+	tcfg.MiddleboxSupport = &tls12.MiddleboxSupport{
+		Middleboxes:  cfg.KnownMiddleboxes,
+		NeighborKeys: cfg.NeighborKeys,
+	}
+	tcfg.OfferAttestation = true
+
+	hello, helloRaw, err := tls12.NewClientHello(&tcfg)
+	if err != nil {
+		return nil, err
+	}
+	// The optimistic hello of the MiddleboxSupport extension is the
+	// primary ClientHello itself, serving double duty (paper §3.4).
+	m := newMux(transport)
+	prl := tls12.NewRecordLayer(m.primary)
+	if err := prl.WriteRecord(tls12.TypeHandshake, helloRaw); err != nil {
+		transport.Close()
+		return nil, err
+	}
+	pconn := tls12.ClientWithSentHello(prl, &tcfg, hello, helloRaw)
+
+	primaryDone := make(chan error, 1)
+	go func() { primaryDone <- pconn.Handshake() }()
+
+	// Watch for middleboxes joining on subchannels. Middleboxes inject
+	// their secondary ServerHello before forwarding the primary
+	// ServerHello, so every subchannel exists at the mux before the
+	// primary handshake can complete.
+	secCfg := secondaryClientConfig(cfg.TLS, cfg.MiddleboxTLS, cfg.RequireMiddleboxAttestation, cfg.MiddleboxVerifier)
+	results := make(chan secondaryResult, maxSubchannels)
+	stop := make(chan struct{})
+	go watchSubchannels(m, stop, results, func(sub uint8) secondaryResult {
+		return runClientSecondary(m, sub, secCfg, hello, helloRaw)
+	})
+
+	fail := func(err error) (*Session, error) {
+		m.fail(err)
+		transport.Close()
+		return nil, err
+	}
+
+	if err := <-primaryDone; err != nil {
+		return fail(err)
+	}
+	close(stop)
+
+	var secs []secondaryResult
+	for r := range results {
+		if r.skip {
+			continue
+		}
+		if r.err != nil {
+			return fail(fmt.Errorf("core: middlebox handshake (subchannel %d): %w", r.sub, r.err))
+		}
+		secs = append(secs, r)
+	}
+	// Higher subchannel IDs were self-assigned closer to the client
+	// (paper §3.4, "Client-Side Middleboxes"), so descending order is
+	// path order from the client outward.
+	sort.Slice(secs, func(i, j int) bool { return secs[i].sub > secs[j].sub })
+
+	for i := range secs {
+		if cfg.RequireMiddleboxAttestation && !secs[i].summary.Attested {
+			return fail(fmt.Errorf("core: middlebox %q did not attest", secs[i].summary.Name))
+		}
+		if cfg.Approve != nil && !cfg.Approve(secs[i].summary) {
+			return fail(fmt.Errorf("core: middlebox %q rejected by application", secs[i].summary.Name))
+		}
+	}
+
+	if cfg.NeighborKeys {
+		if err := clientNeighborKeys(m, pconn, secCfg, len(secs) > 0); err != nil {
+			return fail(err)
+		}
+	} else if err := distributeClientKeys(pconn, secs); err != nil {
+		return fail(err)
+	}
+
+	sess := &Session{conn: pconn, m: m, transport: transport}
+	for _, r := range secs {
+		sess.mboxes = append(sess.mboxes, r.summary)
+	}
+	return sess, nil
+}
+
+// runClientSecondary completes one secondary handshake in which the
+// discovered middlebox plays the server role against the (already
+// sent) primary ClientHello.
+func runClientSecondary(m *mux, sub uint8, cfg *tls12.Config, hello *tls12.ClientHello, helloRaw []byte) secondaryResult {
+	pipe := m.subchannel(sub, false)
+	rl := tls12.NewRecordLayer(pipe)
+	conn := tls12.ClientWithSentHello(rl, cfg, hello, helloRaw)
+	if err := conn.Handshake(); err != nil {
+		return secondaryResult{sub: sub, err: err}
+	}
+	return secondaryResult{sub: sub, conn: conn, summary: summarize(sub, conn.ConnectionState())}
+}
+
+// clientNeighborKeys establishes the client's adjacent hop key by a
+// neighbor handshake with the first middlebox over subchannel 0
+// (§4.2's alternative mode). With no middleboxes, the primary session
+// keys remain in place and no neighbor handshake runs.
+func clientNeighborKeys(m *mux, pconn *tls12.Conn, secCfg *tls12.Config, haveMboxes bool) error {
+	if !haveMboxes {
+		return nil
+	}
+	ncfg := *secCfg
+	ncfg.RequestAttestation = false // identity was verified on the secondary session
+	hop, err := runNeighborClient(m.subchannel(neighborSubchannel, false), &ncfg)
+	if err != nil {
+		return err
+	}
+	writeCS, err := tls12.NewCipherState(hop.Suite, hop.C2SKey, hop.C2SIV, hop.C2SSeq)
+	if err != nil {
+		return err
+	}
+	readCS, err := tls12.NewCipherState(hop.Suite, hop.S2CKey, hop.S2CIV, hop.S2CSeq)
+	if err != nil {
+		return err
+	}
+	pconn.InstallDataCiphers(readCS, writeCS)
+	return nil
+}
+
+// distributeClientKeys generates the client-side per-hop keys, sends
+// each middlebox its MBTLSKeyMaterial over the secondary session, and
+// installs the client's own adjacent-hop ciphers (paper Figure 4).
+func distributeClientKeys(pconn *tls12.Conn, secs []secondaryResult) error {
+	if len(secs) == 0 {
+		return nil // endpoint keeps the primary session keys
+	}
+	sk, err := pconn.ExportSessionKeys()
+	if err != nil {
+		return err
+	}
+	suite := sk.Suite
+	hops := make([]*HopKeys, len(secs)+1)
+	for i := 0; i < len(secs); i++ {
+		if hops[i], err = GenerateHopKeys(suite); err != nil {
+			return err
+		}
+	}
+	hops[len(secs)] = BridgeHopKeys(sk)
+
+	for i, r := range secs {
+		km := &KeyMaterial{Version: tls12.VersionTLS12, Down: *hops[i], Up: *hops[i+1]}
+		if err := r.conn.WriteKeyMaterial(km.marshal()); err != nil {
+			return fmt.Errorf("core: key distribution to %q: %w", r.summary.Name, err)
+		}
+	}
+
+	// The client's own data plane now speaks the first hop's keys.
+	writeCS, err := tls12.NewCipherState(suite, hops[0].C2SKey, hops[0].C2SIV, hops[0].C2SSeq)
+	if err != nil {
+		return err
+	}
+	readCS, err := tls12.NewCipherState(suite, hops[0].S2CKey, hops[0].S2CIV, hops[0].S2CSeq)
+	if err != nil {
+		return err
+	}
+	pconn.InstallDataCiphers(readCS, writeCS)
+	return nil
+}

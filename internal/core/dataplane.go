@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/enclave"
+	"repro/internal/tls12"
+)
+
+// maxRecordPlaintext mirrors the TLS fragment limit for resealed
+// records.
+const maxRecordPlaintext = 16384
+
+// dataPlaneHandler is a middlebox's per-session data plane: it opens a
+// protected record arriving on one hop, optionally transforms
+// application data, and reseals for the next hop (paper Figure 4).
+type dataPlaneHandler interface {
+	handleRecord(dir Direction, rec tls12.RawRecord) ([]tls12.RawRecord, error)
+}
+
+// dataPlane is the host-memory implementation.
+type dataPlane struct {
+	// Opening states for inbound records and sealing states for
+	// outbound records, per direction. For a middlebox, client→server
+	// records are opened with the downstream (client-side) hop key and
+	// sealed with the upstream hop key.
+	openC2S *tls12.CipherState
+	sealC2S *tls12.CipherState
+	openS2C *tls12.CipherState
+	sealS2C *tls12.CipherState
+
+	proc Processor
+}
+
+// newDataPlane wires a middlebox data plane from received key material.
+func newDataPlane(km *KeyMaterial, proc Processor) (*dataPlane, error) {
+	downC2S, downS2C, err := km.Down.cipherStates()
+	if err != nil {
+		return nil, err
+	}
+	upC2S, upS2C, err := km.Up.cipherStates()
+	if err != nil {
+		return nil, err
+	}
+	return &dataPlane{
+		openC2S: downC2S,
+		sealC2S: upC2S,
+		openS2C: upS2C,
+		sealS2C: downS2C,
+		proc:    proc,
+	}, nil
+}
+
+// handleRecord implements dataPlaneHandler. A MAC failure is fatal for
+// the session: per-hop keys are what enforce path integrity (P4), so a
+// record arriving under the wrong key must kill the connection, not be
+// forwarded.
+func (dp *dataPlane) handleRecord(dir Direction, rec tls12.RawRecord) ([]tls12.RawRecord, error) {
+	openCS, sealCS := dp.openC2S, dp.sealC2S
+	if dir == DirServerToClient {
+		openCS, sealCS = dp.openS2C, dp.sealS2C
+	}
+	plaintext, err := openCS.Open(rec.Type, rec.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("core: hop MAC check failed (%s, %s): %w", dir, rec.Type, err)
+	}
+	out := plaintext
+	if rec.Type == tls12.TypeApplicationData && dp.proc != nil {
+		out, err = dp.proc.Process(dir, plaintext)
+		if err != nil {
+			return nil, fmt.Errorf("core: middlebox processor: %w", err)
+		}
+	}
+	var recs []tls12.RawRecord
+	if rec.Type != tls12.TypeApplicationData {
+		// Non-data records (alerts) are resealed verbatim, even when
+		// empty.
+		return []tls12.RawRecord{{Type: rec.Type, Payload: sealCS.Seal(rec.Type, out)}}, nil
+	}
+	for len(out) > 0 {
+		frag := out
+		if len(frag) > maxRecordPlaintext {
+			frag = frag[:maxRecordPlaintext]
+		}
+		out = out[len(frag):]
+		recs = append(recs, tls12.RawRecord{Type: rec.Type, Payload: sealCS.Seal(rec.Type, frag)})
+	}
+	return recs, nil
+}
+
+// enclaveDataPlane keeps the cipher states and processor inside an SGX
+// enclave; every record crossing the middlebox enters and leaves the
+// enclave (the workload measured by the paper's Figure 7). Each
+// session's plane lives under its own enclave-memory key, since one
+// enclave serves every session of the middlebox concurrently.
+type enclaveDataPlane struct {
+	e   *enclave.Enclave
+	key string
+}
+
+// dpCounter disambiguates concurrent sessions' data planes within one
+// enclave.
+var dpCounter atomic.Uint64
+
+// installEnclaveDataPlane constructs the data plane inside the enclave.
+func installEnclaveDataPlane(e *enclave.Enclave, km *KeyMaterial, proc Processor) (*enclaveDataPlane, error) {
+	dp, err := newDataPlane(km, proc)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("mbtls:dataplane:%d", dpCounter.Add(1))
+	e.Enter(func(mem enclave.Memory) {
+		mem.Put(key, dp)
+	})
+	return &enclaveDataPlane{e: e, key: key}, nil
+}
+
+// handleRecord implements dataPlaneHandler via an ecall. The cipher
+// states advance per record, so each direction must be driven by one
+// goroutine — which the relay guarantees.
+func (edp *enclaveDataPlane) handleRecord(dir Direction, rec tls12.RawRecord) (recs []tls12.RawRecord, err error) {
+	edp.e.Enter(func(mem enclave.Memory) {
+		dp, ok := mem.Get(edp.key).(*dataPlane)
+		if !ok {
+			err = fmt.Errorf("core: enclave data plane missing")
+			return
+		}
+		recs, err = dp.handleRecord(dir, rec)
+	})
+	return recs, err
+}

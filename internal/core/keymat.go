@@ -1,0 +1,152 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/tls12"
+	"repro/internal/wire"
+)
+
+// Direction identifies a data-plane flow direction.
+type Direction uint8
+
+// Data-plane directions.
+const (
+	DirClientToServer Direction = iota
+	DirServerToClient
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == DirClientToServer {
+		return "client→server"
+	}
+	return "server→client"
+}
+
+// HopKeys is the record-protection material for one hop of an mbTLS
+// session (paper Figure 4: each hop encrypts and MAC-protects data with
+// a different key). Each direction has its own key and implicit IV,
+// plus a starting sequence number — fresh hops start at zero, while the
+// bridge hop K(C-S) continues the primary session's sequence numbers,
+// which is why MBTLSKeyMaterial carries them (Appendix A.1).
+type HopKeys struct {
+	Suite  uint16
+	C2SKey []byte
+	C2SIV  []byte
+	C2SSeq uint64
+	S2CKey []byte
+	S2CIV  []byte
+	S2CSeq uint64
+}
+
+// GenerateHopKeys creates fresh random keys for one hop.
+func GenerateHopKeys(suite uint16) (*HopKeys, error) {
+	keyLen := 32
+	if suite == tls12.TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256 {
+		keyLen = 16
+	} else if suite != tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384 {
+		return nil, fmt.Errorf("core: unsupported cipher suite 0x%04X", suite)
+	}
+	hk := &HopKeys{
+		Suite:  suite,
+		C2SKey: make([]byte, keyLen),
+		C2SIV:  make([]byte, 4),
+		S2CKey: make([]byte, keyLen),
+		S2CIV:  make([]byte, 4),
+	}
+	for _, b := range [][]byte{hk.C2SKey, hk.C2SIV, hk.S2CKey, hk.S2CIV} {
+		if _, err := io.ReadFull(rand.Reader, b); err != nil {
+			return nil, err
+		}
+	}
+	return hk, nil
+}
+
+// BridgeHopKeys converts the primary session's exported keys into the
+// bridge hop K(C-S), preserving the in-progress sequence numbers.
+func BridgeHopKeys(sk *tls12.SessionKeys) *HopKeys {
+	return &HopKeys{
+		Suite:  sk.Suite,
+		C2SKey: sk.ClientWriteKey,
+		C2SIV:  sk.ClientWriteIV,
+		C2SSeq: sk.ClientSeq,
+		S2CKey: sk.ServerWriteKey,
+		S2CIV:  sk.ServerWriteIV,
+		S2CSeq: sk.ServerSeq,
+	}
+}
+
+// cipherStates builds the two CipherStates for this hop.
+func (hk *HopKeys) cipherStates() (c2s, s2c *tls12.CipherState, err error) {
+	c2s, err = tls12.NewCipherState(hk.Suite, hk.C2SKey, hk.C2SIV, hk.C2SSeq)
+	if err != nil {
+		return nil, nil, err
+	}
+	s2c, err = tls12.NewCipherState(hk.Suite, hk.S2CKey, hk.S2CIV, hk.S2CSeq)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c2s, s2c, nil
+}
+
+// KeyMaterial is the payload of an MBTLSKeyMaterial record (Appendix
+// A.1): everything a middlebox needs to join the data plane. Down is
+// the hop toward the client, Up the hop toward the server; the four
+// key/IV pairs correspond to the paper's clientWrite/clientRead/
+// serverWrite/serverRead fields, and the sequence numbers let the
+// bridge hop continue the primary session's counters.
+type KeyMaterial struct {
+	Version uint16
+	Down    HopKeys
+	Up      HopKeys
+}
+
+func (km *KeyMaterial) marshal() []byte {
+	b := wire.NewBuilder(nil)
+	b.AddUint16(km.Version)
+	b.AddUint16(km.Down.Suite)
+	b.AddUint32(uint32(len(km.Down.C2SKey)))
+	b.AddUint32(uint32(len(km.Down.C2SIV)))
+	for _, hop := range []*HopKeys{&km.Down, &km.Up} {
+		b.AddBytes(hop.C2SKey)
+		b.AddBytes(hop.C2SIV)
+		b.AddUint64(hop.C2SSeq)
+		b.AddBytes(hop.S2CKey)
+		b.AddBytes(hop.S2CIV)
+		b.AddUint64(hop.S2CSeq)
+	}
+	return b.Bytes()
+}
+
+func parseKeyMaterial(data []byte) (*KeyMaterial, error) {
+	p := wire.NewParser(data)
+	var km KeyMaterial
+	var keyLen, ivLen uint32
+	var suite uint16
+	if !p.ReadUint16(&km.Version) || !p.ReadUint16(&suite) ||
+		!p.ReadUint32(&keyLen) || !p.ReadUint32(&ivLen) {
+		return nil, errors.New("core: malformed key material")
+	}
+	if keyLen > 64 || ivLen > 16 {
+		return nil, errors.New("core: implausible key material geometry")
+	}
+	for _, hop := range []*HopKeys{&km.Down, &km.Up} {
+		hop.Suite = suite
+		hop.C2SKey = make([]byte, keyLen)
+		hop.C2SIV = make([]byte, ivLen)
+		hop.S2CKey = make([]byte, keyLen)
+		hop.S2CIV = make([]byte, ivLen)
+		if !p.CopyBytes(hop.C2SKey) || !p.CopyBytes(hop.C2SIV) || !p.ReadUint64(&hop.C2SSeq) ||
+			!p.CopyBytes(hop.S2CKey) || !p.CopyBytes(hop.S2CIV) || !p.ReadUint64(&hop.S2CSeq) {
+			return nil, errors.New("core: malformed key material")
+		}
+	}
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+	return &km, nil
+}

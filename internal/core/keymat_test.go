@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tls12"
+)
+
+func TestKeyMaterialRoundTrip(t *testing.T) {
+	down, err := GenerateHopKeys(tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := GenerateHopKeys(tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up.C2SSeq, up.S2CSeq = 17, 23 // bridge hop continues counters
+	km := &KeyMaterial{Version: tls12.VersionTLS12, Down: *down, Up: *up}
+
+	got, err := parseKeyMaterial(km.marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != tls12.VersionTLS12 {
+		t.Fatal("version corrupted")
+	}
+	for _, pair := range []struct {
+		name string
+		a, b *HopKeys
+	}{{"down", &km.Down, &got.Down}, {"up", &km.Up, &got.Up}} {
+		if !bytes.Equal(pair.a.C2SKey, pair.b.C2SKey) || !bytes.Equal(pair.a.S2CKey, pair.b.S2CKey) ||
+			!bytes.Equal(pair.a.C2SIV, pair.b.C2SIV) || !bytes.Equal(pair.a.S2CIV, pair.b.S2CIV) {
+			t.Fatalf("%s hop keys corrupted", pair.name)
+		}
+		if pair.a.C2SSeq != pair.b.C2SSeq || pair.a.S2CSeq != pair.b.S2CSeq {
+			t.Fatalf("%s hop sequence numbers corrupted", pair.name)
+		}
+		if pair.a.Suite != pair.b.Suite {
+			t.Fatalf("%s suite corrupted", pair.name)
+		}
+	}
+}
+
+// TestPropertyKeyMaterialRoundTrip fuzzes sequence numbers and key
+// bytes through the codec.
+func TestPropertyKeyMaterialRoundTrip(t *testing.T) {
+	f := func(k1, k2, k3, k4 [32]byte, iv [4]byte, s1, s2, s3, s4 uint64) bool {
+		km := &KeyMaterial{
+			Version: tls12.VersionTLS12,
+			Down: HopKeys{
+				Suite:  tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384,
+				C2SKey: k1[:], C2SIV: iv[:], C2SSeq: s1,
+				S2CKey: k2[:], S2CIV: iv[:], S2CSeq: s2,
+			},
+			Up: HopKeys{
+				Suite:  tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384,
+				C2SKey: k3[:], C2SIV: iv[:], C2SSeq: s3,
+				S2CKey: k4[:], S2CIV: iv[:], S2CSeq: s4,
+			},
+		}
+		got, err := parseKeyMaterial(km.marshal())
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Down.C2SKey, k1[:]) && bytes.Equal(got.Down.S2CKey, k2[:]) &&
+			bytes.Equal(got.Up.C2SKey, k3[:]) && bytes.Equal(got.Up.S2CKey, k4[:]) &&
+			got.Down.C2SSeq == s1 && got.Down.S2CSeq == s2 &&
+			got.Up.C2SSeq == s3 && got.Up.S2CSeq == s4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseKeyMaterialMalformed(t *testing.T) {
+	down, _ := GenerateHopKeys(tls12.TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256)
+	up, _ := GenerateHopKeys(tls12.TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256)
+	km := &KeyMaterial{Version: tls12.VersionTLS12, Down: *down, Up: *up}
+	full := km.marshal()
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := parseKeyMaterial(full[:cut]); err == nil {
+			t.Fatalf("truncated key material (%d bytes) parsed", cut)
+		}
+	}
+	// Trailing garbage rejected.
+	if _, err := parseKeyMaterial(append(full, 0xFF)); err == nil {
+		t.Fatal("key material with trailing bytes parsed")
+	}
+	// Implausible geometry rejected.
+	bogus := append([]byte(nil), full...)
+	bogus[4] = 0xFF // key_len high byte
+	if _, err := parseKeyMaterial(bogus[:16]); err == nil {
+		t.Fatal("implausible key length accepted")
+	}
+}
+
+func TestGenerateHopKeysUnique(t *testing.T) {
+	a, err := GenerateHopKeys(tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateHopKeys(tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.C2SKey, b.C2SKey) || bytes.Equal(a.S2CKey, b.S2CKey) {
+		t.Fatal("hop keys repeat across generations")
+	}
+	if bytes.Equal(a.C2SKey, a.S2CKey) {
+		t.Fatal("directions share a key within one hop")
+	}
+	if a.C2SSeq != 0 || a.S2CSeq != 0 {
+		t.Fatal("fresh hops must start at sequence zero")
+	}
+}
+
+func TestGenerateHopKeysSuiteGeometry(t *testing.T) {
+	k128, err := GenerateHopKeys(tls12.TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k128.C2SKey) != 16 {
+		t.Fatalf("AES-128 key length = %d", len(k128.C2SKey))
+	}
+	k256, err := GenerateHopKeys(tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k256.C2SKey) != 32 {
+		t.Fatalf("AES-256 key length = %d", len(k256.C2SKey))
+	}
+	if _, err := GenerateHopKeys(0x1234); err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+}
+
+func TestBridgeHopKeysPreservesSequences(t *testing.T) {
+	sk := &tls12.SessionKeys{
+		Suite:          tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384,
+		ClientWriteKey: bytes.Repeat([]byte{1}, 32),
+		ClientWriteIV:  bytes.Repeat([]byte{2}, 4),
+		ServerWriteKey: bytes.Repeat([]byte{3}, 32),
+		ServerWriteIV:  bytes.Repeat([]byte{4}, 4),
+		ClientSeq:      1,
+		ServerSeq:      1,
+	}
+	hk := BridgeHopKeys(sk)
+	if hk.C2SSeq != 1 || hk.S2CSeq != 1 {
+		t.Fatal("bridge hop lost the primary session's sequence numbers")
+	}
+	if !bytes.Equal(hk.C2SKey, sk.ClientWriteKey) || !bytes.Equal(hk.S2CKey, sk.ServerWriteKey) {
+		t.Fatal("bridge hop keys do not match the session keys")
+	}
+}

@@ -1,0 +1,917 @@
+package core
+
+import (
+	"bytes"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/enclave"
+	"repro/internal/timing"
+	"repro/internal/tls12"
+)
+
+// Mode selects which endpoint a middlebox belongs to.
+type Mode int
+
+// Middlebox modes (paper §3.4): client-side middleboxes join when they
+// see a MiddleboxSupport extension in a passing ClientHello;
+// server-side middleboxes optimistically announce themselves toward the
+// server.
+const (
+	ClientSide Mode = iota
+	ServerSide
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ClientSide {
+		return "client-side"
+	}
+	return "server-side"
+}
+
+// MiddleboxConfig configures a Middlebox.
+type MiddleboxConfig struct {
+	// Name is used in logs and defaults from the certificate CN.
+	Name string
+	// Mode selects client-side or server-side behavior.
+	Mode Mode
+	// Certificate authenticates the middlebox service provider (MSP)
+	// in secondary handshakes (property P3A). Required.
+	Certificate *tls12.Certificate
+	// CipherSuites restricts the secondary handshake's suites.
+	CipherSuites []uint16
+	// Enclave, when set, runs the middlebox's TLS termination and data
+	// plane inside a (simulated) SGX enclave: secondary sessions
+	// attest, and all key material lives in enclave memory, protected
+	// from the infrastructure provider (properties P1A/P2/P3B).
+	Enclave *enclave.Enclave
+	// NewProcessor builds the per-session application-data transformer.
+	// Nil forwards data unchanged.
+	NewProcessor func() Processor
+	// DataPlaneTimeout bounds how long application data arriving
+	// before the key material is held (the False-Start-like scenario
+	// of §3.5). Defaults to 30 seconds.
+	DataPlaneTimeout time.Duration
+	// Stopwatch, when set, accumulates the middlebox's handshake
+	// compute time (Figure 5: an mbTLS middlebox performs one TLS
+	// handshake where split TLS performs two).
+	Stopwatch *timing.Stopwatch
+	// NeighborRoots, when set, verifies the upstream neighbor's
+	// certificate during neighbor-keys hop handshakes (§4.2 mode).
+	// Nil skips chain verification on that hop, leaning on the
+	// endpoint-side approval that already authenticated the path.
+	NeighborRoots *x509.CertPool
+}
+
+// MiddleboxStats are cumulative data-plane counters.
+type MiddleboxStats struct {
+	Sessions        int64 // connections handled
+	MbTLSSessions   int64 // of which joined as an mbTLS middlebox
+	RecordsRelayed  int64 // records forwarded verbatim
+	RecordsRekeyed  int64 // records opened and resealed on the data plane
+	BytesProcessed  int64 // plaintext bytes through the Processor
+	AnnounceSkipped int64 // announcements suppressed by the negative cache
+}
+
+// Middlebox is an mbTLS application-layer middlebox: it relays a TCP
+// connection hop, joins mbTLS sessions via discovery, and processes
+// application data under per-hop keys.
+type Middlebox struct {
+	cfg   MiddleboxConfig
+	vault enclave.Vault
+
+	annMu    sync.Mutex
+	annCache map[string]bool // server address -> do not announce again
+
+	sessions       atomic.Int64
+	mbtlsSessions  atomic.Int64
+	recordsRelayed atomic.Int64
+	recordsRekeyed atomic.Int64
+	bytesProcessed atomic.Int64
+	annSkipped     atomic.Int64
+}
+
+// NewMiddlebox builds a middlebox. Key material is stored in an
+// EnclaveVault when cfg.Enclave is set, otherwise in host memory — the
+// distinction the adversary harness probes (threat model §3.1).
+func NewMiddlebox(cfg MiddleboxConfig) (*Middlebox, error) {
+	if cfg.Certificate == nil {
+		return nil, errors.New("core: middlebox requires a certificate")
+	}
+	if cfg.Name == "" && cfg.Certificate.Leaf != nil {
+		cfg.Name = cfg.Certificate.Leaf.Subject.CommonName
+	}
+	if cfg.DataPlaneTimeout == 0 {
+		cfg.DataPlaneTimeout = 30 * time.Second
+	}
+	mb := &Middlebox{cfg: cfg, annCache: make(map[string]bool)}
+	if cfg.Enclave != nil {
+		mb.vault = enclave.NewEnclaveVault(cfg.Enclave)
+	} else {
+		mb.vault = enclave.NewHostVault()
+	}
+	return mb, nil
+}
+
+// Vault exposes where this middlebox keeps session secrets, for the
+// adversary harness.
+func (mb *Middlebox) Vault() enclave.Vault { return mb.vault }
+
+// Name returns the middlebox name.
+func (mb *Middlebox) Name() string { return mb.cfg.Name }
+
+// Stats snapshots the cumulative counters.
+func (mb *Middlebox) Stats() MiddleboxStats {
+	return MiddleboxStats{
+		Sessions:        mb.sessions.Load(),
+		MbTLSSessions:   mb.mbtlsSessions.Load(),
+		RecordsRelayed:  mb.recordsRelayed.Load(),
+		RecordsRekeyed:  mb.recordsRekeyed.Load(),
+		BytesProcessed:  mb.bytesProcessed.Load(),
+		AnnounceSkipped: mb.annSkipped.Load(),
+	}
+}
+
+// shouldAnnounce consults the negative cache (paper §3.4: a middlebox
+// whose announcement a server ignored or rejected "will cache this
+// information and not announce itself to this server again").
+func (mb *Middlebox) shouldAnnounce(serverAddr string) bool {
+	mb.annMu.Lock()
+	defer mb.annMu.Unlock()
+	if mb.annCache[serverAddr] {
+		mb.annSkipped.Add(1)
+		return false
+	}
+	return true
+}
+
+func (mb *Middlebox) markNoAnnounce(serverAddr string) {
+	mb.annMu.Lock()
+	mb.annCache[serverAddr] = true
+	mb.annMu.Unlock()
+}
+
+// Serve accepts connections and relays each toward the next hop
+// returned by dial. It returns the first Accept error.
+func (mb *Middlebox) Serve(ln net.Listener, dial func() (net.Conn, error)) error {
+	for {
+		down, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			up, err := dial()
+			if err != nil {
+				down.Close()
+				return
+			}
+			_ = mb.Handle(down, up)
+		}()
+	}
+}
+
+// Handle relays one connection pair until either side closes. down
+// faces the client, up faces the server.
+func (mb *Middlebox) Handle(down, up net.Conn) error {
+	mb.sessions.Add(1)
+	s := &mbSession{mb: mb, down: down, downR: down, up: up}
+	s.dpCond = sync.NewCond(&s.dpMu)
+	return s.run()
+}
+
+// mbSession is the per-connection relay state.
+type mbSession struct {
+	mb   *Middlebox
+	down net.Conn
+	// downR is the downstream read side: s.down, possibly preceded by
+	// bytes already consumed while sniffing the ClientHello.
+	downR io.Reader
+	up    net.Conn
+
+	downW sync.Mutex
+	upW   sync.Mutex
+
+	mbtls    bool
+	joinMu   sync.Mutex
+	assigned bool
+	mySub    uint8
+	// maxSubS2C tracks subchannel IDs seen in the server→client
+	// direction before this middlebox assigns its own (paper §3.4:
+	// "assign themselves the next available subchannel ID").
+	maxSubS2C int
+
+	secPipe    *pipeBuf
+	secGotData atomic.Bool
+	// degraded marks a server-side session continuing transparently
+	// after a legacy server ignored our announcement.
+	degraded atomic.Bool
+
+	// neighborMode and its hop-handshake pipes (§4.2 neighbor-keys):
+	// subchannel-0 traffic from downstream feeds downNPipe (we play
+	// the server role there); from upstream, upNPipe (client role).
+	neighborMode bool
+	downNPipe    *pipeBuf
+	upNPipe      *pipeBuf
+
+	helloRaw []byte
+
+	dpMu   sync.Mutex
+	dpCond *sync.Cond
+	dp     dataPlaneHandler
+	dpErr  error
+
+	closeOnce sync.Once
+}
+
+func (s *mbSession) closeAll() {
+	s.closeOnce.Do(func() {
+		s.down.Close()
+		s.up.Close()
+		if s.secPipe != nil {
+			s.secPipe.fail(io.ErrClosedPipe)
+		}
+		if s.downNPipe != nil {
+			s.downNPipe.fail(io.ErrClosedPipe)
+		}
+		if s.upNPipe != nil {
+			s.upNPipe.fail(io.ErrClosedPipe)
+		}
+		s.dpMu.Lock()
+		if s.dp == nil && s.dpErr == nil {
+			s.dpErr = io.ErrClosedPipe
+		}
+		s.dpCond.Broadcast()
+		s.dpMu.Unlock()
+	})
+}
+
+// writeRecord serializes and writes a raw record to one side.
+func (s *mbSession) writeRecord(conn net.Conn, mu *sync.Mutex, rec tls12.RawRecord) error {
+	mu.Lock()
+	defer mu.Unlock()
+	_, err := conn.Write(rec.Marshal())
+	return err
+}
+
+// forward relays a record unchanged in the given direction.
+func (s *mbSession) forward(dir Direction, rec tls12.RawRecord) error {
+	s.mb.recordsRelayed.Add(1)
+	if dir == DirClientToServer {
+		return s.writeRecord(s.up, &s.upW, rec)
+	}
+	return s.writeRecord(s.down, &s.downW, rec)
+}
+
+// writeEncapsulated wraps an inner record for our subchannel toward the
+// given side.
+func (s *mbSession) writeEncapsulated(conn net.Conn, mu *sync.Mutex, inner []byte) error {
+	return s.writeEncapsulatedSub(conn, mu, s.mySub, inner)
+}
+
+// writeEncapsulatedSub wraps an inner record for an explicit subchannel.
+func (s *mbSession) writeEncapsulatedSub(conn net.Conn, mu *sync.Mutex, sub uint8, inner []byte) error {
+	payload := make([]byte, 1+len(inner))
+	payload[0] = sub
+	copy(payload[1:], inner)
+	return s.writeRecord(conn, mu, tls12.RawRecord{Type: tls12.TypeEncapsulated, Payload: payload})
+}
+
+// run drives the session: sniff the ClientHello, decide how to
+// participate, then relay.
+func (s *mbSession) run() error {
+	defer s.closeAll()
+
+	raw, buffered, helloRaw, maxSubC2S, err := s.collectClientHello()
+	if err != nil {
+		// The client went away (or sent garbage then closed) before a
+		// decision; flush what we saw and relay whatever remains.
+		if len(raw) > 0 {
+			return s.transparentRaw(raw)
+		}
+		return err
+	}
+	if helloRaw == nil {
+		// Not TLS at all: a middlebox must not break unrelated
+		// traffic — relay bytes transparently.
+		return s.transparentRaw(raw)
+	}
+	s.helloRaw = helloRaw
+	hello, _ := tls12.ParseClientHello(helloRaw)
+
+	switch s.mb.cfg.Mode {
+	case ClientSide:
+		// Join only if the client advertises mbTLS support; otherwise
+		// be a transparent relay (paper §3.4: middleboxes
+		// "optimistically split the TCP connection and, upon seeing
+		// the extension, join the handshake").
+		if hello == nil || hello.MiddleboxSupport == nil {
+			return s.transparent(buffered)
+		}
+		s.mbtls = true
+		s.neighborMode = hello.MiddleboxSupport.NeighborKeys
+		if s.neighborMode {
+			s.downNPipe = newPipeBuf(func(b []byte) error {
+				return s.writeEncapsulatedSub(s.down, &s.downW, neighborSubchannel, b)
+			})
+			s.upNPipe = newPipeBuf(func(b []byte) error {
+				return s.writeEncapsulatedSub(s.up, &s.upW, neighborSubchannel, b)
+			})
+		}
+		s.mb.mbtlsSessions.Add(1)
+		for _, rec := range buffered {
+			if err := s.forward(DirClientToServer, rec); err != nil {
+				return err
+			}
+		}
+		// The secondary handshake starts when the primary ServerHello
+		// passes through (see relay, server→client handshake case).
+
+	case ServerSide:
+		serverAddr := s.up.RemoteAddr().String()
+		if hello == nil || !s.mb.shouldAnnounce(serverAddr) {
+			return s.transparent(buffered)
+		}
+		if hello.MiddleboxSupport != nil && hello.MiddleboxSupport.NeighborKeys {
+			// Server-side middleboxes are out of scope for the
+			// neighbor-keys mode; stay transparent rather than break
+			// the session.
+			return s.transparent(buffered)
+		}
+		s.mbtls = true
+		s.mb.mbtlsSessions.Add(1)
+		// Self-assign the next subchannel ID after those used by
+		// middleboxes closer to the client, whose announcements
+		// precede the ClientHello.
+		s.joinMu.Lock()
+		s.mySub = uint8(maxSubC2S + 1)
+		s.assigned = true
+		s.joinMu.Unlock()
+		s.secPipe = newPipeBuf(func(b []byte) error {
+			return s.writeEncapsulated(s.up, &s.upW, b)
+		})
+		// Forward the buffer, injecting our announcement ahead of the
+		// ClientHello so middleboxes closer to the server count us
+		// before they self-assign.
+		announced := false
+		for _, rec := range buffered {
+			if rec.Type == tls12.TypeHandshake && !announced {
+				announced = true
+				ann := tls12.RawRecord{Type: tls12.TypeMiddleboxAnnouncement, Payload: nil}
+				if err := s.writeEncapsulated(s.up, &s.upW, ann.Marshal()); err != nil {
+					return err
+				}
+			}
+			if err := s.forward(DirClientToServer, rec); err != nil {
+				return err
+			}
+		}
+		go s.runSecondary(serverAddr)
+	}
+
+	errc := make(chan error, 2)
+	go func() { errc <- s.relay(DirClientToServer) }()
+	go func() { errc <- s.relay(DirServerToClient) }()
+	err = <-errc
+	s.closeAll()
+	<-errc
+	if err == io.EOF || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+// plausibleRecordHeader reports whether a 5-byte prefix looks like a
+// TLS(-or-mbTLS) record header. Middleboxes use it to distinguish TLS
+// streams (which they may join) from unrelated traffic (which they
+// must relay untouched).
+func plausibleRecordHeader(typ uint8, version uint16, length int) bool {
+	if typ < 20 || typ > 32 {
+		return false
+	}
+	if version < 0x0301 || version > 0x0304 {
+		return false
+	}
+	return length <= 16384+2048
+}
+
+// collectClientHello reads bytes from the client side until either a
+// complete ClientHello message is parsed (helloRaw non-nil), or the
+// stream is determined not to be TLS (helloRaw nil, err nil). raw is
+// everything read so far; buffered the records parsed from it.
+// Encapsulated records (announcements from middleboxes closer to the
+// client, in server-side mode) are counted for subchannel assignment.
+// On success, unconsumed bytes beyond the last parsed record are
+// re-attached to the downstream reader.
+func (s *mbSession) collectClientHello() (raw []byte, buffered []tls12.RawRecord, helloRaw []byte, maxSub int, err error) {
+	var hsBuf []byte
+	offset := 0
+	buf := make([]byte, 4096)
+	for {
+		// Parse as many complete records as the buffer holds.
+		for len(raw)-offset >= recordHeaderLen {
+			typ := raw[offset]
+			version := uint16(raw[offset+1])<<8 | uint16(raw[offset+2])
+			length := int(raw[offset+3])<<8 | int(raw[offset+4])
+			if !plausibleRecordHeader(typ, version, length) {
+				return raw, nil, nil, 0, nil // not TLS
+			}
+			if len(raw)-offset < recordHeaderLen+length {
+				break // incomplete record
+			}
+			payload := raw[offset+recordHeaderLen : offset+recordHeaderLen+length]
+			offset += recordHeaderLen + length
+			rec := tls12.RawRecord{Type: tls12.ContentType(typ), Payload: payload}
+			buffered = append(buffered, rec)
+			switch rec.Type {
+			case tls12.TypeEncapsulated:
+				if len(payload) >= 1 && int(payload[0]) > maxSub {
+					maxSub = int(payload[0])
+				}
+			case tls12.TypeHandshake:
+				hsBuf = append(hsBuf, payload...)
+				if len(hsBuf) >= 4 {
+					n := int(hsBuf[1])<<16 | int(hsBuf[2])<<8 | int(hsBuf[3])
+					if len(hsBuf) >= 4+n {
+						// Leftover bytes belong to the relay phase.
+						s.setDownLeftover(raw[offset:])
+						return raw, buffered, hsBuf[:4+n], maxSub, nil
+					}
+				}
+			default:
+				// TLS framing but not a handshake opening; treat as
+				// opaque traffic.
+				return raw, nil, nil, maxSub, nil
+			}
+		}
+		n, rerr := s.down.Read(buf)
+		if n > 0 {
+			raw = append(raw, buf[:n]...)
+		}
+		if rerr != nil {
+			return raw, nil, nil, maxSub, rerr
+		}
+	}
+}
+
+// recordHeaderLen mirrors the TLS record header size.
+const recordHeaderLen = 5
+
+// setDownLeftover prepends already-read bytes to the downstream
+// record stream.
+func (s *mbSession) setDownLeftover(leftover []byte) {
+	if len(leftover) == 0 {
+		s.downR = s.down
+		return
+	}
+	s.downR = io.MultiReader(bytes.NewReader(append([]byte(nil), leftover...)), s.down)
+}
+
+// transparentRaw splices the two sides at byte level after flushing
+// already-read bytes (non-TLS traffic, legacy clients, or servers on
+// the announcement negative-cache).
+func (s *mbSession) transparentRaw(initial []byte) error {
+	if len(initial) > 0 {
+		s.upW.Lock()
+		_, err := s.up.Write(initial)
+		s.upW.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	errc := make(chan error, 2)
+	go func() { errc <- s.spliceOneWay(s.up, s.downR) }()
+	go func() { errc <- s.spliceOneWay(s.down, s.up) }()
+	err := <-errc
+	s.closeAll()
+	<-errc
+	if err == io.EOF {
+		return nil
+	}
+	return err
+}
+
+// transparent splices the two sides without interpreting records
+// (legacy traffic, or a server on the announcement negative-cache).
+func (s *mbSession) transparent(buffered []tls12.RawRecord) error {
+	for _, rec := range buffered {
+		if err := s.forward(DirClientToServer, rec); err != nil {
+			return err
+		}
+	}
+	errc := make(chan error, 2)
+	go func() { errc <- s.spliceOneWay(s.up, s.downR) }()
+	go func() { errc <- s.spliceOneWay(s.down, s.up) }()
+	err := <-errc
+	s.closeAll()
+	<-errc
+	return err
+}
+
+// spliceOneWay copies bytes src→dst. When the middlebox application
+// lives in an enclave, every chunk still traverses it — the paper's
+// forwarding-only enclave configuration (Figure 7, "No Encryption +
+// Enclave"): the application receives and sends from inside the
+// enclave even when it performs no cryptography.
+func (s *mbSession) spliceOneWay(dst net.Conn, src io.Reader) error {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if e := s.mb.cfg.Enclave; e != nil {
+				var inEnclave []byte
+				e.Enter(func(enclave.Memory) {
+					inEnclave = append(inEnclave[:0], chunk...)
+				})
+				chunk = inEnclave
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return werr
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// relay pumps records in one direction, participating in the mbTLS
+// handshake and data plane as required.
+func (s *mbSession) relay(dir Direction) error {
+	src := s.downR
+	if dir == DirServerToClient {
+		src = io.Reader(s.up)
+	}
+	for {
+		rec, err := tls12.ReadRawRecord(src)
+		if err != nil {
+			return err
+		}
+		if err := s.handleRecord(dir, rec); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *mbSession) handleRecord(dir Direction, rec tls12.RawRecord) error {
+	switch rec.Type {
+	case tls12.TypeEncapsulated:
+		if len(rec.Payload) < 1 {
+			return errors.New("core: empty Encapsulated record")
+		}
+		sub := rec.Payload[0]
+		if sub == neighborSubchannel && s.neighborMode {
+			// Hop-local neighbor handshake traffic: consumed here,
+			// never forwarded (each hop has its own subchannel 0).
+			if dir == DirClientToServer {
+				s.downNPipe.feed(rec.Payload[1:])
+			} else {
+				s.upNPipe.feed(rec.Payload[1:])
+			}
+			return nil
+		}
+		if s.isMine(dir, sub) {
+			s.secGotData.Store(true)
+			s.secPipe.feed(rec.Payload[1:])
+			return nil
+		}
+		if dir == DirServerToClient {
+			s.joinMu.Lock()
+			if int(sub) > s.maxSubS2C {
+				s.maxSubS2C = int(sub)
+			}
+			s.joinMu.Unlock()
+		}
+		return s.forward(dir, rec)
+
+	case tls12.TypeHandshake:
+		if dir == DirServerToClient && s.mb.cfg.Mode == ClientSide && s.mbtls {
+			if err := s.maybeJoinClientSide(); err != nil {
+				return err
+			}
+		}
+		return s.forward(dir, rec)
+
+	case tls12.TypeApplicationData:
+		if !s.mbtls || s.degraded.Load() {
+			return s.forward(dir, rec)
+		}
+		if s.mb.cfg.Mode == ServerSide && !s.secGotData.Load() && s.dataPlaneIfReady() == nil {
+			// Application data is flowing but the server never spoke
+			// on our subchannel: a lenient legacy server skipped the
+			// announcement and the handshake proceeded without us
+			// (paper §3.4). Degrade to a transparent relay and
+			// remember not to announce to this server again.
+			s.degraded.Store(true)
+			s.mb.markNoAnnounce(s.up.RemoteAddr().String())
+			return s.forward(dir, rec)
+		}
+		dp, err := s.waitDataPlane()
+		if err != nil {
+			return err
+		}
+		return s.processForward(dir, dp, rec)
+
+	case tls12.TypeAlert:
+		// Before per-hop keys exist, alerts travel end-to-end under
+		// the primary session (or in the clear) and are relayed;
+		// afterwards they are hop-protected and must be resealed.
+		if dp := s.dataPlaneIfReady(); dp != nil {
+			return s.processForward(dir, dp, rec)
+		}
+		if s.mb.cfg.Mode == ServerSide && s.mbtls && dir == DirServerToClient &&
+			!s.secGotData.Load() && len(rec.Payload) == 2 && rec.Payload[0] == 2 {
+			// A fatal alert from a server that never spoke on our
+			// subchannel: a strict legacy endpoint choked on the
+			// announcement. Cache before forwarding so a client retry
+			// observes the transparent behavior (paper §3.4).
+			s.mb.markNoAnnounce(s.up.RemoteAddr().String())
+		}
+		return s.forward(dir, rec)
+
+	default:
+		return s.forward(dir, rec)
+	}
+}
+
+// isMine reports whether an Encapsulated record on this direction
+// belongs to this middlebox's secondary session. Client-side
+// middleboxes converse with the client (records arrive client→server);
+// server-side middleboxes converse with the server.
+func (s *mbSession) isMine(dir Direction, sub uint8) bool {
+	s.joinMu.Lock()
+	defer s.joinMu.Unlock()
+	if !s.mbtls || !s.assigned || sub != s.mySub {
+		return false
+	}
+	if s.mb.cfg.Mode == ClientSide {
+		return dir == DirClientToServer
+	}
+	return dir == DirServerToClient
+}
+
+// maybeJoinClientSide self-assigns a subchannel and injects our
+// secondary ServerHello when the primary ServerHello first passes
+// (paper §3.4: buffer the ServerHello, take the next available
+// subchannel ID, inject, then forward).
+func (s *mbSession) maybeJoinClientSide() error {
+	s.joinMu.Lock()
+	if s.assigned {
+		s.joinMu.Unlock()
+		return nil
+	}
+	s.mySub = uint8(s.maxSubS2C + 1)
+	s.assigned = true
+	firstWrite := make(chan struct{})
+	s.secPipe = newPipeBuf(func(b []byte) error {
+		return s.writeEncapsulated(s.down, &s.downW, b)
+	})
+	s.secPipe.onFirstWrite = func() { close(firstWrite) }
+	s.joinMu.Unlock()
+
+	go s.runSecondary("")
+	if s.neighborMode {
+		go s.runNeighborHops()
+	}
+
+	// Hold the primary ServerHello until our secondary ServerHello is
+	// on the wire, so middleboxes closer to the client see our
+	// subchannel in use before they self-assign.
+	select {
+	case <-firstWrite:
+		return nil
+	case <-time.After(s.mb.cfg.DataPlaneTimeout):
+		return errors.New("core: secondary handshake failed to start")
+	}
+}
+
+// runSecondary performs the middlebox's secondary handshake (always in
+// the server role — against the client's reused primary ClientHello on
+// the client side, or against a fresh ClientHello from the server on
+// the server side), then receives key material and installs the data
+// plane.
+func (s *mbSession) runSecondary(serverAddr string) {
+	cfg := &tls12.Config{
+		Certificate:  s.mb.cfg.Certificate,
+		CipherSuites: s.mb.cfg.CipherSuites,
+		Stopwatch:    s.mb.cfg.Stopwatch,
+	}
+	if e := s.mb.cfg.Enclave; e != nil {
+		cfg.Quoter = func(reportData []byte) (quote []byte, err error) {
+			e.Enter(func(mem enclave.Memory) {
+				var q *enclave.Quote
+				q, err = mem.Quote(reportData)
+				if err == nil {
+					quote = q.Marshal()
+				}
+			})
+			return quote, err
+		}
+	}
+	rl := tls12.NewRecordLayer(s.secPipe)
+	var conn *tls12.Conn
+	if s.mb.cfg.Mode == ClientSide {
+		conn = tls12.ServerWithReceivedHello(rl, cfg, s.helloRaw)
+	} else {
+		conn = tls12.Server(rl, cfg)
+	}
+	if err := conn.Handshake(); err != nil {
+		if s.mb.cfg.Mode == ServerSide && !s.secGotData.Load() && serverAddr != "" {
+			// The server never spoke on our subchannel: it is a
+			// legacy endpoint that ignored (or choked on) the
+			// announcement. Remember not to announce again.
+			s.mb.markNoAnnounce(serverAddr)
+		}
+		s.setDataPlane(nil, fmt.Errorf("core: secondary handshake: %w", err))
+		return
+	}
+
+	// Retain the secondary session keys in the vault so the adversary
+	// harness can probe what a malicious infrastructure provider
+	// would find in host memory.
+	if sk, err := conn.ExportSessionKeys(); err == nil {
+		s.mb.vault.StoreSecret("secondary/client-write", sk.ClientWriteKey)
+		s.mb.vault.StoreSecret("secondary/server-write", sk.ServerWriteKey)
+	}
+
+	if s.neighborMode {
+		// Hop keys come from the neighbor handshakes, not from
+		// MBTLSKeyMaterial (§4.2 mode); the secondary session's job —
+		// identity, attestation, approval — is done.
+		return
+	}
+
+	kmBytes, err := conn.ReadKeyMaterial()
+	if err != nil {
+		s.setDataPlane(nil, fmt.Errorf("core: key material: %w", err))
+		return
+	}
+	km, err := parseKeyMaterial(kmBytes)
+	if err != nil {
+		s.setDataPlane(nil, err)
+		return
+	}
+	s.mb.vault.StoreSecret("hop/down-c2s", km.Down.C2SKey)
+	s.mb.vault.StoreSecret("hop/down-c2s-iv", km.Down.C2SIV)
+	s.mb.vault.StoreSecret("hop/down-s2c", km.Down.S2CKey)
+	s.mb.vault.StoreSecret("hop/down-s2c-iv", km.Down.S2CIV)
+	s.mb.vault.StoreSecret("hop/up-c2s", km.Up.C2SKey)
+	s.mb.vault.StoreSecret("hop/up-c2s-iv", km.Up.C2SIV)
+	s.mb.vault.StoreSecret("hop/up-s2c", km.Up.S2CKey)
+	s.mb.vault.StoreSecret("hop/up-s2c-iv", km.Up.S2CIV)
+
+	var proc Processor
+	if s.mb.cfg.NewProcessor != nil {
+		proc = s.mb.cfg.NewProcessor()
+	}
+	var dp dataPlaneHandler
+	if e := s.mb.cfg.Enclave; e != nil {
+		dp, err = installEnclaveDataPlane(e, km, proc)
+	} else {
+		dp, err = newDataPlane(km, proc)
+	}
+	s.setDataPlane(dp, err)
+}
+
+// runNeighborHops performs both hop handshakes of the neighbor-keys
+// mode — server role toward the downstream neighbor, client role
+// toward the upstream one — then installs the data plane from the two
+// hop sessions' keys.
+func (s *mbSession) runNeighborHops() {
+	downCfg := &tls12.Config{
+		Certificate:  s.mb.cfg.Certificate,
+		CipherSuites: s.mb.cfg.CipherSuites,
+		Stopwatch:    s.mb.cfg.Stopwatch,
+	}
+	upCfg := &tls12.Config{
+		CipherSuites: s.mb.cfg.CipherSuites,
+		Stopwatch:    s.mb.cfg.Stopwatch,
+	}
+	if s.mb.cfg.NeighborRoots != nil {
+		upCfg.RootCAs = s.mb.cfg.NeighborRoots
+	} else {
+		upCfg.InsecureSkipVerify = true
+	}
+
+	type res struct {
+		hop *HopKeys
+		err error
+	}
+	downCh := make(chan res, 1)
+	upCh := make(chan res, 1)
+	go func() {
+		hop, err := runNeighborServer(s.downNPipe, downCfg)
+		downCh <- res{hop, err}
+	}()
+	go func() {
+		hop, err := runNeighborClient(s.upNPipe, upCfg)
+		upCh <- res{hop, err}
+	}()
+	down, up := <-downCh, <-upCh
+	if down.err != nil {
+		s.setDataPlane(nil, down.err)
+		return
+	}
+	if up.err != nil {
+		s.setDataPlane(nil, up.err)
+		return
+	}
+
+	s.mb.vault.StoreSecret("hop/down-c2s", down.hop.C2SKey)
+	s.mb.vault.StoreSecret("hop/down-c2s-iv", down.hop.C2SIV)
+	s.mb.vault.StoreSecret("hop/down-s2c", down.hop.S2CKey)
+	s.mb.vault.StoreSecret("hop/down-s2c-iv", down.hop.S2CIV)
+	s.mb.vault.StoreSecret("hop/up-c2s", up.hop.C2SKey)
+	s.mb.vault.StoreSecret("hop/up-c2s-iv", up.hop.C2SIV)
+	s.mb.vault.StoreSecret("hop/up-s2c", up.hop.S2CKey)
+	s.mb.vault.StoreSecret("hop/up-s2c-iv", up.hop.S2CIV)
+
+	km := &KeyMaterial{Version: tls12.VersionTLS12, Down: *down.hop, Up: *up.hop}
+	var proc Processor
+	if s.mb.cfg.NewProcessor != nil {
+		proc = s.mb.cfg.NewProcessor()
+	}
+	var dp dataPlaneHandler
+	var err error
+	if e := s.mb.cfg.Enclave; e != nil {
+		dp, err = installEnclaveDataPlane(e, km, proc)
+	} else {
+		dp, err = newDataPlane(km, proc)
+	}
+	s.setDataPlane(dp, err)
+}
+
+func (s *mbSession) setDataPlane(dp dataPlaneHandler, err error) {
+	s.dpMu.Lock()
+	if s.dp == nil && s.dpErr == nil {
+		s.dp = dp
+		s.dpErr = err
+		if dp == nil && err == nil {
+			s.dpErr = errors.New("core: data plane unavailable")
+		}
+	}
+	s.dpCond.Broadcast()
+	s.dpMu.Unlock()
+}
+
+// dataPlaneIfReady returns the data plane if installed, without
+// blocking.
+func (s *mbSession) dataPlaneIfReady() dataPlaneHandler {
+	s.dpMu.Lock()
+	defer s.dpMu.Unlock()
+	return s.dp
+}
+
+// waitDataPlane blocks until key material has been installed —
+// application data can race ahead of the MBTLSKeyMaterial delivery
+// (the False-Start-like case of §3.5).
+func (s *mbSession) waitDataPlane() (dataPlaneHandler, error) {
+	s.dpMu.Lock()
+	defer s.dpMu.Unlock()
+	if s.dp == nil && s.dpErr == nil {
+		timeout := time.AfterFunc(s.mb.cfg.DataPlaneTimeout, func() {
+			s.dpMu.Lock()
+			if s.dp == nil && s.dpErr == nil {
+				s.dpErr = errors.New("core: timed out waiting for key material")
+			}
+			s.dpCond.Broadcast()
+			s.dpMu.Unlock()
+		})
+		defer timeout.Stop()
+		for s.dp == nil && s.dpErr == nil {
+			s.dpCond.Wait()
+		}
+	}
+	if s.dpErr != nil && s.dp == nil {
+		return nil, s.dpErr
+	}
+	return s.dp, nil
+}
+
+// processForward runs one protected record through the data plane and
+// forwards the resealed result.
+func (s *mbSession) processForward(dir Direction, dp dataPlaneHandler, rec tls12.RawRecord) error {
+	recs, err := dp.handleRecord(dir, rec)
+	if err != nil {
+		return err
+	}
+	s.mb.recordsRekeyed.Add(1)
+	for _, out := range recs {
+		s.mb.bytesProcessed.Add(int64(len(out.Payload)))
+		conn, mu := s.up, &s.upW
+		if dir == DirServerToClient {
+			conn, mu = s.down, &s.downW
+		}
+		if err := s.writeRecord(conn, mu, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/tls12"
+)
+
+// maxSubchannels bounds the number of middlebox subchannels an endpoint
+// will track (the wire format allows 255).
+const maxSubchannels = 255
+
+// mux multiplexes an mbTLS endpoint's single transport stream into the
+// primary session's record stream plus one virtual stream per
+// subchannel. The paper motivates this design (§3.4, "Control
+// Messaging"): compared to per-middlebox TCP connections it keeps all
+// handshake messages on one path, reduces connection state, and lets
+// client-side discovery avoid an extra round trip.
+//
+// Outer records are never encrypted: primary-session records carry
+// their own protection from the primary Conn's record layer, and
+// Encapsulated records carry inner records protected by the secondary
+// sessions.
+type mux struct {
+	rw io.ReadWriter
+
+	wmu sync.Mutex
+
+	primary *pipeBuf
+
+	mu     sync.Mutex
+	subs   map[uint8]*pipeBuf
+	closed bool
+	// newSub delivers IDs of subchannels opened by the peer side.
+	newSub chan uint8
+
+	readErr error
+}
+
+func newMux(rw io.ReadWriter) *mux {
+	m := &mux{rw: rw, subs: make(map[uint8]*pipeBuf), newSub: make(chan uint8, maxSubchannels)}
+	m.primary = newPipeBuf(m.writeRaw)
+	go m.readLoop()
+	return m
+}
+
+// writeRaw writes pre-framed record bytes straight to the transport.
+func (m *mux) writeRaw(b []byte) error {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	_, err := m.rw.Write(b)
+	return err
+}
+
+// writeEncapsulated wraps one inner record into an Encapsulated outer
+// record for the given subchannel.
+func (m *mux) writeEncapsulated(sub uint8, inner []byte) error {
+	payload := make([]byte, 1+len(inner))
+	payload[0] = sub
+	copy(payload[1:], inner)
+	rec := tls12.RawRecord{Type: tls12.TypeEncapsulated, Payload: payload}
+	return m.writeRaw(rec.Marshal())
+}
+
+// subchannel returns the pipe for a subchannel, creating it if needed.
+// Newly created subchannels are announced on newSub when announce is
+// set (i.e., creation was driven by the peer, not the local endpoint).
+func (m *mux) subchannel(id uint8, announce bool) *pipeBuf {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.subs[id]; ok {
+		return p
+	}
+	p := newPipeBuf(func(b []byte) error { return m.writeEncapsulated(id, b) })
+	m.subs[id] = p
+	if announce && !m.closed {
+		select {
+		case m.newSub <- id:
+		default:
+		}
+	}
+	return p
+}
+
+// subchannelIDs returns the currently known subchannel IDs, ascending.
+func (m *mux) subchannelIDs() []uint8 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]uint8, 0, len(m.subs))
+	for id := range m.subs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// readLoop demultiplexes inbound records until the transport fails.
+func (m *mux) readLoop() {
+	var err error
+	for {
+		var raw tls12.RawRecord
+		raw, err = tls12.ReadRawRecord(m.rw)
+		if err != nil {
+			break
+		}
+		if raw.Type == tls12.TypeEncapsulated {
+			if len(raw.Payload) < 1 {
+				err = errors.New("core: empty Encapsulated record")
+				break
+			}
+			sub := raw.Payload[0]
+			m.subchannel(sub, true).feed(raw.Payload[1:])
+			continue
+		}
+		// Everything else belongs to the primary session; hand the
+		// full record (header included) to its record layer.
+		m.primary.feed(raw.Marshal())
+	}
+	m.fail(err)
+}
+
+// fail tears down all pipes.
+func (m *mux) fail(err error) {
+	if err == nil {
+		err = io.EOF
+	}
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		m.readErr = err
+		close(m.newSub)
+	}
+	subs := make([]*pipeBuf, 0, len(m.subs))
+	for _, p := range m.subs {
+		subs = append(subs, p)
+	}
+	m.mu.Unlock()
+	m.primary.fail(err)
+	for _, p := range subs {
+		p.fail(err)
+	}
+}
+
+// errSubchannelExhausted is returned when the 1-byte subchannel ID
+// space is full.
+var errSubchannelExhausted = fmt.Errorf("core: more than %d subchannels", maxSubchannels)

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/tls12"
+)
+
+// Neighbor-negotiated hop keys — the alternative key-establishment mode
+// the paper sketches to defeat middlebox state poisoning (§4.2): "alter
+// the handshake protocol so that middleboxes establish keys with their
+// neighbors rather than endpoints generating and distributing session
+// keys; this means each party only knows the key(s) for the hop(s)
+// adjacent to it. The downside is the client has lost the ability to
+// directly [control] the full path."
+//
+// In this implementation the mode is selected by the client
+// (ClientConfig.NeighborKeys), signaled in the MiddleboxSupport
+// extension, and works as follows:
+//
+//   - Discovery, secondary handshakes, attestation, and approval are
+//     unchanged — identity still flows endpoint↔middlebox.
+//   - Instead of MBTLSKeyMaterial distribution, each adjacent pair on
+//     the path runs a TLS handshake of its own over the reserved
+//     subchannel 0, which relays treat as hop-local (never forwarded).
+//     The downstream party plays the client role; the upstream party
+//     authenticates with its certificate.
+//   - Each hop's data-plane keys are that hop session's record keys, so
+//     no party ever holds a non-adjacent hop's keys. In particular the
+//     client cannot forge "server responses" toward its own
+//     middleboxes — the poisoning attack the mode exists to stop
+//     (verified in the adversary tests).
+//
+// Scope: client-side middleboxes with an mbTLS server. A legacy server
+// cannot run a neighbor handshake (its hop would need the endpoint-
+// known primary key, reintroducing the exposure), and server-side
+// middleboxes are rejected in this mode.
+const neighborSubchannel uint8 = 0
+
+// hopFromSession converts a completed neighbor TLS session into hop
+// keys. The session's client role is the hop's downstream party, so
+// the session's client-write direction is the hop's client→server
+// direction.
+func hopFromSession(conn *tls12.Conn) (*HopKeys, error) {
+	sk, err := conn.ExportSessionKeys()
+	if err != nil {
+		return nil, err
+	}
+	return &HopKeys{
+		Suite:  sk.Suite,
+		C2SKey: sk.ClientWriteKey,
+		C2SIV:  sk.ClientWriteIV,
+		C2SSeq: sk.ClientSeq,
+		S2CKey: sk.ServerWriteKey,
+		S2CIV:  sk.ServerWriteIV,
+		S2CSeq: sk.ServerSeq,
+	}, nil
+}
+
+// runNeighborClient performs the downstream (client-role) side of a
+// neighbor hop handshake.
+func runNeighborClient(rw io.ReadWriter, cfg *tls12.Config) (*HopKeys, error) {
+	conn := tls12.Client(tls12.NewRecordLayer(rw), cfg)
+	if err := conn.Handshake(); err != nil {
+		return nil, fmt.Errorf("core: neighbor handshake (client role): %w", err)
+	}
+	return hopFromSession(conn)
+}
+
+// runNeighborServer performs the upstream (server-role) side of a
+// neighbor hop handshake.
+func runNeighborServer(rw io.ReadWriter, cfg *tls12.Config) (*HopKeys, error) {
+	conn := tls12.Server(tls12.NewRecordLayer(rw), cfg)
+	if err := conn.Handshake(); err != nil {
+		return nil, fmt.Errorf("core: neighbor handshake (server role): %w", err)
+	}
+	return hopFromSession(conn)
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"io"
+	"sync"
+)
+
+// pipeBuf is a one-directional-read, function-backed-write byte stream.
+// The mbTLS mux feeds demultiplexed record bytes into it with feed, and
+// a tls12.RecordLayer reads from it as if it were a socket. Writes are
+// redirected through writeFn, which the mux uses to wrap each written
+// record into an Encapsulated outer record (paper §3.4, "Control
+// Messaging").
+type pipeBuf struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []byte
+	err  error
+
+	writeFn func([]byte) error
+
+	firstWrite sync.Once
+	// onFirstWrite, if set, runs after the first write has reached the
+	// transport. Middleboxes use it to order their injected secondary
+	// ServerHello ahead of the forwarded primary ServerHello (paper
+	// §3.4: "inject their own secondary ServerHello ... and finally
+	// forward the primary ServerHello").
+	onFirstWrite func()
+}
+
+func newPipeBuf(writeFn func([]byte) error) *pipeBuf {
+	p := &pipeBuf{writeFn: writeFn}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Read blocks until data or an error is available.
+func (p *pipeBuf) Read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) == 0 {
+		if p.err != nil {
+			return 0, p.err
+		}
+		p.cond.Wait()
+	}
+	n := copy(b, p.buf)
+	p.buf = p.buf[n:]
+	return n, nil
+}
+
+// Write forwards the bytes through writeFn.
+func (p *pipeBuf) Write(b []byte) (int, error) {
+	if err := p.writeFn(b); err != nil {
+		return 0, err
+	}
+	if p.onFirstWrite != nil {
+		p.firstWrite.Do(p.onFirstWrite)
+	}
+	return len(b), nil
+}
+
+// feed appends received bytes for Read.
+func (p *pipeBuf) feed(b []byte) {
+	p.mu.Lock()
+	p.buf = append(p.buf, b...)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// fail terminates the pipe; pending and future Reads return err (after
+// buffered data drains).
+func (p *pipeBuf) fail(err error) {
+	if err == nil {
+		err = io.EOF
+	}
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"net"
+
+	"repro/internal/tls12"
+)
+
+// Session is an established mbTLS session from an endpoint's
+// perspective. It carries application data over the primary session's
+// connection, whose record layer holds either the end-to-end session
+// keys (no middleboxes on this side) or the endpoint's adjacent per-hop
+// keys.
+type Session struct {
+	conn      *tls12.Conn
+	m         *mux
+	transport net.Conn
+	mboxes    []MiddleboxSummary
+}
+
+// Read reads application data.
+func (s *Session) Read(p []byte) (int, error) { return s.conn.Read(p) }
+
+// Write writes application data.
+func (s *Session) Write(p []byte) (int, error) { return s.conn.Write(p) }
+
+// Close sends close_notify and closes the transport.
+func (s *Session) Close() error {
+	err := s.conn.Close()
+	if s.transport != nil {
+		if cerr := s.transport.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ConnectionState returns the primary session's state.
+func (s *Session) ConnectionState() tls12.ConnectionState { return s.conn.ConnectionState() }
+
+// Middleboxes lists this endpoint's session middleboxes in path order
+// (from this endpoint outward toward the bridge).
+func (s *Session) Middleboxes() []MiddleboxSummary {
+	out := make([]MiddleboxSummary, len(s.mboxes))
+	copy(out, s.mboxes)
+	return out
+}
+
+// ExportPrimaryKeys exports the end-to-end (bridge) session keys. An
+// endpoint always knows these — it ran the primary handshake — which
+// is precisely why the paper warns that clients can read or inject
+// traffic on any hop of their own side (§4.2, "Middlebox State
+// Poisoning"). The adversary harness uses this to demonstrate the
+// cache-poisoning limitation; exporters for key-logging tooling are
+// the benign use.
+func (s *Session) ExportPrimaryKeys() (*tls12.SessionKeys, error) {
+	return s.conn.ExportSessionKeys()
+}

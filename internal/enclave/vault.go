@@ -1,0 +1,95 @@
+package enclave
+
+import "sync"
+
+// Vault stores a component's secret key material. Two implementations
+// model the paper's two deployment modes: a HostVault keeps secrets in
+// ordinary (MIP-readable) memory, an EnclaveVault keeps them in enclave
+// memory. DumpHostMemory simulates the adversary capability from the
+// threat model (§3.1): "On the middlebox infrastructure, the adversary
+// has complete access to all hardware (e.g., it can read and manipulate
+// memory)."
+type Vault interface {
+	// StoreSecret records a named secret.
+	StoreSecret(name string, secret []byte)
+	// UseSecret invokes f with the named secret in its protection
+	// domain (inside the enclave for an EnclaveVault). f must not leak
+	// the slice.
+	UseSecret(name string, f func(secret []byte))
+	// DumpHostMemory returns every byte of this component's secrets
+	// that is resident in host-visible memory.
+	DumpHostMemory() map[string][]byte
+}
+
+// HostVault stores secrets in host memory — the non-SGX deployment.
+type HostVault struct {
+	mu      sync.Mutex
+	secrets map[string][]byte
+}
+
+// NewHostVault returns an empty host-memory vault.
+func NewHostVault() *HostVault {
+	return &HostVault{secrets: make(map[string][]byte)}
+}
+
+// StoreSecret implements Vault.
+func (v *HostVault) StoreSecret(name string, secret []byte) {
+	v.mu.Lock()
+	v.secrets[name] = append([]byte(nil), secret...)
+	v.mu.Unlock()
+}
+
+// UseSecret implements Vault.
+func (v *HostVault) UseSecret(name string, f func([]byte)) {
+	v.mu.Lock()
+	s := v.secrets[name]
+	v.mu.Unlock()
+	f(s)
+}
+
+// DumpHostMemory implements Vault: everything is host-visible.
+func (v *HostVault) DumpHostMemory() map[string][]byte {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string][]byte, len(v.secrets))
+	for k, s := range v.secrets {
+		out[k] = append([]byte(nil), s...)
+	}
+	return out
+}
+
+// EnclaveVault stores secrets in enclave memory; the host retains only
+// the enclave handle.
+type EnclaveVault struct {
+	enclave *Enclave
+}
+
+// NewEnclaveVault returns a vault backed by the given enclave.
+func NewEnclaveVault(e *Enclave) *EnclaveVault {
+	return &EnclaveVault{enclave: e}
+}
+
+// Enclave returns the backing enclave (for attestation plumbing).
+func (v *EnclaveVault) Enclave() *Enclave { return v.enclave }
+
+// StoreSecret implements Vault, paying one enclave transition.
+func (v *EnclaveVault) StoreSecret(name string, secret []byte) {
+	copied := append([]byte(nil), secret...)
+	v.enclave.Enter(func(mem Memory) {
+		mem.Put("secret:"+name, copied)
+	})
+}
+
+// UseSecret implements Vault; f runs inside the enclave.
+func (v *EnclaveVault) UseSecret(name string, f func([]byte)) {
+	v.enclave.Enter(func(mem Memory) {
+		s, _ := mem.Get("secret:" + name).([]byte)
+		f(s)
+	})
+}
+
+// DumpHostMemory implements Vault: enclave memory is encrypted and
+// integrity-protected by the CPU, so the host dump contains nothing.
+func (v *EnclaveVault) DumpHostMemory() map[string][]byte {
+	return map[string][]byte{}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDesignSpaceConsistency checks every protocol has a position on
+// every dimension and positions come from the dimension's options.
+func TestDesignSpaceConsistency(t *testing.T) {
+	dims := DesignSpace()
+	if len(dims) < 9 {
+		t.Fatalf("design space has %d dimensions, want the paper's 9", len(dims))
+	}
+	for _, d := range dims {
+		for _, proto := range DesignProtocols {
+			pos, ok := d.Position[proto]
+			if !ok {
+				t.Errorf("%s: no position for %s", d.Name, proto)
+				continue
+			}
+			found := false
+			for _, opt := range d.Options {
+				if strings.HasPrefix(pos, opt) || strings.HasPrefix(opt, strings.SplitN(pos, " ", 2)[0]) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: position %q for %s not among options %v", d.Name, pos, proto, d.Options)
+			}
+		}
+	}
+}
+
+// TestDesignSpaceProbes runs every live probe; all probed cells must
+// be verified by the implementations.
+func TestDesignSpaceProbes(t *testing.T) {
+	probes := 0
+	for _, d := range DesignSpace() {
+		for proto, probe := range d.Probes {
+			probes++
+			ok, detail := probe()
+			if !ok {
+				t.Errorf("%s / %s: probe failed: %s", d.Name, proto, detail)
+			}
+		}
+	}
+	if probes < 7 {
+		t.Fatalf("only %d live probes; expected at least 7 cells backed by experiments", probes)
+	}
+}
+
+// TestDesignSpaceTradeoffs encodes §2.2's takeaway: no protocol wins
+// every dimension — each one gives something up.
+func TestDesignSpaceTradeoffs(t *testing.T) {
+	dims := DesignSpace()
+	best := map[string]string{
+		"Granularity of data access": "RW/RO/None",
+		"Path integrity":             "yes",
+		"Legacy endpoints":           "both legacy",
+		"In-band discovery":          "yes",
+		"Computation":                "arbitrary",
+	}
+	for _, proto := range DesignProtocols {
+		winsAll := true
+		for _, d := range dims {
+			want, tracked := best[d.Name]
+			if !tracked {
+				continue
+			}
+			if !strings.HasPrefix(d.Position[proto], want) {
+				winsAll = false
+				break
+			}
+		}
+		if winsAll {
+			t.Fatalf("%s occupies the best option on every tracked dimension — contradicts the paper's 'no one-size-fits-all' takeaway", proto)
+		}
+	}
+}
+
+func TestFormatDesignSpace(t *testing.T) {
+	out := FormatDesignSpace(DesignSpace())
+	for _, want := range []string{"Path integrity", "mbTLS", "BlindBox", "verified live"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "PROBE FAILED") {
+		t.Fatalf("design-space probe failed:\n%s", out)
+	}
+}

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/certs"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/splittls"
+	"repro/internal/timing"
+	"repro/internal/tls12"
+)
+
+// Fig5Row is one bar group of Figure 5: per-role handshake compute
+// time for one protocol configuration.
+type Fig5Row struct {
+	Label     string
+	Client    Stat
+	Middlebox Stat // zero when the configuration has no middlebox
+	Server    Stat
+	HasMbox   bool
+}
+
+// Fig5Options tunes the run.
+type Fig5Options struct {
+	// Trials per configuration (paper: 1000; default 200).
+	Trials int
+}
+
+// RunFig5 reproduces Figure 5 ("Handshake CPU Microbenchmarks"): the
+// time each party spends executing a single handshake, excluding
+// network waits, across seven protocol configurations. Expected shape
+// (§5.2): TLS ≈ mbTLS without middleboxes; the middlebox is cheaper
+// under mbTLS than split TLS (one handshake instead of two); client
+// cost is flat in server-side middleboxes; server cost grows ~20% per
+// server-side middlebox (an additional client-role handshake each).
+func RunFig5(opts Fig5Options) ([]Fig5Row, error) {
+	trials := opts.Trials
+	if trials <= 0 {
+		trials = 200
+	}
+	ca, err := certs.NewCA("fig5 root")
+	if err != nil {
+		return nil, err
+	}
+	serverCert, err := ca.Issue("server.example", []string{"server.example"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	mbCert, err := ca.Issue("mbox.example", []string{"mbox.example"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	interceptCA, err := certs.NewCA("split-tls custom root")
+	if err != nil {
+		return nil, err
+	}
+
+	configs := []struct {
+		label string
+		mbox  bool
+		run   func(cSW, mSW, sSW *timing.Stopwatch) error
+	}{
+		{"TLS (no mbox)", false, func(cSW, _, sSW *timing.Stopwatch) error {
+			return runPlainTLS(ca, serverCert, cSW, sSW)
+		}},
+		{"mbTLS (no mbox)", false, func(cSW, _, sSW *timing.Stopwatch) error {
+			return runMbTLS(ca, serverCert, mbCert, 0, 0, cSW, nil, sSW)
+		}},
+		{"\"Split\" TLS (1 mbox)", true, func(cSW, mSW, sSW *timing.Stopwatch) error {
+			return runSplitTLS(ca, interceptCA, serverCert, cSW, mSW, sSW)
+		}},
+		{"mbTLS (1 client mbox)", true, func(cSW, mSW, sSW *timing.Stopwatch) error {
+			return runMbTLS(ca, serverCert, mbCert, 1, 0, cSW, mSW, sSW)
+		}},
+		{"mbTLS (1 server mbox)", true, func(cSW, mSW, sSW *timing.Stopwatch) error {
+			return runMbTLS(ca, serverCert, mbCert, 0, 1, cSW, mSW, sSW)
+		}},
+		{"mbTLS (2 server mboxes)", true, func(cSW, mSW, sSW *timing.Stopwatch) error {
+			return runMbTLS(ca, serverCert, mbCert, 0, 2, cSW, mSW, sSW)
+		}},
+		{"mbTLS (3 server mboxes)", true, func(cSW, mSW, sSW *timing.Stopwatch) error {
+			return runMbTLS(ca, serverCert, mbCert, 0, 3, cSW, mSW, sSW)
+		}},
+	}
+
+	rows := make([]Fig5Row, 0, len(configs))
+	for _, cfg := range configs {
+		var cs, ms, ss []time.Duration
+		for i := 0; i < trials; i++ {
+			var cSW, mSW, sSW timing.Stopwatch
+			if err := cfg.run(&cSW, &mSW, &sSW); err != nil {
+				return nil, fmt.Errorf("%s trial %d: %w", cfg.label, i, err)
+			}
+			cs = append(cs, cSW.Total())
+			ms = append(ms, mSW.Total())
+			ss = append(ss, sSW.Total())
+		}
+		rows = append(rows, Fig5Row{
+			Label:     cfg.label,
+			Client:    newStat(cs),
+			Middlebox: newStat(ms),
+			Server:    newStat(ss),
+			HasMbox:   cfg.mbox,
+		})
+	}
+	return rows, nil
+}
+
+// runPlainTLS performs one two-party TLS handshake over an in-memory
+// pipe.
+func runPlainTLS(ca *certs.CA, serverCert *tls12.Certificate, cSW, sSW *timing.Stopwatch) error {
+	cp, sp := netsim.Pipe()
+	defer cp.Close()
+	defer sp.Close()
+	client := tls12.NewClientConn(cp, &tls12.Config{
+		RootCAs: ca.Pool(), ServerName: "server.example", Stopwatch: cSW,
+	})
+	server := tls12.NewServerConn(sp, &tls12.Config{Certificate: serverCert, Stopwatch: sSW})
+	errc := make(chan error, 1)
+	go func() { errc <- server.Handshake() }()
+	if err := client.Handshake(); err != nil {
+		return err
+	}
+	return <-errc
+}
+
+// runMbTLS performs one mbTLS session setup with the given middlebox
+// counts. mSW, when non-nil, is attached to the first middlebox.
+func runMbTLS(ca *certs.CA, serverCert, mbCert *tls12.Certificate, clientMboxes, serverMboxes int,
+	cSW, mSW, sSW *timing.Stopwatch) error {
+	var mbs []*core.Middlebox
+	mk := func(mode core.Mode, sw *timing.Stopwatch) error {
+		mb, err := core.NewMiddlebox(core.MiddleboxConfig{Mode: mode, Certificate: mbCert, Stopwatch: sw})
+		if err != nil {
+			return err
+		}
+		mbs = append(mbs, mb)
+		return nil
+	}
+	for i := 0; i < clientMboxes; i++ {
+		sw := mSW
+		if i > 0 {
+			sw = nil
+		}
+		if err := mk(core.ClientSide, sw); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < serverMboxes; i++ {
+		var sw *timing.Stopwatch
+		if i == 0 && clientMboxes == 0 {
+			sw = mSW
+		}
+		if err := mk(core.ServerSide, sw); err != nil {
+			return err
+		}
+	}
+
+	left, right := netsim.Pipe()
+	clientEnd := net.Conn(left)
+	prev := net.Conn(right)
+	for _, mb := range mbs {
+		upL, upR := netsim.Pipe()
+		go mb.Handle(prev, upL) //nolint:errcheck
+		prev = upR
+	}
+
+	type res struct {
+		sess *core.Session
+		err  error
+	}
+	sch := make(chan res, 1)
+	go func() {
+		s, err := core.Accept(prev, &core.ServerConfig{
+			TLS:               &tls12.Config{Certificate: serverCert, Stopwatch: sSW},
+			AcceptMiddleboxes: true,
+			MiddleboxTLS:      &tls12.Config{RootCAs: ca.Pool(), Stopwatch: sSW},
+		})
+		sch <- res{s, err}
+	}()
+	csess, err := core.Dial(clientEnd, &core.ClientConfig{
+		TLS:          &tls12.Config{RootCAs: ca.Pool(), ServerName: "server.example", Stopwatch: cSW},
+		MiddleboxTLS: &tls12.Config{RootCAs: ca.Pool(), Stopwatch: cSW},
+	})
+	if err != nil {
+		return err
+	}
+	sr := <-sch
+	if sr.err != nil {
+		return sr.err
+	}
+	csess.Close()
+	sr.sess.Close()
+	return nil
+}
+
+// runSplitTLS performs one split-TLS interception: two independent TLS
+// handshakes, with the middlebox paying for both.
+func runSplitTLS(ca, interceptCA *certs.CA, serverCert *tls12.Certificate, cSW, mSW, sSW *timing.Stopwatch) error {
+	c0a, c0b := netsim.Pipe()
+	c1a, c1b := netsim.Pipe()
+	ic := &splittls.Interceptor{
+		CA:             interceptCA,
+		Upstream:       &tls12.Config{RootCAs: ca.Pool()},
+		VerifyUpstream: true,
+		Stopwatch:      mSW,
+	}
+	done := make(chan struct{})
+	go func() {
+		ic.Handle(c0b, c1a) //nolint:errcheck
+		close(done)
+	}()
+	serverErr := make(chan error, 1)
+	server := tls12.NewServerConn(c1b, &tls12.Config{Certificate: serverCert, Stopwatch: sSW})
+	go func() { serverErr <- server.Handshake() }()
+
+	client := tls12.NewClientConn(c0a, &tls12.Config{
+		RootCAs: interceptCA.Pool(), ServerName: "server.example", Stopwatch: cSW,
+	})
+	if err := client.Handshake(); err != nil {
+		return err
+	}
+	if err := <-serverErr; err != nil {
+		return err
+	}
+	client.Close()
+	server.Close()
+	<-done
+	return nil
+}
+
+// FormatFig5 renders the rows as the paper's Figure 5 bar data.
+func FormatFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: Handshake CPU Microbenchmarks (per-role compute time per handshake)\n")
+	fmt.Fprintf(&b, "%-26s | %-22s | %-22s | %-22s\n", "Configuration", "Client", "Middlebox", "Server")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 100))
+	for _, r := range rows {
+		mbox := "—"
+		if r.HasMbox {
+			mbox = r.Middlebox.Ms()
+		}
+		fmt.Fprintf(&b, "%-26s | %-22s | %-22s | %-22s\n", r.Label, r.Client.Ms(), mbox, r.Server.Ms())
+	}
+	return b.String()
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/certs"
+	"repro/internal/core"
+	"repro/internal/enclave"
+	"repro/internal/netsim"
+	"repro/internal/tls12"
+)
+
+// Fig7BufferSizes are the paper's x-axis chunk sizes.
+var Fig7BufferSizes = []int{512, 1024, 2048, 4096, 8192, 12288}
+
+// Fig7Cell is one configuration × buffer-size measurement.
+type Fig7Cell struct {
+	Encryption bool
+	Enclave    bool
+	BufSize    int
+	// Gbps is the delivered application throughput through the
+	// middlebox.
+	Gbps float64
+	// Transitions counts enclave boundary crossings during the
+	// measurement window (zero without an enclave).
+	Transitions int64
+}
+
+// Fig7Options tunes the run.
+type Fig7Options struct {
+	// Window is the measurement duration per cell (default 250 ms).
+	Window time.Duration
+	// Streams is the number of concurrent client connections
+	// saturating the middlebox (default 4).
+	Streams int
+	// BoundaryCost is the simulated enclave transition cost
+	// (default 1 µs, in line with published SGX ecall measurements).
+	BoundaryCost time.Duration
+	// BufSizes overrides the buffer-size sweep.
+	BufSizes []int
+}
+
+// RunFig7 reproduces Figure 7 ("SGX (Non-)Overhead"): middlebox
+// throughput with/without decrypt-re-encrypt and with/without an
+// enclave, across chunk sizes. Expected shape (§5.3): the enclave has
+// no noticeable impact — per-chunk I/O overhead (here: relay
+// scheduling and copying, as interrupts were in the paper) dominates
+// the boundary-crossing cost — while the encryption configurations
+// plateau at the AES-GCM compute bound.
+func RunFig7(opts Fig7Options) ([]Fig7Cell, error) {
+	window := opts.Window
+	if window <= 0 {
+		window = 250 * time.Millisecond
+	}
+	streams := opts.Streams
+	if streams <= 0 {
+		streams = 4
+	}
+	boundaryCost := opts.BoundaryCost
+	if boundaryCost <= 0 {
+		boundaryCost = time.Microsecond
+	}
+	bufSizes := opts.BufSizes
+	if len(bufSizes) == 0 {
+		bufSizes = Fig7BufferSizes
+	}
+
+	ca, err := certs.NewCA("fig7 root")
+	if err != nil {
+		return nil, err
+	}
+	serverCert, err := ca.Issue("server.example", []string{"server.example"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	mbCert, err := ca.Issue("mbox.example", []string{"mbox.example"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	authority, err := enclave.NewAuthority()
+	if err != nil {
+		return nil, err
+	}
+	platform, err := authority.NewPlatform()
+	if err != nil {
+		return nil, err
+	}
+	platform.SetBoundaryCost(boundaryCost)
+
+	var cells []Fig7Cell
+	for _, encryption := range []bool{false, true} {
+		for _, useEnclave := range []bool{false, true} {
+			for _, bufSize := range bufSizes {
+				cell, err := fig7Cell(ca, serverCert, mbCert, platform, encryption, useEnclave, bufSize, streams, window)
+				if err != nil {
+					return nil, fmt.Errorf("fig7 enc=%v sgx=%v buf=%d: %w", encryption, useEnclave, bufSize, err)
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// fig7Cell measures one configuration: several client streams pump
+// fixed-size chunks through one middlebox to a sink server for the
+// window duration.
+func fig7Cell(ca *certs.CA, serverCert, mbCert *tls12.Certificate, platform *enclave.Platform,
+	encryption, useEnclave bool, bufSize, streams int, window time.Duration) (Fig7Cell, error) {
+
+	cell := Fig7Cell{Encryption: encryption, Enclave: useEnclave, BufSize: bufSize}
+
+	mbCfg := core.MiddleboxConfig{Mode: core.ClientSide, Certificate: mbCert}
+	var encl *enclave.Enclave
+	if useEnclave {
+		encl = platform.CreateEnclave(enclave.CodeImage{Name: "fig7-mbox", Version: "1.0"})
+		mbCfg.Enclave = encl
+	}
+	mb, err := core.NewMiddlebox(mbCfg)
+	if err != nil {
+		return cell, err
+	}
+
+	var delivered int64
+	var deliveredMu sync.Mutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Establish all sessions before opening the measurement window.
+	type endpoints struct {
+		w interface{ Write([]byte) (int, error) }
+		r interface{ Read([]byte) (int, error) }
+		c func()
+	}
+	eps := make([]endpoints, streams)
+	for s := 0; s < streams; s++ {
+		c0a, c0b := netsim.Pipe()
+		c1a, c1b := netsim.Pipe()
+		go mb.Handle(c0b, c1a) //nolint:errcheck
+		if !encryption {
+			eps[s] = endpoints{w: c0a, r: c1b, c: func() { c0a.Close(); c1b.Close() }}
+			continue
+		}
+		type res struct {
+			sess *core.Session
+			err  error
+		}
+		cch := make(chan res, 1)
+		sch := make(chan res, 1)
+		go func() {
+			sess, err := core.Dial(c0a, &core.ClientConfig{
+				TLS: &tls12.Config{RootCAs: ca.Pool(), ServerName: "server.example"},
+			})
+			cch <- res{sess, err}
+		}()
+		go func() {
+			sess, err := core.Accept(c1b, &core.ServerConfig{TLS: &tls12.Config{Certificate: serverCert}})
+			sch <- res{sess, err}
+		}()
+		cr, sr := <-cch, <-sch
+		if cr.err != nil {
+			return cell, fmt.Errorf("stream %d dial: %w", s, cr.err)
+		}
+		if sr.err != nil {
+			return cell, fmt.Errorf("stream %d accept: %w", s, sr.err)
+		}
+		eps[s] = endpoints{w: cr.sess, r: sr.sess, c: func() { cr.sess.Close(); sr.sess.Close() }}
+	}
+
+	payload := core.RandomPlaintext(bufSize)
+	errs := make(chan error, 2*streams)
+	for s := 0; s < streams; s++ {
+		ep := eps[s]
+		// Sink: counts delivered bytes.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 64<<10)
+			for {
+				n, err := ep.r.Read(buf)
+				if n > 0 {
+					deliveredMu.Lock()
+					delivered += int64(n)
+					deliveredMu.Unlock()
+				}
+				if err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+		// Source: writes chunks until stopped.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer ep.c()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := ep.w.Write(payload); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	// Let the pipeline warm up, then measure a clean window.
+	time.Sleep(30 * time.Millisecond)
+	deliveredMu.Lock()
+	delivered = 0
+	deliveredMu.Unlock()
+	var startTransitions int64
+	if encl != nil {
+		startTransitions = encl.Transitions()
+	}
+	start := time.Now()
+	time.Sleep(window)
+	deliveredMu.Lock()
+	bytes := delivered
+	deliveredMu.Unlock()
+	elapsed := time.Since(start)
+	// A stream dying mid-window invalidates the measurement; report it
+	// before teardown floods the error channel with shutdown noise.
+	select {
+	case err := <-errs:
+		close(stop)
+		wg.Wait()
+		return cell, fmt.Errorf("stream failed during measurement: %w", err)
+	default:
+	}
+	close(stop)
+	wg.Wait()
+
+	cell.Gbps = float64(bytes) * 8 / elapsed.Seconds() / 1e9
+	if encl != nil {
+		cell.Transitions = encl.Transitions() - startTransitions
+	}
+	return cell, nil
+}
+
+// FormatFig7 renders the cells as the paper's Figure 7 series.
+func FormatFig7(cells []Fig7Cell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: SGX (Non-)Overhead — middlebox throughput (Gbps)\n")
+	fmt.Fprintf(&b, "%-32s", "Configuration \\ Buffer")
+	sizes := []int{}
+	seen := map[int]bool{}
+	for _, c := range cells {
+		if !seen[c.BufSize] {
+			seen[c.BufSize] = true
+			sizes = append(sizes, c.BufSize)
+			fmt.Fprintf(&b, " | %8s", byteSize(c.BufSize))
+		}
+	}
+	fmt.Fprintf(&b, "\n%s\n", strings.Repeat("-", 34+11*len(sizes)))
+	for _, enc := range []bool{false, true} {
+		for _, sgx := range []bool{false, true} {
+			label := map[bool]string{false: "No Encryption", true: "Encryption"}[enc] +
+				map[bool]string{false: " + No Enclave", true: " + Enclave"}[sgx]
+			fmt.Fprintf(&b, "%-32s", label)
+			for _, size := range sizes {
+				for _, c := range cells {
+					if c.Encryption == enc && c.Enclave == sgx && c.BufSize == size {
+						fmt.Fprintf(&b, " | %8.2f", c.Gbps)
+					}
+				}
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+	}
+	return b.String()
+}
+
+func byteSize(n int) string {
+	if n >= 1024 && n%1024 == 0 {
+		return fmt.Sprintf("%dK", n/1024)
+	}
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,57 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§5). Each driver runs the experiment against the
+// real protocol implementation over the simulated substrates and
+// returns structured results plus a formatted report matching the
+// paper's presentation. The cmd/mbtls-bench binary and the test suite
+// both consume these drivers; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Stat is a mean with a 95% confidence interval, the form the paper's
+// Figures 5 and 6 report ("error bars show a 95% confidence interval
+// of the mean"). Min is retained as the noise-robust estimator for
+// latency comparisons: scheduler interference only ever adds latency,
+// so minima compare protocols cleanly even on loaded machines.
+type Stat struct {
+	Mean time.Duration
+	CI95 time.Duration
+	Min  time.Duration
+	N    int
+}
+
+// newStat computes mean, normal-approximation 95% CI, and minimum.
+func newStat(samples []time.Duration) Stat {
+	if len(samples) == 0 {
+		return Stat{}
+	}
+	var sum float64
+	min := samples[0]
+	for _, s := range samples {
+		sum += float64(s)
+		if s < min {
+			min = s
+		}
+	}
+	mean := sum / float64(len(samples))
+	var sq float64
+	for _, s := range samples {
+		d := float64(s) - mean
+		sq += d * d
+	}
+	var ci float64
+	if len(samples) > 1 {
+		stddev := math.Sqrt(sq / float64(len(samples)-1))
+		ci = 1.96 * stddev / math.Sqrt(float64(len(samples)))
+	}
+	return Stat{Mean: time.Duration(mean), CI95: time.Duration(ci), Min: min, N: len(samples)}
+}
+
+// Ms renders the stat in milliseconds.
+func (s Stat) Ms() string {
+	return fmt.Sprintf("%7.3f ±%6.3f ms", float64(s.Mean)/1e6, float64(s.CI95)/1e6)
+}

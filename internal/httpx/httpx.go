@@ -1,0 +1,285 @@
+// Package httpx is a minimal HTTP/1.1 implementation over arbitrary
+// byte streams. The paper's prototype middlebox is "a simple HTTP proxy
+// that performs HTTP header insertion" (§5); this package provides the
+// request/response codec that the example applications and experiment
+// workloads build on. Bodies are Content-Length delimited (the subset
+// the experiments need); chunked transfer encoding is not implemented.
+package httpx
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Header is a simple case-insensitive header map (canonicalized to the
+// common Title-Case form on write).
+type Header map[string]string
+
+// Get returns the header value (case-insensitive key).
+func (h Header) Get(key string) string {
+	for k, v := range h {
+		if strings.EqualFold(k, key) {
+			return v
+		}
+	}
+	return ""
+}
+
+// Set replaces a header value, normalizing duplicate spellings.
+func (h Header) Set(key, value string) {
+	for k := range h {
+		if strings.EqualFold(k, key) {
+			delete(h, k)
+		}
+	}
+	h[key] = value
+}
+
+// writeSorted writes headers deterministically (tests compare bytes).
+func (h Header) writeSorted(w *bufio.Writer) {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s: %s\r\n", k, h[k])
+	}
+}
+
+// Request is an HTTP/1.1 request.
+type Request struct {
+	Method string
+	Path   string
+	Host   string
+	Header Header
+	Body   []byte
+}
+
+// Response is an HTTP/1.1 response.
+type Response struct {
+	StatusCode int
+	Reason     string
+	Header     Header
+	Body       []byte
+}
+
+// maxLineLen bounds header lines defensively.
+const maxLineLen = 64 << 10
+
+// maxBodyLen bounds accepted bodies (64 MiB).
+const maxBodyLen = 64 << 20
+
+var errLineTooLong = errors.New("httpx: header line too long")
+
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > maxLineLen {
+		return "", errLineTooLong
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func readHeaders(br *bufio.Reader) (Header, error) {
+	h := make(Header)
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if line == "" {
+			return h, nil
+		}
+		name, value, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("httpx: malformed header line %q", line)
+		}
+		h.Set(strings.TrimSpace(name), strings.TrimSpace(value))
+	}
+}
+
+func readBody(br *bufio.Reader, h Header) ([]byte, error) {
+	cl := h.Get("Content-Length")
+	if cl == "" {
+		return nil, nil
+	}
+	n, err := strconv.Atoi(cl)
+	if err != nil || n < 0 || n > maxBodyLen {
+		return nil, fmt.Errorf("httpx: bad Content-Length %q", cl)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// ReadRequest parses one request from br.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
+		return nil, fmt.Errorf("httpx: malformed request line %q", line)
+	}
+	req := &Request{Method: parts[0], Path: parts[1]}
+	if req.Header, err = readHeaders(br); err != nil {
+		return nil, err
+	}
+	req.Host = req.Header.Get("Host")
+	if req.Body, err = readBody(br, req.Header); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// Write serializes the request.
+func (r *Request) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s %s HTTP/1.1\r\n", r.Method, r.Path)
+	h := r.Header
+	if h == nil {
+		h = make(Header)
+	}
+	if r.Host != "" && h.Get("Host") == "" {
+		h.Set("Host", r.Host)
+	}
+	if len(r.Body) > 0 || r.Method == "POST" || r.Method == "PUT" {
+		h.Set("Content-Length", strconv.Itoa(len(r.Body)))
+	}
+	h.writeSorted(bw)
+	bw.WriteString("\r\n")
+	bw.Write(r.Body)
+	return bw.Flush()
+}
+
+// ReadResponse parses one response from br.
+func ReadResponse(br *bufio.Reader) (*Response, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return nil, fmt.Errorf("httpx: malformed status line %q", line)
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("httpx: malformed status code in %q", line)
+	}
+	resp := &Response{StatusCode: code}
+	if len(parts) == 3 {
+		resp.Reason = parts[2]
+	}
+	if resp.Header, err = readHeaders(br); err != nil {
+		return nil, err
+	}
+	if resp.Body, err = readBody(br, resp.Header); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Write serializes the response.
+func (r *Response) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	reason := r.Reason
+	if reason == "" {
+		reason = StatusText(r.StatusCode)
+	}
+	fmt.Fprintf(bw, "HTTP/1.1 %d %s\r\n", r.StatusCode, reason)
+	h := r.Header
+	if h == nil {
+		h = make(Header)
+	}
+	h.Set("Content-Length", strconv.Itoa(len(r.Body)))
+	h.writeSorted(bw)
+	bw.WriteString("\r\n")
+	bw.Write(r.Body)
+	return bw.Flush()
+}
+
+// StatusText returns a reason phrase for common status codes.
+func StatusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 400:
+		return "Bad Request"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	}
+	return "Status"
+}
+
+// Handler produces a response for a request.
+type Handler func(*Request) *Response
+
+// Serve reads requests from rw and writes handler responses until EOF
+// or error (a tiny keep-alive HTTP/1.1 server loop for one connection).
+func Serve(rw io.ReadWriter, handler Handler) error {
+	br := bufio.NewReader(rw)
+	for {
+		req, err := ReadRequest(br)
+		if err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		resp := handler(req)
+		if resp == nil {
+			resp = &Response{StatusCode: 500}
+		}
+		if err := resp.Write(rw); err != nil {
+			return err
+		}
+	}
+}
+
+// Do writes a request and reads the response over rw (one exchange on a
+// persistent connection).
+func Do(rw io.ReadWriter, req *Request) (*Response, error) {
+	if err := req.Write(rw); err != nil {
+		return nil, err
+	}
+	return ReadResponse(bufio.NewReader(rw))
+}
+
+// DoAll performs a request over a fresh reader; use Client for multiple
+// requests on one connection.
+type Client struct {
+	rw io.ReadWriter
+	br *bufio.Reader
+}
+
+// NewClient wraps a connection for repeated requests.
+func NewClient(rw io.ReadWriter) *Client {
+	return &Client{rw: rw, br: bufio.NewReader(rw)}
+}
+
+// Do performs one request/response exchange.
+func (c *Client) Do(req *Request) (*Response, error) {
+	if err := req.Write(c.rw); err != nil {
+		return nil, err
+	}
+	return ReadResponse(c.br)
+}

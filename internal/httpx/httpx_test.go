@@ -1,0 +1,150 @@
+package httpx
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := &Request{
+		Method: "POST",
+		Path:   "/submit?x=1",
+		Host:   "origin.example",
+		Header: Header{"X-Custom": "value", "Via": "1.1 proxy"},
+		Body:   []byte("form data here"),
+	}
+	var buf bytes.Buffer
+	if err := req.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != "POST" || got.Path != "/submit?x=1" || got.Host != "origin.example" {
+		t.Fatalf("request line corrupted: %+v", got)
+	}
+	if got.Header.Get("x-custom") != "value" {
+		t.Fatal("case-insensitive header lookup failed")
+	}
+	if !bytes.Equal(got.Body, req.Body) {
+		t.Fatalf("body = %q", got.Body)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := &Response{
+		StatusCode: 302,
+		Header:     Header{"Location": "https://elsewhere.example/"},
+		Body:       []byte("moved"),
+	}
+	var buf bytes.Buffer
+	if err := resp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StatusCode != 302 || got.Reason != "Found" {
+		t.Fatalf("status = %d %q", got.StatusCode, got.Reason)
+	}
+	if got.Header.Get("location") != "https://elsewhere.example/" {
+		t.Fatal("Location header lost")
+	}
+	if string(got.Body) != "moved" {
+		t.Fatalf("body = %q", got.Body)
+	}
+}
+
+func TestEmptyBody(t *testing.T) {
+	resp := &Response{StatusCode: 404, Header: Header{}}
+	var buf bytes.Buffer
+	resp.Write(&buf) //nolint:errcheck
+	got, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Body) != 0 {
+		t.Fatalf("body = %q", got.Body)
+	}
+}
+
+func TestHeaderSetReplacesCaseVariants(t *testing.T) {
+	h := Header{"content-length": "5"}
+	h.Set("Content-Length", "10")
+	if len(h) != 1 || h.Get("CONTENT-LENGTH") != "10" {
+		t.Fatalf("header = %v", h)
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	cases := []string{
+		"NOT A REQUEST LINE\r\n\r\n",
+		"GET /\r\n\r\n",                       // missing version
+		"GET / HTTP/1.1\r\nBadHeader\r\n\r\n", // malformed header
+		"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+		"GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadRequest(bufio.NewReader(strings.NewReader(c))); err == nil {
+			t.Errorf("malformed request parsed: %q", c)
+		}
+	}
+	if _, err := ReadResponse(bufio.NewReader(strings.NewReader("HTTP/1.1 abc OK\r\n\r\n"))); err == nil {
+		t.Error("malformed status code parsed")
+	}
+}
+
+func TestServeAndClientKeepAlive(t *testing.T) {
+	a, b := netsim.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go Serve(b, func(req *Request) *Response { //nolint:errcheck
+		return &Response{StatusCode: 200, Header: Header{}, Body: []byte("echo:" + req.Path)}
+	})
+	client := NewClient(a)
+	for _, path := range []string{"/one", "/two", "/three"} {
+		resp, err := client.Do(&Request{Method: "GET", Path: path, Host: "h", Header: Header{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp.Body) != "echo:"+path {
+			t.Fatalf("got %q", resp.Body)
+		}
+	}
+}
+
+func TestServeNilResponse(t *testing.T) {
+	a, b := netsim.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go Serve(b, func(*Request) *Response { return nil }) //nolint:errcheck
+	resp, err := Do(a, &Request{Method: "GET", Path: "/", Header: Header{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 500 {
+		t.Fatalf("nil handler response → %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestLargeBody(t *testing.T) {
+	body := bytes.Repeat([]byte("abcdefgh"), 1<<16) // 512 KiB
+	resp := &Response{StatusCode: 200, Header: Header{}, Body: body}
+	var buf bytes.Buffer
+	if err := resp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Body, body) {
+		t.Fatal("large body corrupted")
+	}
+}

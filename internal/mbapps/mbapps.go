@@ -1,0 +1,228 @@
+// Package mbapps provides middlebox application processors for the
+// mbTLS data plane: the paper's prototype HTTP header-insertion proxy
+// (§5, "Prototype Implementation"), a Flywheel-style compression proxy
+// (the outsourcing use case of §3, with Google's Flywheel as the
+// running example), and a parental-filter (the opt-in service of §3.5).
+//
+// Each processor is HTTP-message aware: it reassembles complete
+// requests or responses from the record-sized chunks the data plane
+// delivers, transforms them, and re-emits well-formed messages, so
+// Content-Length framing survives arbitrary record boundaries.
+package mbapps
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/httpx"
+)
+
+// messageBuffer incrementally reassembles HTTP messages of one
+// direction from a chunk stream.
+type messageBuffer struct {
+	buf []byte
+}
+
+// nextMessage attempts to cut one complete HTTP message (header block
+// plus Content-Length body) from the buffer. It returns nil if more
+// bytes are needed.
+func (mb *messageBuffer) nextMessage() []byte {
+	idx := bytes.Index(mb.buf, []byte("\r\n\r\n"))
+	if idx < 0 {
+		return nil
+	}
+	headerEnd := idx + 4
+	bodyLen := contentLength(mb.buf[:headerEnd])
+	if bodyLen < 0 || len(mb.buf) < headerEnd+bodyLen {
+		return nil
+	}
+	msg := mb.buf[:headerEnd+bodyLen]
+	mb.buf = append([]byte(nil), mb.buf[headerEnd+bodyLen:]...)
+	return msg
+}
+
+// contentLength extracts the Content-Length from a raw header block
+// (returns 0 when absent, -1 when unparseable — the caller then waits
+// forever, which surfaces as a data-plane timeout rather than
+// corruption).
+func contentLength(headers []byte) int {
+	for _, line := range strings.Split(string(headers), "\r\n") {
+		name, value, ok := strings.Cut(line, ":")
+		if ok && strings.EqualFold(strings.TrimSpace(name), "Content-Length") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(value), "%d", &n); err != nil || n < 0 {
+				return -1
+			}
+			return n
+		}
+	}
+	return 0
+}
+
+// transformProcessor applies a per-message rewrite to the configured
+// direction and passes the other direction through untouched.
+type transformProcessor struct {
+	dir       core.Direction
+	transform func([]byte) ([]byte, error)
+	mb        messageBuffer
+}
+
+// Process implements core.Processor.
+func (p *transformProcessor) Process(dir core.Direction, chunk []byte) ([]byte, error) {
+	if dir != p.dir {
+		return chunk, nil
+	}
+	p.mb.buf = append(p.mb.buf, chunk...)
+	var out []byte
+	for {
+		msg := p.mb.nextMessage()
+		if msg == nil {
+			return out, nil
+		}
+		rewritten, err := p.transform(msg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rewritten...)
+	}
+}
+
+// NewRequestTransformer builds a Processor that rewrites each complete
+// client→server HTTP request.
+func NewRequestTransformer(f func(*httpx.Request) error) core.Processor {
+	return &transformProcessor{
+		dir: core.DirClientToServer,
+		transform: func(msg []byte) ([]byte, error) {
+			req, err := httpx.ReadRequest(bufio.NewReader(bytes.NewReader(msg)))
+			if err != nil {
+				return nil, err
+			}
+			if err := f(req); err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := req.Write(&buf); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+	}
+}
+
+// NewResponseTransformer builds a Processor that rewrites each complete
+// server→client HTTP response.
+func NewResponseTransformer(f func(*httpx.Response) error) core.Processor {
+	return &transformProcessor{
+		dir: core.DirServerToClient,
+		transform: func(msg []byte) ([]byte, error) {
+			resp, err := httpx.ReadResponse(bufio.NewReader(bytes.NewReader(msg)))
+			if err != nil {
+				return nil, err
+			}
+			if err := f(resp); err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := resp.Write(&buf); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+	}
+}
+
+// NewHeaderInserter reproduces the paper's prototype middlebox: "a
+// simple HTTP proxy that performs HTTP header insertion" (§5). Each
+// request gains the given header.
+func NewHeaderInserter(name, value string) core.Processor {
+	return NewRequestTransformer(func(req *httpx.Request) error {
+		req.Header.Set(name, value)
+		return nil
+	})
+}
+
+// NewCompressor builds a Flywheel-style compression proxy: response
+// bodies above threshold are DEFLATE-compressed with Content-Encoding
+// set, shrinking bytes on the client's access link.
+func NewCompressor(threshold int) core.Processor {
+	return NewResponseTransformer(func(resp *httpx.Response) error {
+		if len(resp.Body) < threshold || resp.Header.Get("Content-Encoding") != "" {
+			return nil
+		}
+		var buf bytes.Buffer
+		fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			return err
+		}
+		if _, err := fw.Write(resp.Body); err != nil {
+			return err
+		}
+		if err := fw.Close(); err != nil {
+			return err
+		}
+		if buf.Len() >= len(resp.Body) {
+			return nil // incompressible; leave as-is
+		}
+		resp.Body = buf.Bytes()
+		resp.Header.Set("Content-Encoding", "deflate")
+		return nil
+	})
+}
+
+// Decompress reverses NewCompressor's encoding (client-side helper for
+// the examples and tests).
+func Decompress(resp *httpx.Response) error {
+	if resp.Header.Get("Content-Encoding") != "deflate" {
+		return nil
+	}
+	fr := flate.NewReader(bytes.NewReader(resp.Body))
+	body, err := io.ReadAll(fr)
+	if err != nil {
+		return err
+	}
+	resp.Body = body
+	resp.Header.Set("Content-Encoding", "")
+	return nil
+}
+
+// NewWordFilter builds a parental-filter middlebox: responses whose
+// bodies contain a blocked word are replaced with a 403 page. This is
+// the "filter" middlebox class whose ordering the paper's path
+// integrity property protects (§3.2 P4, §4.2 "Bypassing 'Filter'
+// Middleboxes").
+func NewWordFilter(blocked ...string) core.Processor {
+	return NewResponseTransformer(func(resp *httpx.Response) error {
+		body := strings.ToLower(string(resp.Body))
+		for _, w := range blocked {
+			if strings.Contains(body, strings.ToLower(w)) {
+				resp.StatusCode = 403
+				resp.Reason = "Forbidden"
+				resp.Body = []byte("blocked by parental filter\n")
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+// NewByteCounter passes data through while counting plaintext bytes per
+// direction; the Figure 7 throughput harness uses it as the cheapest
+// possible "inspect" workload.
+type ByteCounter struct {
+	C2S, S2C int64
+}
+
+// Process implements core.Processor.
+func (bc *ByteCounter) Process(dir core.Direction, chunk []byte) ([]byte, error) {
+	if dir == core.DirClientToServer {
+		bc.C2S += int64(len(chunk))
+	} else {
+		bc.S2C += int64(len(chunk))
+	}
+	return chunk, nil
+}

@@ -1,0 +1,201 @@
+package mbapps
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/httpx"
+)
+
+// feedChunks drives a processor with the message split at the given
+// chunk size, concatenating outputs — simulating arbitrary record
+// boundaries on the data plane.
+func feedChunks(t *testing.T, p core.Processor, dir core.Direction, msg []byte, chunkSize int) []byte {
+	t.Helper()
+	var out []byte
+	for off := 0; off < len(msg); off += chunkSize {
+		end := off + chunkSize
+		if end > len(msg) {
+			end = len(msg)
+		}
+		o, err := p.Process(dir, msg[off:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, o...)
+	}
+	return out
+}
+
+func marshalRequest(t *testing.T, req *httpx.Request) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := req.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func marshalResponse(t *testing.T, resp *httpx.Response) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := resp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestHeaderInserterAcrossChunkBoundaries(t *testing.T) {
+	msg := marshalRequest(t, &httpx.Request{
+		Method: "GET", Path: "/page", Host: "origin.example",
+		Header: httpx.Header{}, Body: []byte("req-body"),
+	})
+	// Every chunking, down to byte-at-a-time, must produce the same
+	// rewritten request.
+	for _, chunk := range []int{1, 2, 3, 7, 16, len(msg)} {
+		p := NewHeaderInserter("Via", "1.1 mbtls-proxy")
+		out := feedChunks(t, p, core.DirClientToServer, msg, chunk)
+		req, err := httpx.ReadRequest(bufio.NewReader(bytes.NewReader(out)))
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if req.Header.Get("Via") != "1.1 mbtls-proxy" {
+			t.Fatalf("chunk=%d: Via header missing", chunk)
+		}
+		if string(req.Body) != "req-body" {
+			t.Fatalf("chunk=%d: body corrupted: %q", chunk, req.Body)
+		}
+	}
+}
+
+func TestHeaderInserterPassesResponses(t *testing.T) {
+	p := NewHeaderInserter("Via", "x")
+	resp := marshalResponse(t, &httpx.Response{StatusCode: 200, Header: httpx.Header{}, Body: []byte("ok")})
+	out := feedChunks(t, p, core.DirServerToClient, resp, 4)
+	if !bytes.Equal(out, resp) {
+		t.Fatal("response direction modified by a request transformer")
+	}
+}
+
+func TestHeaderInserterPipelinedRequests(t *testing.T) {
+	var stream []byte
+	for i := 0; i < 3; i++ {
+		stream = append(stream, marshalRequest(t, &httpx.Request{
+			Method: "GET", Path: "/r", Host: "h", Header: httpx.Header{},
+		})...)
+	}
+	p := NewHeaderInserter("Via", "v")
+	out := feedChunks(t, p, core.DirClientToServer, stream, 11)
+	br := bufio.NewReader(bytes.NewReader(out))
+	for i := 0; i < 3; i++ {
+		req, err := httpx.ReadRequest(br)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if req.Header.Get("Via") != "v" {
+			t.Fatalf("request %d missing Via", i)
+		}
+	}
+}
+
+func TestCompressorRoundTrip(t *testing.T) {
+	page := strings.Repeat("compressible content. ", 200)
+	resp := marshalResponse(t, &httpx.Response{
+		StatusCode: 200, Header: httpx.Header{}, Body: []byte(page),
+	})
+	p := NewCompressor(64)
+	out := feedChunks(t, p, core.DirServerToClient, resp, 333)
+	if len(out) >= len(resp) {
+		t.Fatalf("compressor did not shrink: %d → %d bytes", len(resp), len(out))
+	}
+	got, err := httpx.ReadResponse(bufio.NewReader(bytes.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.Get("Content-Encoding") != "deflate" {
+		t.Fatal("Content-Encoding not set")
+	}
+	if err := Decompress(got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body) != page {
+		t.Fatal("decompressed body mismatch")
+	}
+}
+
+func TestCompressorSkipsSmallAndIncompressible(t *testing.T) {
+	p := NewCompressor(1024)
+	small := marshalResponse(t, &httpx.Response{StatusCode: 200, Header: httpx.Header{}, Body: []byte("tiny")})
+	out := feedChunks(t, p, core.DirServerToClient, small, 16)
+	got, err := httpx.ReadResponse(bufio.NewReader(bytes.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.Get("Content-Encoding") != "" {
+		t.Fatal("small body was compressed")
+	}
+	if string(got.Body) != "tiny" {
+		t.Fatal("small body corrupted")
+	}
+}
+
+func TestWordFilterBlocks(t *testing.T) {
+	p := NewWordFilter("forbidden")
+	bad := marshalResponse(t, &httpx.Response{
+		StatusCode: 200, Header: httpx.Header{}, Body: []byte("this page contains FORBIDDEN words"),
+	})
+	out := feedChunks(t, p, core.DirServerToClient, bad, 9)
+	got, err := httpx.ReadResponse(bufio.NewReader(bytes.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StatusCode != 403 {
+		t.Fatalf("status = %d, want 403", got.StatusCode)
+	}
+
+	good := marshalResponse(t, &httpx.Response{
+		StatusCode: 200, Header: httpx.Header{}, Body: []byte("perfectly wholesome content"),
+	})
+	out = feedChunks(t, p, core.DirServerToClient, good, 9)
+	got, err = httpx.ReadResponse(bufio.NewReader(bytes.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StatusCode != 200 {
+		t.Fatalf("clean page blocked: %d", got.StatusCode)
+	}
+}
+
+func TestByteCounter(t *testing.T) {
+	bc := &ByteCounter{}
+	bc.Process(core.DirClientToServer, make([]byte, 10)) //nolint:errcheck
+	bc.Process(core.DirServerToClient, make([]byte, 7))  //nolint:errcheck
+	bc.Process(core.DirClientToServer, make([]byte, 5))  //nolint:errcheck
+	if bc.C2S != 15 || bc.S2C != 7 {
+		t.Fatalf("counters = %d/%d", bc.C2S, bc.S2C)
+	}
+}
+
+func TestTransformerHoldsIncompleteMessage(t *testing.T) {
+	// A partial request must produce no output until completed.
+	msg := marshalRequest(t, &httpx.Request{Method: "GET", Path: "/x", Host: "h", Header: httpx.Header{}})
+	p := NewHeaderInserter("Via", "v")
+	half := len(msg) / 2
+	out, err := p.Process(core.DirClientToServer, msg[:half])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("incomplete message emitted %d bytes", len(out))
+	}
+	out, err = p.Process(core.DirClientToServer, msg[half:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("completed message produced no output")
+	}
+}

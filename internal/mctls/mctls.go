@@ -1,0 +1,266 @@
+// Package mctls implements "mcTLS-lite", a scoped executable model of
+// Multi-Context TLS (Naylor et al., SIGCOMM 2015) — the paper's §2.2
+// comparison point offering fine-grained access control. It exists so
+// the design-space report (paper §2) can back the mcTLS column with
+// running code rather than citations. It is not a full mcTLS stack:
+// the end-to-end channel establishment is assumed (the paper's mbTLS
+// implementation plays that role elsewhere in this repo), and this
+// package models exactly the properties §2.2 discusses:
+//
+//   - Contexts: the data stream is split into contexts (e.g., HTTP
+//     headers vs. bodies), each encrypted and MACed under its own keys.
+//   - RW/RO/None access control: middleboxes receive, per context, the
+//     read keys, the read+write keys, or nothing [Data access:
+//     RW/RO/None]. A read-only middlebox that modifies data is caught
+//     by the writer MAC; a no-access middlebox cannot read at all.
+//   - Both-endpoint authorization: every context key is derived from
+//     key shares contributed by *both* endpoints, so "a middlebox only
+//     gains access if both endpoints agree" [Authorization: both
+//     endpoints] — and, as §2.2 notes, this same mechanism is what
+//     precludes legacy endpoints [Legacy: both upgrade].
+//
+// The record protection follows mcTLS's triple-MAC design: a context
+// record carries an AEAD ciphertext under the context's read key plus
+// MACs under the writer key and the endpoint key, so endpoints can
+// distinguish "modified by an authorized writer" from "modified by a
+// reader or third party".
+package mctls
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Access is a middlebox's permission level for one context.
+type Access int
+
+// Access levels (paper §2.1 "Granularity of Data Access":
+// RW/RO/None).
+const (
+	None Access = iota
+	ReadOnly
+	ReadWrite
+)
+
+// String names the access level.
+func (a Access) String() string {
+	switch a {
+	case ReadWrite:
+		return "read-write"
+	case ReadOnly:
+		return "read-only"
+	}
+	return "none"
+}
+
+// ContextID identifies a data context (e.g., 1 = HTTP headers,
+// 2 = HTTP body).
+type ContextID uint8
+
+// shareLen is the length of each endpoint's key-share contribution.
+const shareLen = 32
+
+// KeyShare is one endpoint's contribution to a context's keys. Both
+// endpoints' shares are required to derive any key — this is the
+// mechanism behind mcTLS's both-endpoint authorization.
+type KeyShare struct {
+	Context ContextID
+	Share   [shareLen]byte
+}
+
+// NewKeyShare draws a fresh random share for a context.
+func NewKeyShare(ctx ContextID) (*KeyShare, error) {
+	ks := &KeyShare{Context: ctx}
+	if _, err := io.ReadFull(rand.Reader, ks.Share[:]); err != nil {
+		return nil, err
+	}
+	return ks, nil
+}
+
+// ContextKeys are the derived keys for one context.
+type ContextKeys struct {
+	Context ContextID
+	// readKey decrypts context data (and MACs it for readers).
+	readKey []byte
+	// writeKey MACs legitimate modifications; held by endpoints and
+	// read-write middleboxes only.
+	writeKey []byte
+	// endpointKey MACs the endpoints' own writes; never given to any
+	// middlebox.
+	endpointKey []byte
+}
+
+// deriveKey expands the two shares into one labeled key.
+func deriveKey(label string, ctx ContextID, clientShare, serverShare *KeyShare) []byte {
+	h := hmac.New(sha256.New, append(clientShare.Share[:], serverShare.Share[:]...))
+	h.Write([]byte(label))
+	h.Write([]byte{byte(ctx)})
+	return h.Sum(nil)
+}
+
+// DeriveContextKeys combines both endpoints' shares. Either share
+// alone yields nothing: authorization requires both endpoints.
+func DeriveContextKeys(clientShare, serverShare *KeyShare) (*ContextKeys, error) {
+	if clientShare == nil || serverShare == nil {
+		return nil, errors.New("mctls: both endpoint shares are required (both-endpoint authorization)")
+	}
+	if clientShare.Context != serverShare.Context {
+		return nil, fmt.Errorf("mctls: share context mismatch: %d vs %d", clientShare.Context, serverShare.Context)
+	}
+	ctx := clientShare.Context
+	return &ContextKeys{
+		Context:     ctx,
+		readKey:     deriveKey("mctls read", ctx, clientShare, serverShare),
+		writeKey:    deriveKey("mctls write", ctx, clientShare, serverShare),
+		endpointKey: deriveKey("mctls endpoint", ctx, clientShare, serverShare),
+	}, nil
+}
+
+// Grant extracts the key material a middlebox with the given access
+// receives. None yields nil.
+func (ck *ContextKeys) Grant(a Access) *ContextKeys {
+	switch a {
+	case ReadWrite:
+		return &ContextKeys{Context: ck.Context, readKey: ck.readKey, writeKey: ck.writeKey}
+	case ReadOnly:
+		return &ContextKeys{Context: ck.Context, readKey: ck.readKey}
+	}
+	return nil
+}
+
+// CanRead reports whether these keys permit decryption.
+func (ck *ContextKeys) CanRead() bool { return ck != nil && ck.readKey != nil }
+
+// CanWrite reports whether these keys permit authorized modification.
+func (ck *ContextKeys) CanWrite() bool { return ck != nil && ck.writeKey != nil }
+
+// Record is one protected mcTLS-lite context record.
+type Record struct {
+	Context ContextID
+	Seq     uint64
+	// Ciphertext is nonce||AEAD(payload) under the read key.
+	Ciphertext []byte
+	// WriterMAC authenticates the ciphertext under the write key: any
+	// entity holding read access but not write access cannot produce
+	// it, so endpoints detect modifications by read-only middleboxes.
+	WriterMAC []byte
+	// EndpointMAC authenticates under the endpoint key; it survives
+	// only if no middlebox (of any permission) modified the record,
+	// telling endpoints whether data is endpoint-original.
+	EndpointMAC []byte
+}
+
+const macLen = sha256.Size
+
+func mac(key []byte, ctx ContextID, seq uint64, ciphertext []byte) []byte {
+	h := hmac.New(sha256.New, key)
+	var hdr [9]byte
+	hdr[0] = byte(ctx)
+	binary.BigEndian.PutUint64(hdr[1:], seq)
+	h.Write(hdr[:])
+	h.Write(ciphertext)
+	return h.Sum(nil)
+}
+
+func (ck *ContextKeys) aead() (cipher.AEAD, error) {
+	block, err := aes.NewCipher(ck.readKey[:32])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// Seal protects payload as an endpoint: encrypted under the read key,
+// MACed under both the write and endpoint keys.
+func (ck *ContextKeys) Seal(seq uint64, payload []byte) (*Record, error) {
+	if !ck.CanRead() || !ck.CanWrite() || ck.endpointKey == nil {
+		return nil, errors.New("mctls: sealing requires full endpoint keys")
+	}
+	ct, err := ck.encrypt(seq, payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Record{
+		Context:     ck.Context,
+		Seq:         seq,
+		Ciphertext:  ct,
+		WriterMAC:   mac(ck.writeKey, ck.Context, seq, ct),
+		EndpointMAC: mac(ck.endpointKey, ck.Context, seq, ct),
+	}, nil
+}
+
+func (ck *ContextKeys) encrypt(seq uint64, payload []byte) ([]byte, error) {
+	aead, err := ck.aead()
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	binary.BigEndian.PutUint64(nonce[4:], seq)
+	if _, err := io.ReadFull(rand.Reader, nonce[:4]); err != nil {
+		return nil, err
+	}
+	return aead.Seal(nonce, nonce, payload, []byte{byte(ck.Context)}), nil
+}
+
+// Open decrypts a record with read access, verifying the writer MAC.
+func (ck *ContextKeys) Open(rec *Record) ([]byte, error) {
+	if !ck.CanRead() {
+		return nil, errors.New("mctls: no read access to this context")
+	}
+	if ck.CanWrite() {
+		want := mac(ck.writeKey, rec.Context, rec.Seq, rec.Ciphertext)
+		if !hmac.Equal(want, rec.WriterMAC) {
+			return nil, errors.New("mctls: writer MAC invalid (unauthorized modification)")
+		}
+	}
+	aead, err := ck.aead()
+	if err != nil {
+		return nil, err
+	}
+	if len(rec.Ciphertext) < aead.NonceSize() {
+		return nil, errors.New("mctls: short ciphertext")
+	}
+	nonce := rec.Ciphertext[:aead.NonceSize()]
+	payload, err := aead.Open(nil, nonce, rec.Ciphertext[aead.NonceSize():], []byte{byte(rec.Context)})
+	if err != nil {
+		return nil, errors.New("mctls: decryption failed")
+	}
+	return payload, nil
+}
+
+// Rewrite replaces a record's payload as a read-write middlebox: the
+// ciphertext and writer MAC are regenerated, but the endpoint MAC
+// cannot be (the middlebox lacks the endpoint key), so endpoints can
+// tell the data is no longer endpoint-original.
+func (ck *ContextKeys) Rewrite(rec *Record, payload []byte) (*Record, error) {
+	if !ck.CanWrite() {
+		return nil, errors.New("mctls: no write access to this context")
+	}
+	ct, err := ck.encrypt(rec.Seq, payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Record{
+		Context:    rec.Context,
+		Seq:        rec.Seq,
+		Ciphertext: ct,
+		WriterMAC:  mac(ck.writeKey, rec.Context, rec.Seq, ct),
+		// EndpointMAC deliberately absent: only endpoints hold that key.
+	}, nil
+}
+
+// VerifyEndpointOriginal reports whether the record is exactly as an
+// endpoint produced it (no middlebox modified it, authorized or not).
+func (ck *ContextKeys) VerifyEndpointOriginal(rec *Record) bool {
+	if ck.endpointKey == nil || len(rec.EndpointMAC) != macLen {
+		return false
+	}
+	return hmac.Equal(mac(ck.endpointKey, rec.Context, rec.Seq, rec.Ciphertext), rec.EndpointMAC)
+}

@@ -1,0 +1,187 @@
+package mctls
+
+import (
+	"bytes"
+	"testing"
+)
+
+// session derives full endpoint keys for one context.
+func session(t *testing.T, ctx ContextID) (*ContextKeys, *KeyShare, *KeyShare) {
+	t.Helper()
+	cs, err := NewKeyShare(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewKeyShare(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := DeriveContextKeys(cs, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keys, cs, ss
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	keys, _, _ := session(t, 1)
+	rec, err := keys.Seal(0, []byte("context-1 payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := keys.Open(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "context-1 payload" {
+		t.Fatalf("payload = %q", got)
+	}
+	if !keys.VerifyEndpointOriginal(rec) {
+		t.Fatal("fresh record not endpoint-original")
+	}
+}
+
+// TestBothEndpointAuthorization: a single endpoint's share derives
+// nothing — the paper's [Authorization: both endpoints] cell.
+func TestBothEndpointAuthorization(t *testing.T) {
+	cs, err := NewKeyShare(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeriveContextKeys(cs, nil); err == nil {
+		t.Fatal("keys derived from a single endpoint's share")
+	}
+	if _, err := DeriveContextKeys(nil, cs); err == nil {
+		t.Fatal("keys derived from a single endpoint's share")
+	}
+	// Different shares yield different keys (no share, no access).
+	keysA, _, _ := session(t, 1)
+	keysB, _, _ := session(t, 1)
+	recA, _ := keysA.Seal(0, []byte("secret"))
+	if _, err := keysB.Open(recA); err == nil {
+		t.Fatal("keys from unrelated shares decrypted the record")
+	}
+}
+
+// TestReadOnlyMiddlebox: an RO grant can read but any modification is
+// detected by write-capable parties — the cryptographic guarantee §2.2
+// credits to mcTLS ("its access control mechanisms provide
+// cryptographic guarantees that the middlebox will not modify data").
+func TestReadOnlyMiddlebox(t *testing.T) {
+	keys, _, _ := session(t, 1)
+	ro := keys.Grant(ReadOnly)
+	if !ro.CanRead() || ro.CanWrite() {
+		t.Fatalf("RO grant: read=%v write=%v", ro.CanRead(), ro.CanWrite())
+	}
+
+	rec, _ := keys.Seal(0, []byte("read me, don't touch me"))
+	got, err := ro.Open(rec)
+	if err != nil {
+		t.Fatalf("RO middlebox cannot read: %v", err)
+	}
+	if string(got) != "read me, don't touch me" {
+		t.Fatal("RO read corrupted")
+	}
+
+	// The RO middlebox forges a modified record as best it can: it has
+	// the read key, so it can re-encrypt — but it cannot produce the
+	// writer MAC.
+	forgedCT, err := ro.encrypt(0, []byte("tampered by RO middlebox!!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := &Record{Context: 1, Seq: 0, Ciphertext: forgedCT, WriterMAC: rec.WriterMAC}
+	if _, err := keys.Open(forged); err == nil {
+		t.Fatal("endpoint accepted a record modified by a read-only middlebox")
+	}
+}
+
+// TestReadWriteMiddlebox: an RW grant can legitimately rewrite; the
+// endpoint accepts the rewrite but can tell it is no longer
+// endpoint-original.
+func TestReadWriteMiddlebox(t *testing.T) {
+	keys, _, _ := session(t, 2)
+	rw := keys.Grant(ReadWrite)
+	rec, _ := keys.Seal(7, []byte("original"))
+
+	payload, err := rw.Open(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten, err := rw.Rewrite(rec, append(payload, []byte(" +compressed")...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := keys.Open(rewritten)
+	if err != nil {
+		t.Fatalf("endpoint rejected an authorized rewrite: %v", err)
+	}
+	if string(got) != "original +compressed" {
+		t.Fatalf("rewritten payload = %q", got)
+	}
+	if keys.VerifyEndpointOriginal(rewritten) {
+		t.Fatal("rewritten record still claims endpoint originality")
+	}
+}
+
+// TestNoAccessMiddlebox: a None grant yields nothing at all.
+func TestNoAccessMiddlebox(t *testing.T) {
+	keys, _, _ := session(t, 3)
+	none := keys.Grant(None)
+	if none != nil {
+		t.Fatal("None grant returned key material")
+	}
+	var nilKeys *ContextKeys
+	if nilKeys.CanRead() || nilKeys.CanWrite() {
+		t.Fatal("nil keys claim access")
+	}
+}
+
+// TestContextIsolation: keys for one context cannot open another's
+// records even within the same session shares.
+func TestContextIsolation(t *testing.T) {
+	csHeaders, _ := NewKeyShare(1)
+	ssHeaders, _ := NewKeyShare(1)
+	csBody, _ := NewKeyShare(2)
+	ssBody, _ := NewKeyShare(2)
+	headers, err := DeriveContextKeys(csHeaders, ssHeaders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := DeriveContextKeys(csBody, ssBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := headers.Seal(0, []byte("header data"))
+	if _, err := body.Open(rec); err == nil {
+		t.Fatal("body-context keys opened a headers-context record")
+	}
+	if _, err := DeriveContextKeys(csHeaders, ssBody); err == nil {
+		t.Fatal("cross-context shares combined")
+	}
+}
+
+// TestRewriteRequiresWriteAccess: Rewrite with RO keys fails.
+func TestRewriteRequiresWriteAccess(t *testing.T) {
+	keys, _, _ := session(t, 1)
+	ro := keys.Grant(ReadOnly)
+	rec, _ := keys.Seal(0, []byte("x"))
+	if _, err := ro.Rewrite(rec, []byte("y")); err == nil {
+		t.Fatal("read-only grant rewrote a record")
+	}
+}
+
+func TestTamperedCiphertextRejected(t *testing.T) {
+	keys, _, _ := session(t, 1)
+	rec, _ := keys.Seal(0, bytes.Repeat([]byte{0xAA}, 64))
+	rec.Ciphertext[20] ^= 1
+	if _, err := keys.Open(rec); err == nil {
+		t.Fatal("tampered ciphertext accepted")
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	if None.String() == ReadOnly.String() || ReadOnly.String() == ReadWrite.String() {
+		t.Fatal("access levels stringify ambiguously")
+	}
+}

@@ -1,0 +1,111 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Network is an in-memory address space: nodes Listen on names and
+// Dial each other, with per-link characteristics. It gives the
+// experiment harnesses and tests the same Listen/Accept/Dial shape as
+// real deployments use with TCP.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	// linkFor decides the characteristics of a new connection; nil
+	// means a plain Pipe.
+	linkFor func(from, to string) LinkConfig
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network {
+	return &Network{listeners: make(map[string]*Listener)}
+}
+
+// SetLinkPolicy installs a function choosing link characteristics per
+// (from, to) pair.
+func (n *Network) SetLinkPolicy(f func(from, to string) LinkConfig) {
+	n.mu.Lock()
+	n.linkFor = f
+	n.mu.Unlock()
+}
+
+// Listen claims an address.
+func (n *Network) Listen(addr string) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("netsim: address %q already in use", addr)
+	}
+	l := &Listener{
+		network: n,
+		addr:    addr,
+		backlog: make(chan net.Conn, 64),
+		closed:  make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects from a named node to a listening address.
+func (n *Network) Dial(from, to string) (net.Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[to]
+	policy := n.linkFor
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netsim: connection refused: %q", to)
+	}
+	cfg := LinkConfig{}
+	if policy != nil {
+		cfg = policy(from, to)
+	}
+	cfg.NameA, cfg.NameB = from, to
+	client, server := NewLink(cfg)
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("netsim: connection refused: %q closed", to)
+	case <-time.After(5 * time.Second):
+		return nil, fmt.Errorf("netsim: accept backlog full at %q", to)
+	}
+}
+
+// Listener accepts in-memory connections for one address.
+type Listener struct {
+	network *Network
+	addr    string
+	backlog chan net.Conn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+var _ net.Listener = (*Listener)(nil)
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close releases the address.
+func (l *Listener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.network.mu.Lock()
+		delete(l.network.listeners, l.addr)
+		l.network.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr returns the listening address.
+func (l *Listener) Addr() net.Addr { return Addr(l.addr) }

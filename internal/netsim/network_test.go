@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestNetworkListenDial(t *testing.T) {
+	n := NewNetwork()
+	ln, err := n.Listen("server.example:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			done <- err
+			return
+		}
+		_, err = conn.Write(buf)
+		done <- err
+	}()
+
+	conn, err := n.Dial("client", "server.example:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if conn.RemoteAddr().String() != "server.example:443" {
+		t.Fatalf("remote addr = %v", conn.RemoteAddr())
+	}
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkConnectionRefused(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.Dial("client", "nobody.example:1"); err == nil {
+		t.Fatal("dial to unbound address succeeded")
+	}
+}
+
+func TestNetworkAddressInUse(t *testing.T) {
+	n := NewNetwork()
+	ln, err := n.Listen("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a:1"); err == nil {
+		t.Fatal("double listen succeeded")
+	}
+	ln.Close()
+	// Address is reusable after close.
+	ln2, err := n.Listen("a:1")
+	if err != nil {
+		t.Fatalf("listen after close: %v", err)
+	}
+	ln2.Close()
+}
+
+func TestNetworkCloseUnblocksAccept(t *testing.T) {
+	n := NewNetwork()
+	ln, err := n.Listen("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	ln.Close()
+	select {
+	case err := <-done:
+		if err != net.ErrClosed {
+			t.Fatalf("accept after close = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept did not unblock on close")
+	}
+}
+
+func TestNetworkLinkPolicy(t *testing.T) {
+	n := NewNetwork()
+	n.SetLinkPolicy(func(from, to string) LinkConfig {
+		return LinkConfig{Latency: 25 * time.Millisecond}
+	})
+	ln, err := n.Listen("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write([]byte("x")) //nolint:errcheck
+	}()
+	conn, err := n.Dial("cli", "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("link policy latency not applied")
+	}
+}

@@ -1,0 +1,267 @@
+// Package netsim provides an in-memory network substrate: buffered
+// duplex pipes with configurable one-way latency and bandwidth, a
+// region-to-region topology for the paper's inter-datacenter latency
+// experiment (Figure 6), and on-path filter entities modeling the
+// firewalls and traffic normalizers of the handshake-viability
+// experiment (Table 2).
+//
+// Unlike net.Pipe, writes are buffered and never block on the peer, so
+// protocol code that sends best-effort messages (alerts, announcements)
+// behaves as it would over a kernel TCP socket.
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClosedPipe is returned for operations on a closed pipe end.
+var ErrClosedPipe = errors.New("netsim: closed pipe")
+
+// chunk is a unit of in-flight data with its delivery time.
+type chunk struct {
+	data      []byte
+	deliverAt time.Time
+}
+
+// stream is one direction of a pipe.
+type stream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	chunks []chunk
+	offset int // read offset into chunks[0].data
+
+	latency   time.Duration
+	byteDelay time.Duration // per-byte transmission delay (0 = infinite bandwidth)
+	lastAt    time.Time     // arrival time of the most recently queued chunk
+	maxBuf    int64         // flow-control window: max unread bytes in flight
+
+	closed   bool // write side closed: EOF after drain
+	broken   bool // reader gone: writes fail
+	bytesIn  int64
+	bytesOut int64
+}
+
+// defaultWindow is the per-direction flow-control window, playing the
+// role of the TCP receive window: writers block once this many bytes
+// are queued unread, so a fast sender cannot balloon memory.
+const defaultWindow = 1 << 20
+
+func newStream(latency time.Duration, bitsPerSecond float64) *stream {
+	s := &stream{latency: latency, maxBuf: defaultWindow}
+	if bitsPerSecond > 0 {
+		s.byteDelay = time.Duration(8 * float64(time.Second) / bitsPerSecond)
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *stream) write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Flow control: wait for window space (a chunk may overshoot the
+	// window by up to its own size, like a final TCP segment).
+	for !s.closed && !s.broken && s.bytesIn-s.bytesOut >= s.maxBuf {
+		s.cond.Wait()
+	}
+	if s.closed || s.broken {
+		return 0, ErrClosedPipe
+	}
+	now := time.Now()
+	arrive := now.Add(s.latency)
+	if s.lastAt.After(arrive) {
+		arrive = s.lastAt
+	}
+	arrive = arrive.Add(time.Duration(len(p)) * s.byteDelay)
+	s.lastAt = arrive
+	s.chunks = append(s.chunks, chunk{data: append([]byte(nil), p...), deliverAt: arrive})
+	s.bytesIn += int64(len(p))
+	s.cond.Broadcast()
+	return len(p), nil
+}
+
+func (s *stream) read(p []byte, deadline time.Time) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.chunks) > 0 {
+			now := time.Now()
+			first := s.chunks[0]
+			if wait := first.deliverAt.Sub(now); wait > 0 {
+				// Latency not yet elapsed: sleep outside the lock,
+				// then re-check (new deadline may apply).
+				s.mu.Unlock()
+				timer := time.NewTimer(wait)
+				<-timer.C
+				s.mu.Lock()
+				continue
+			}
+			n := copy(p, first.data[s.offset:])
+			s.offset += n
+			s.bytesOut += int64(n)
+			if s.offset == len(first.data) {
+				s.chunks = s.chunks[1:]
+				s.offset = 0
+			}
+			// Wake writers blocked on the flow-control window.
+			s.cond.Broadcast()
+			return n, nil
+		}
+		if s.closed {
+			return 0, io.EOF
+		}
+		if s.broken {
+			return 0, ErrClosedPipe
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return 0, errDeadline
+		}
+		if !deadline.IsZero() {
+			// Wake up at the deadline if nothing arrives.
+			t := time.AfterFunc(time.Until(deadline), s.cond.Broadcast)
+			s.cond.Wait()
+			t.Stop()
+		} else {
+			s.cond.Wait()
+		}
+	}
+}
+
+// closeWrite marks the write side closed; the reader sees EOF after
+// draining in-flight data.
+func (s *stream) closeWrite() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// breakRead marks the read side gone; writers fail immediately.
+func (s *stream) breakRead() {
+	s.mu.Lock()
+	s.broken = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+var errDeadline error = &timeoutError{}
+
+type timeoutError struct{}
+
+func (*timeoutError) Error() string   { return "netsim: i/o timeout" }
+func (*timeoutError) Timeout() bool   { return true }
+func (*timeoutError) Temporary() bool { return true }
+
+// Addr is a trivial net.Addr naming a simulated node.
+type Addr string
+
+// Network returns the simulated network name.
+func (Addr) Network() string { return "netsim" }
+
+// String returns the node name.
+func (a Addr) String() string { return string(a) }
+
+// Conn is one end of a simulated connection.
+type Conn struct {
+	in, out   *stream
+	local     Addr
+	remote    Addr
+	mu        sync.Mutex
+	rDeadline time.Time
+	closed    bool
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Read reads delivered bytes, honoring latency and read deadlines.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	dl := c.rDeadline
+	c.mu.Unlock()
+	return c.in.read(p, dl)
+}
+
+// Write queues bytes for delivery after the link latency. It never
+// blocks on the reader.
+func (c *Conn) Write(p []byte) (int, error) { return c.out.write(p) }
+
+// Close closes both directions of this end.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.out.closeWrite()
+	c.in.breakRead()
+	return nil
+}
+
+// LocalAddr returns the local node name.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr returns the remote node name.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline sets the read deadline (write never blocks).
+func (c *Conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline sets the read deadline.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rDeadline = t
+	c.mu.Unlock()
+	c.in.cond.Broadcast()
+	return nil
+}
+
+// SetWriteDeadline is a no-op; writes are buffered.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return nil }
+
+// Stats reports bytes written to and read from this end's inbound
+// stream (delivered traffic).
+func (c *Conn) Stats() (queued, delivered int64) {
+	c.in.mu.Lock()
+	defer c.in.mu.Unlock()
+	return c.in.bytesIn, c.in.bytesOut
+}
+
+// LinkConfig describes one simulated link.
+type LinkConfig struct {
+	// Latency is the one-way propagation delay in each direction.
+	Latency time.Duration
+	// Bandwidth is the link rate in bits per second; 0 means
+	// unlimited.
+	Bandwidth float64
+	// NameA and NameB label the two ends.
+	NameA, NameB string
+}
+
+// NewLink creates a duplex connection with the given characteristics.
+func NewLink(cfg LinkConfig) (*Conn, *Conn) {
+	if cfg.NameA == "" {
+		cfg.NameA = "a"
+	}
+	if cfg.NameB == "" {
+		cfg.NameB = "b"
+	}
+	ab := newStream(cfg.Latency, cfg.Bandwidth)
+	ba := newStream(cfg.Latency, cfg.Bandwidth)
+	a := &Conn{in: ba, out: ab, local: Addr(cfg.NameA), remote: Addr(cfg.NameB)}
+	b := &Conn{in: ab, out: ba, local: Addr(cfg.NameB), remote: Addr(cfg.NameA)}
+	return a, b
+}
+
+// Pipe returns an unbuffered-latency, unlimited-bandwidth duplex pipe:
+// a drop-in, non-blocking replacement for net.Pipe.
+func Pipe() (*Conn, *Conn) {
+	return NewLink(LinkConfig{})
+}

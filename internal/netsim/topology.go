@@ -1,0 +1,67 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Region is a datacenter region from the paper's Figure 6 deployment
+// ("We deploy VMs in four regions (Australia, US West, US East, and
+// UK)").
+type Region string
+
+// The four regions of the Figure 6 experiment.
+const (
+	RegionAU  Region = "au"
+	RegionUSW Region = "usw"
+	RegionUSE Region = "use"
+	RegionUK  Region = "uk"
+)
+
+// Regions lists the Figure 6 regions in a stable order.
+var Regions = []Region{RegionAU, RegionUSW, RegionUSE, RegionUK}
+
+// interRegionRTT holds representative round-trip times between public
+// cloud regions (ms), drawn from published inter-region measurements.
+// Only the relative geometry matters for the experiment: the paper's
+// claim is that mbTLS adds no round trips, so its latency tracks TLS
+// across any path mix.
+var interRegionRTT = map[[2]Region]time.Duration{
+	{RegionAU, RegionUSW}:  150 * time.Millisecond,
+	{RegionAU, RegionUSE}:  200 * time.Millisecond,
+	{RegionAU, RegionUK}:   280 * time.Millisecond,
+	{RegionUSW, RegionUSE}: 70 * time.Millisecond,
+	{RegionUSW, RegionUK}:  140 * time.Millisecond,
+	{RegionUSE, RegionUK}:  80 * time.Millisecond,
+}
+
+// RegionRTT returns the round-trip time between two regions.
+func RegionRTT(a, b Region) (time.Duration, error) {
+	if a == b {
+		return 2 * time.Millisecond, nil // intra-region
+	}
+	if rtt, ok := interRegionRTT[[2]Region{a, b}]; ok {
+		return rtt, nil
+	}
+	if rtt, ok := interRegionRTT[[2]Region{b, a}]; ok {
+		return rtt, nil
+	}
+	return 0, fmt.Errorf("netsim: no RTT entry for %s-%s", a, b)
+}
+
+// RegionLink creates a duplex connection between two regions, with the
+// one-way latency scaled by scale (tests and the harness use scale<1 to
+// compress wall-clock time without changing the geometry).
+func RegionLink(a, b Region, scale float64) (*Conn, *Conn, error) {
+	rtt, err := RegionRTT(a, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	oneWay := time.Duration(float64(rtt) * scale / 2)
+	ca, cb := NewLink(LinkConfig{
+		Latency: oneWay,
+		NameA:   string(a),
+		NameB:   string(b),
+	})
+	return ca, cb, nil
+}

@@ -1,0 +1,145 @@
+// Package population synthesizes the web-site population of the
+// paper's legacy-interoperability experiment (§5.1): fetching the root
+// document of the Alexa top-500's 385 HTTPS sites through an mbTLS
+// client and middlebox. The paper's observed failure mix is reproduced
+// deterministically:
+//
+//	308 fetched successfully
+//	 19 invalid or expired certificates
+//	 40 without AES-256-GCM (the prototype's only suite)
+//	 13 redirects the SOCKS implementation mishandled
+//	  5 unknown failures
+//
+// Each synthetic site is an unmodified legacy tls12 server configured
+// to produce its class's behavior through the same client code path a
+// real deployment would exercise.
+package population
+
+import (
+	"fmt"
+
+	"repro/internal/certs"
+	"repro/internal/tls12"
+)
+
+// Outcome classifies a fetch attempt, mirroring §5.1's breakdown.
+type Outcome string
+
+// Outcomes.
+const (
+	OutcomeSuccess  Outcome = "success"
+	OutcomeBadCert  Outcome = "invalid or expired certificate"
+	OutcomeNoCipher Outcome = "no AES-256-GCM support"
+	OutcomeRedirect Outcome = "mishandled redirect"
+	OutcomeUnknown  Outcome = "unknown failure"
+	OutcomeNotHTTPS Outcome = "no HTTPS"
+)
+
+// Paper's §5.1 counts.
+const (
+	TotalAlexa     = 500
+	HTTPSSites     = 385
+	ExpectSuccess  = 308
+	ExpectBadCert  = 19
+	ExpectNoCipher = 40
+	ExpectRedirect = 13
+	ExpectUnknown  = 5
+)
+
+// Site is one synthetic HTTPS site.
+type Site struct {
+	// Rank is the site's Alexa-style rank (1-based).
+	Rank int
+	// Name is the site hostname.
+	Name string
+	// Class is the behavior this site exhibits.
+	Class Outcome
+}
+
+// Behavior materializes the site's server-side configuration.
+type Behavior struct {
+	// Certificate presented by the server.
+	Certificate *tls12.Certificate
+	// CipherSuites offered by the server.
+	CipherSuites []uint16
+	// Redirect, if non-empty, makes the root document a 302 to an
+	// external host (which the experiment's simple proxy mishandles,
+	// as the paper's SOCKS implementation did).
+	Redirect string
+	// Broken makes the server reset the connection mid-handshake (the
+	// "unknown failure" class).
+	Broken bool
+	// Body is the root document.
+	Body []byte
+}
+
+// Sites generates the deterministic 385-site population. The class
+// assignment cycles through ranks so failures are spread across the
+// list as they were in the wild.
+func Sites() []Site {
+	classes := make([]Outcome, 0, HTTPSSites)
+	for i := 0; i < ExpectSuccess; i++ {
+		classes = append(classes, OutcomeSuccess)
+	}
+	for i := 0; i < ExpectBadCert; i++ {
+		classes = append(classes, OutcomeBadCert)
+	}
+	for i := 0; i < ExpectNoCipher; i++ {
+		classes = append(classes, OutcomeNoCipher)
+	}
+	for i := 0; i < ExpectRedirect; i++ {
+		classes = append(classes, OutcomeRedirect)
+	}
+	for i := 0; i < ExpectUnknown; i++ {
+		classes = append(classes, OutcomeUnknown)
+	}
+	// Deterministic interleave: stride through the class list with a
+	// multiplier coprime to its length so classes spread over ranks.
+	n := len(classes)
+	sites := make([]Site, n)
+	for i := 0; i < n; i++ {
+		j := (i * 211) % n
+		sites[i] = Site{
+			Rank:  i + 1,
+			Name:  fmt.Sprintf("site%03d.example", i+1),
+			Class: classes[j],
+		}
+	}
+	return sites
+}
+
+// Materialize builds the server-side behavior for a site under the
+// given CA.
+func Materialize(ca *certs.CA, s Site) (*Behavior, error) {
+	b := &Behavior{
+		CipherSuites: []uint16{
+			tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384,
+			tls12.TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256,
+		},
+		Body: []byte(fmt.Sprintf("<html><body>%s root document</body></html>", s.Name)),
+	}
+	var err error
+	switch s.Class {
+	case OutcomeBadCert:
+		// Half expired, half untrusted — the two §5.1 sub-classes.
+		if s.Rank%2 == 0 {
+			b.Certificate, err = ca.IssueExpired(s.Name, []string{s.Name})
+		} else {
+			b.Certificate, err = certs.SelfSigned(s.Name, []string{s.Name})
+		}
+	case OutcomeNoCipher:
+		// Site supports only AES-128-GCM; the prototype client is
+		// configured AES-256-GCM-only, so negotiation fails.
+		b.CipherSuites = []uint16{tls12.TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256}
+		b.Certificate, err = ca.Issue(s.Name, []string{s.Name}, nil)
+	case OutcomeRedirect:
+		b.Redirect = fmt.Sprintf("https://www.%s/", s.Name)
+		b.Certificate, err = ca.Issue(s.Name, []string{s.Name}, nil)
+	case OutcomeUnknown:
+		b.Broken = true
+		b.Certificate, err = ca.Issue(s.Name, []string{s.Name}, nil)
+	default:
+		b.Certificate, err = ca.Issue(s.Name, []string{s.Name}, nil)
+	}
+	return b, err
+}

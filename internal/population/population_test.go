@@ -1,0 +1,106 @@
+package population
+
+import (
+	"testing"
+
+	"repro/internal/certs"
+	"repro/internal/tls12"
+)
+
+func TestPopulationCountsMatchPaper(t *testing.T) {
+	sites := Sites()
+	if len(sites) != HTTPSSites {
+		t.Fatalf("population size = %d, want %d", len(sites), HTTPSSites)
+	}
+	counts := map[Outcome]int{}
+	for _, s := range sites {
+		counts[s.Class]++
+	}
+	want := map[Outcome]int{
+		OutcomeSuccess:  ExpectSuccess,
+		OutcomeBadCert:  ExpectBadCert,
+		OutcomeNoCipher: ExpectNoCipher,
+		OutcomeRedirect: ExpectRedirect,
+		OutcomeUnknown:  ExpectUnknown,
+	}
+	for outcome, n := range want {
+		if counts[outcome] != n {
+			t.Errorf("%s: %d sites, want %d", outcome, counts[outcome], n)
+		}
+	}
+}
+
+func TestPopulationDeterministic(t *testing.T) {
+	a, b := Sites(), Sites()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("site %d differs across generations: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFailuresSpreadAcrossRanks(t *testing.T) {
+	// The failure classes must not cluster at the end of the list.
+	sites := Sites()
+	firstHalfFailures := 0
+	for _, s := range sites[:len(sites)/2] {
+		if s.Class != OutcomeSuccess {
+			firstHalfFailures++
+		}
+	}
+	if firstHalfFailures < 10 {
+		t.Fatalf("only %d failures in the first half; classes are clustered", firstHalfFailures)
+	}
+}
+
+func TestMaterializeClasses(t *testing.T) {
+	ca, err := certs.NewCA("pop root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		class Outcome
+		check func(*Behavior) bool
+		desc  string
+	}{
+		{OutcomeSuccess, func(b *Behavior) bool {
+			return b.Certificate != nil && !b.Broken && b.Redirect == "" && len(b.CipherSuites) == 2
+		}, "plain working site"},
+		{OutcomeNoCipher, func(b *Behavior) bool {
+			return len(b.CipherSuites) == 1 && b.CipherSuites[0] == tls12.TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256
+		}, "AES-128-only site"},
+		{OutcomeRedirect, func(b *Behavior) bool { return b.Redirect != "" }, "redirecting site"},
+		{OutcomeUnknown, func(b *Behavior) bool { return b.Broken }, "broken site"},
+	}
+	for _, c := range cases {
+		b, err := Materialize(ca, Site{Rank: 1, Name: "test.example", Class: c.class})
+		if err != nil {
+			t.Fatalf("%s: %v", c.desc, err)
+		}
+		if !c.check(b) {
+			t.Errorf("%s: behavior %+v does not match class", c.desc, b)
+		}
+	}
+}
+
+func TestMaterializeBadCertVariants(t *testing.T) {
+	ca, err := certs.NewCA("pop root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even ranks: expired (chain rooted at ca); odd ranks: untrusted.
+	expired, err := Materialize(ca, Site{Rank: 2, Name: "even.example", Class: OutcomeBadCert})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expired.Certificate.Chain) < 2 {
+		t.Fatal("expired-cert site should chain to the CA")
+	}
+	selfSigned, err := Materialize(ca, Site{Rank: 3, Name: "odd.example", Class: OutcomeBadCert})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selfSigned.Certificate.Chain) != 1 {
+		t.Fatal("untrusted-cert site should present a bare leaf")
+	}
+}

@@ -1,0 +1,85 @@
+// Package timing provides the per-role compute stopwatch behind the
+// paper's Figure 5 ("time spent executing a single handshake (not
+// including waiting for network I/O)"). A role's handshake code runs
+// the stopwatch while it is processing and releases it while blocked
+// reading from the network; with several concurrent sections (a client
+// running its primary and secondary handshakes in parallel) the
+// stopwatch accumulates wall time during which at least one section is
+// active.
+package timing
+
+import (
+	"sync"
+	"time"
+)
+
+// Stopwatch accumulates time while one or more sections are active.
+// The zero value is ready to use. All methods are safe for concurrent
+// use.
+type Stopwatch struct {
+	mu        sync.Mutex
+	active    int
+	lastStart time.Time
+	total     time.Duration
+}
+
+// Enter starts (or joins) an active section.
+func (s *Stopwatch) Enter() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.active == 0 {
+		s.lastStart = time.Now()
+	}
+	s.active++
+	s.mu.Unlock()
+}
+
+// Exit leaves a section; when the last section exits, elapsed time is
+// accumulated.
+func (s *Stopwatch) Exit() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 {
+		s.total += time.Since(s.lastStart)
+	}
+	s.mu.Unlock()
+}
+
+// Pause temporarily suspends one section (used around blocking reads);
+// it is Exit under a clearer name at call sites.
+func (s *Stopwatch) Pause() { s.Exit() }
+
+// Resume re-activates a paused section.
+func (s *Stopwatch) Resume() { s.Enter() }
+
+// Total returns the accumulated active time.
+func (s *Stopwatch) Total() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.total
+	if s.active > 0 {
+		t += time.Since(s.lastStart)
+	}
+	return t
+}
+
+// Reset zeroes the accumulated time.
+func (s *Stopwatch) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.total = 0
+	if s.active > 0 {
+		s.lastStart = time.Now()
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,91 @@
+package timing
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStopwatchBasic(t *testing.T) {
+	var sw Stopwatch
+	sw.Enter()
+	time.Sleep(20 * time.Millisecond)
+	sw.Exit()
+	got := sw.Total()
+	if got < 15*time.Millisecond || got > 200*time.Millisecond {
+		t.Fatalf("total = %v, want ≈20ms", got)
+	}
+}
+
+func TestStopwatchExcludesPauses(t *testing.T) {
+	var sw Stopwatch
+	sw.Enter()
+	time.Sleep(10 * time.Millisecond)
+	sw.Pause()
+	time.Sleep(50 * time.Millisecond) // "blocked on network"
+	sw.Resume()
+	time.Sleep(10 * time.Millisecond)
+	sw.Exit()
+	got := sw.Total()
+	if got < 15*time.Millisecond || got > 45*time.Millisecond {
+		t.Fatalf("total = %v, want ≈20ms excluding the 50ms pause", got)
+	}
+}
+
+func TestStopwatchOverlappingSections(t *testing.T) {
+	// Two concurrent sections overlapping in time count once: the
+	// stopwatch measures wall time with ≥1 active section.
+	var sw Stopwatch
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sw.Enter()
+			time.Sleep(30 * time.Millisecond)
+			sw.Exit()
+		}()
+	}
+	wg.Wait()
+	got := sw.Total()
+	if got < 25*time.Millisecond || got > 100*time.Millisecond {
+		t.Fatalf("total = %v, want ≈30ms (not 60ms)", got)
+	}
+}
+
+func TestStopwatchNilSafe(t *testing.T) {
+	var sw *Stopwatch
+	sw.Enter()
+	sw.Pause()
+	sw.Resume()
+	sw.Exit()
+	if sw.Total() != 0 {
+		t.Fatal("nil stopwatch total != 0")
+	}
+	sw.Reset()
+}
+
+func TestStopwatchReset(t *testing.T) {
+	var sw Stopwatch
+	sw.Enter()
+	time.Sleep(5 * time.Millisecond)
+	sw.Exit()
+	sw.Reset()
+	if sw.Total() != 0 {
+		t.Fatalf("total after reset = %v", sw.Total())
+	}
+}
+
+func TestStopwatchTotalWhileRunning(t *testing.T) {
+	var sw Stopwatch
+	sw.Enter()
+	time.Sleep(10 * time.Millisecond)
+	mid := sw.Total()
+	sw.Exit()
+	if mid < 5*time.Millisecond {
+		t.Fatalf("running total = %v, want ≥5ms", mid)
+	}
+	if sw.Total() < mid {
+		t.Fatal("final total went backwards")
+	}
+}

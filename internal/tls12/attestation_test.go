@@ -1,0 +1,225 @@
+package tls12_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/enclave"
+	"repro/internal/netsim"
+	"repro/internal/tls12"
+)
+
+// attestFixture wires an enclave-backed server for tls12-level
+// attestation tests. The SGXAttestation handshake extension is
+// independent of mbTLS (paper §3.4: "This extension is independent of
+// mbTLS and could be used in standard client/server handshakes").
+type attestFixture struct {
+	authority *enclave.Authority
+	image     enclave.CodeImage
+	enclave   *enclave.Enclave
+}
+
+func newAttestFixture(t *testing.T) *attestFixture {
+	t.Helper()
+	authority, err := enclave.NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := authority.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	image := enclave.CodeImage{Name: "attested-server", Version: "2.0"}
+	return &attestFixture{authority: authority, image: image, enclave: platform.CreateEnclave(image)}
+}
+
+func (f *attestFixture) quoter() func([]byte) ([]byte, error) {
+	return func(reportData []byte) (quote []byte, err error) {
+		f.enclave.Enter(func(mem enclave.Memory) {
+			var q *enclave.Quote
+			q, err = mem.Quote(reportData)
+			if err == nil {
+				quote = q.Marshal()
+			}
+		})
+		return quote, err
+	}
+}
+
+func TestPlainTLSWithAttestation(t *testing.T) {
+	fx := newAttestFixture(t)
+	_, clientCfg, serverCfg := testPKI(t, "attested.example")
+	serverCfg.Quoter = fx.quoter()
+	clientCfg.RequestAttestation = true
+	verifier := &enclave.Verifier{
+		Authority: fx.authority.PublicKey(),
+		Allowed:   []enclave.Measurement{fx.image.Measurement()},
+	}
+	clientCfg.VerifyQuote = verifier.VerifyQuote
+
+	client, server, cErr, sErr := runHandshake(t, clientCfg, serverCfg)
+	if cErr != nil || sErr != nil {
+		t.Fatalf("attested handshake: client=%v server=%v", cErr, sErr)
+	}
+	defer client.Close()
+	defer server.Close()
+	if len(client.ConnectionState().AttestationQuote) == 0 {
+		t.Fatal("client state lacks the attestation quote")
+	}
+}
+
+func TestAttestationRequiredButServerCannot(t *testing.T) {
+	fx := newAttestFixture(t)
+	_, clientCfg, serverCfg := testPKI(t, "attested.example")
+	// Server has no Quoter.
+	clientCfg.RequestAttestation = true
+	clientCfg.VerifyQuote = (&enclave.Verifier{Authority: fx.authority.PublicKey()}).VerifyQuote
+	_, _, cErr, _ := runHandshake(t, clientCfg, serverCfg)
+	if cErr == nil {
+		t.Fatal("client accepted a handshake without the required attestation")
+	}
+	if !strings.Contains(cErr.Error(), "attest") {
+		t.Fatalf("failure does not name attestation: %v", cErr)
+	}
+}
+
+func TestAttestationNotRequestedNotSent(t *testing.T) {
+	fx := newAttestFixture(t)
+	_, clientCfg, serverCfg := testPKI(t, "attested.example")
+	serverCfg.Quoter = fx.quoter()
+	// Client does not request attestation; a quote-capable server must
+	// not volunteer one.
+	client, server, cErr, sErr := runHandshake(t, clientCfg, serverCfg)
+	if cErr != nil || sErr != nil {
+		t.Fatalf("handshake: client=%v server=%v", cErr, sErr)
+	}
+	defer client.Close()
+	defer server.Close()
+	if len(client.ConnectionState().AttestationQuote) != 0 {
+		t.Fatal("server attested without being asked")
+	}
+}
+
+// TestAttestationBindsTranscript: the report data covers the handshake
+// transcript, so a quoter producing a quote for different report data
+// (a replay) is rejected.
+func TestAttestationBindsTranscript(t *testing.T) {
+	fx := newAttestFixture(t)
+	_, clientCfg, serverCfg := testPKI(t, "attested.example")
+
+	// A malicious host replays a quote from a previous handshake.
+	staleReport := make([]byte, enclave.ReportDataLen)
+	copy(staleReport, []byte("some other handshake"))
+	var staleQuote []byte
+	fx.enclave.Enter(func(mem enclave.Memory) {
+		q, err := mem.Quote(staleReport)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		staleQuote = q.Marshal()
+	})
+	serverCfg.Quoter = func(reportData []byte) ([]byte, error) {
+		return staleQuote, nil // ignore the fresh report data
+	}
+	clientCfg.RequestAttestation = true
+	clientCfg.VerifyQuote = (&enclave.Verifier{
+		Authority: fx.authority.PublicKey(),
+		Allowed:   []enclave.Measurement{fx.image.Measurement()},
+	}).VerifyQuote
+
+	_, _, cErr, _ := runHandshake(t, clientCfg, serverCfg)
+	if cErr == nil {
+		t.Fatal("client accepted a replayed quote (transcript binding broken)")
+	}
+}
+
+func TestLenientServerSkipsAnnouncementRecords(t *testing.T) {
+	_, clientCfg, serverCfg := testPKI(t, "example.com")
+	serverCfg.LenientUnknownRecords = true
+
+	cp, sp := netsim.Pipe()
+	client := tls12.NewClientConn(cp, clientCfg)
+	server := tls12.NewServerConn(sp, serverCfg)
+
+	// Inject an announcement ahead of the handshake, as an announcing
+	// middlebox would.
+	ann := tls12.RawRecord{Type: tls12.TypeMiddleboxAnnouncement}
+	if _, err := cp.Write(ann.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- server.Handshake() }()
+	if err := client.Handshake(); err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("lenient server rejected announcement: %v", err)
+	}
+	client.Close()
+	server.Close()
+}
+
+func TestStrictServerRejectsAnnouncementRecords(t *testing.T) {
+	_, clientCfg, serverCfg := testPKI(t, "example.com")
+	cp, sp := netsim.Pipe()
+	client := tls12.NewClientConn(cp, clientCfg)
+	server := tls12.NewServerConn(sp, serverCfg)
+
+	ann := tls12.RawRecord{Type: tls12.TypeMiddleboxAnnouncement}
+	if _, err := cp.Write(ann.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- server.Handshake() }()
+	cErr := client.Handshake()
+	sErr := <-errc
+	if sErr == nil {
+		t.Fatal("strict server accepted an announcement record")
+	}
+	if cErr == nil {
+		t.Fatal("client did not observe the strict server's failure")
+	}
+}
+
+func TestKeyMaterialRecordAPI(t *testing.T) {
+	_, clientCfg, serverCfg := testPKI(t, "example.com")
+	client, server, cErr, sErr := runHandshake(t, clientCfg, serverCfg)
+	if cErr != nil || sErr != nil {
+		t.Fatal(cErr, sErr)
+	}
+	defer client.Close()
+	defer server.Close()
+
+	payload := []byte("opaque key material payload")
+	done := make(chan error, 1)
+	go func() { done <- client.WriteKeyMaterial(payload) }()
+	got, err := server.ReadKeyMaterial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Application data written before key material must be preserved
+	// for later Reads.
+	go func() {
+		client.Write([]byte("early app data")) //nolint:errcheck
+		client.WriteKeyMaterial(payload)       //nolint:errcheck
+	}()
+	if _, err := server.ReadKeyMaterial(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 14)
+	if _, err := server.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "early app data" {
+		t.Fatalf("buffered data = %q", buf)
+	}
+}

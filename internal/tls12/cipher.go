@@ -1,0 +1,127 @@
+package tls12
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+)
+
+// Suite key-material geometry. Both supported suites are AES-GCM with a
+// 4-byte implicit nonce salt and an 8-byte explicit nonce (RFC 5288).
+const (
+	gcmImplicitNonceLen = 4
+	gcmExplicitNonceLen = 8
+	gcmTagLen           = 16
+)
+
+// suiteKeyLen returns the AEAD key length for a cipher suite.
+func suiteKeyLen(suiteID uint16) (int, error) {
+	switch suiteID {
+	case TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256:
+		return 16, nil
+	case TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384:
+		return 32, nil
+	}
+	return 0, fmt.Errorf("tls12: unsupported cipher suite 0x%04X", suiteID)
+}
+
+// suiteIVLen returns the implicit-IV length for a cipher suite.
+func suiteIVLen(suiteID uint16) int { return gcmImplicitNonceLen }
+
+// CipherState holds one direction of record protection: an AES-GCM AEAD,
+// the 4-byte implicit nonce salt, and the 64-bit record sequence number.
+// mbTLS exposes it because per-hop keys (paper §3.4, Figure 4) are
+// installed directly into record layers at arbitrary starting sequence
+// numbers carried by MBTLSKeyMaterial messages.
+type CipherState struct {
+	aead cipher.AEAD
+	iv   [gcmImplicitNonceLen]byte
+	seq  uint64
+}
+
+// NewCipherState builds a CipherState for the given suite from raw key
+// material. key must be the suite's key length and iv the 4-byte
+// implicit salt. seq is the starting record sequence number.
+func NewCipherState(suiteID uint16, key, iv []byte, seq uint64) (*CipherState, error) {
+	keyLen, err := suiteKeyLen(suiteID)
+	if err != nil {
+		return nil, err
+	}
+	if len(key) != keyLen {
+		return nil, fmt.Errorf("tls12: suite %s needs %d-byte key, got %d", CipherSuiteName(suiteID), keyLen, len(key))
+	}
+	if len(iv) != gcmImplicitNonceLen {
+		return nil, fmt.Errorf("tls12: need %d-byte implicit IV, got %d", gcmImplicitNonceLen, len(iv))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	cs := &CipherState{aead: aead, seq: seq}
+	copy(cs.iv[:], iv)
+	return cs, nil
+}
+
+// Seq returns the next record sequence number to be used.
+func (cs *CipherState) Seq() uint64 { return cs.seq }
+
+// nonce assembles the 12-byte GCM nonce: implicit salt || explicit part.
+func (cs *CipherState) nonce(explicit []byte) []byte {
+	n := make([]byte, 0, gcmImplicitNonceLen+gcmExplicitNonceLen)
+	n = append(n, cs.iv[:]...)
+	n = append(n, explicit...)
+	return n
+}
+
+// additionalData builds the AEAD associated data for a record:
+// seq(8) || type(1) || version(2) || plaintext length(2), RFC 5246 §6.2.3.3.
+func additionalData(seq uint64, typ ContentType, plaintextLen int) []byte {
+	var ad [13]byte
+	binary.BigEndian.PutUint64(ad[:8], seq)
+	ad[8] = byte(typ)
+	binary.BigEndian.PutUint16(ad[9:11], VersionTLS12)
+	binary.BigEndian.PutUint16(ad[11:13], uint16(plaintextLen))
+	return ad[:]
+}
+
+// Seal encrypts a record payload, producing the wire form:
+// explicit_nonce(8) || ciphertext || tag. It advances the sequence
+// number. The explicit nonce is the sequence number, as TLS
+// implementations conventionally do.
+func (cs *CipherState) Seal(typ ContentType, plaintext []byte) []byte {
+	var explicit [gcmExplicitNonceLen]byte
+	binary.BigEndian.PutUint64(explicit[:], cs.seq)
+
+	out := make([]byte, gcmExplicitNonceLen, gcmExplicitNonceLen+len(plaintext)+gcmTagLen)
+	copy(out, explicit[:])
+	out = cs.aead.Seal(out, cs.nonce(explicit[:]), plaintext, additionalData(cs.seq, typ, len(plaintext)))
+	cs.seq++
+	return out
+}
+
+// Open decrypts a record payload in wire form and advances the sequence
+// number on success. A failure leaves the sequence number unchanged and
+// returns an error; the connection must be torn down with a
+// bad_record_mac alert (this is what enforces path integrity, paper P4).
+func (cs *CipherState) Open(typ ContentType, payload []byte) ([]byte, error) {
+	if len(payload) < gcmExplicitNonceLen+gcmTagLen {
+		return nil, &AlertError{Description: AlertBadRecordMAC}
+	}
+	explicit := payload[:gcmExplicitNonceLen]
+	ciphertext := payload[gcmExplicitNonceLen:]
+	plaintextLen := len(ciphertext) - gcmTagLen
+	plaintext, err := cs.aead.Open(nil, cs.nonce(explicit), ciphertext, additionalData(cs.seq, typ, plaintextLen))
+	if err != nil {
+		return nil, &AlertError{Description: AlertBadRecordMAC}
+	}
+	cs.seq++
+	return plaintext, nil
+}
+
+// Overhead returns the number of bytes Seal adds to a plaintext.
+func (cs *CipherState) Overhead() int { return gcmExplicitNonceLen + gcmTagLen }

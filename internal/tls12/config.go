@@ -1,0 +1,144 @@
+package tls12
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/x509"
+	"errors"
+	"io"
+	"time"
+
+	"repro/internal/timing"
+)
+
+// Certificate is a leaf certificate chain plus its Ed25519 private key.
+type Certificate struct {
+	// Chain is the DER-encoded certificate chain, leaf first.
+	Chain [][]byte
+	// PrivateKey signs ServerKeyExchange messages.
+	PrivateKey ed25519.PrivateKey
+	// Leaf is the parsed leaf certificate (optional; parsed on demand).
+	Leaf *x509.Certificate
+}
+
+// SessionTicket is the client-side state needed to resume a session
+// (RFC 5077). The server's state travels inside the opaque Ticket.
+type SessionTicket struct {
+	Ticket       []byte
+	CipherSuite  uint16
+	MasterSecret []byte
+}
+
+// Config configures a Conn. A Config may be reused across connections.
+// The zero value is not usable; at minimum CipherSuites defaults are
+// applied by the connection.
+type Config struct {
+	// Rand is the entropy source; nil means crypto/rand.Reader.
+	Rand io.Reader
+	// Time returns the current time for certificate validation; nil
+	// means time.Now.
+	Time func() time.Time
+
+	// Certificate authenticates the server side of a handshake.
+	Certificate *Certificate
+	// RootCAs are the trust anchors for peer certificate verification.
+	RootCAs *x509.CertPool
+	// ServerName is the expected peer hostname (client side) and the
+	// SNI value sent in the ClientHello.
+	ServerName string
+	// InsecureSkipVerify disables certificate verification. Used only
+	// in tests and attack demonstrations.
+	InsecureSkipVerify bool
+	// VerifyPeerCertificate, if set, runs after standard verification
+	// with the verified chain (or the raw leaf when verification is
+	// skipped).
+	VerifyPeerCertificate func(chain []*x509.Certificate) error
+
+	// CipherSuites restricts the offered/accepted suites; nil means
+	// both supported AES-GCM suites. The paper's prototype supported
+	// only AES-256-GCM — the legacy-interop experiment (§5.1)
+	// reproduces that restriction through this knob.
+	CipherSuites []uint16
+
+	// EnableTickets makes a server issue session tickets and a client
+	// request them.
+	EnableTickets bool
+	// TicketKey encrypts server-issued tickets. Required when
+	// EnableTickets is set on a server.
+	TicketKey [32]byte
+	// SessionTicket, when set on a client, attempts an abbreviated
+	// resumption handshake.
+	SessionTicket *SessionTicket
+	// OnNewTicket, when set on a client, receives tickets issued by
+	// the server.
+	OnNewTicket func(*SessionTicket)
+
+	// MiddleboxSupport, when set on a client, is attached to the
+	// ClientHello to invite on-path middleboxes (mbTLS, paper §3.4).
+	MiddleboxSupport *MiddleboxSupport
+
+	// RequestAttestation makes a client require an SGXAttestation
+	// message from the server; VerifyQuote must also be set.
+	RequestAttestation bool
+	// OfferAttestation puts the attestation-request extension in the
+	// ClientHello without making it mandatory for this session. mbTLS
+	// clients set it on the primary handshake so that discovered
+	// middleboxes (whose secondary sessions reuse the primary
+	// ClientHello) are invited to attest even when the origin server
+	// does not (paper §3.4).
+	OfferAttestation bool
+	// VerifyQuote validates a received quote against the report data
+	// this connection computed (the transcript binding, paper §3.4
+	// "Secure Environment Attestation").
+	VerifyQuote func(quote, reportData []byte) error
+	// Quoter, when set on a server, produces an SGX quote over the
+	// given 64-byte report data if the client requests attestation.
+	Quoter func(reportData []byte) ([]byte, error)
+
+	// Stopwatch, when set, accumulates this connection's handshake
+	// compute time, excluding time blocked on network reads (the
+	// quantity reported by the paper's Figure 5).
+	Stopwatch *timing.Stopwatch
+
+	// LenientUnknownRecords makes a server skip mbTLS record types it
+	// does not understand (Encapsulated, MiddleboxAnnouncement) instead
+	// of failing the handshake. The paper (§3.4) observes legacy
+	// stacks do one or the other; both behaviors are reproduced.
+	LenientUnknownRecords bool
+}
+
+func (c *Config) rand() io.Reader {
+	if c == nil || c.Rand == nil {
+		return rand.Reader
+	}
+	return c.Rand
+}
+
+func (c *Config) time() time.Time {
+	if c == nil || c.Time == nil {
+		return time.Now()
+	}
+	return c.Time()
+}
+
+func (c *Config) cipherSuites() []uint16 {
+	if c != nil && len(c.CipherSuites) > 0 {
+		return c.CipherSuites
+	}
+	return []uint16{
+		TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384,
+		TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256,
+	}
+}
+
+func (c *Config) supportsSuite(id uint16) bool {
+	for _, s := range c.cipherSuites() {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// errNoCertificate is returned when a server config lacks a certificate.
+var errNoCertificate = errors.New("tls12: server config has no certificate")

@@ -1,0 +1,495 @@
+package tls12
+
+import (
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/timing"
+)
+
+// ConnectionState summarizes a completed handshake.
+type ConnectionState struct {
+	HandshakeComplete bool
+	CipherSuite       uint16
+	Resumed           bool
+	// PeerCertificates is the verified (or, with InsecureSkipVerify,
+	// merely parsed) peer chain, leaf first.
+	PeerCertificates []*x509.Certificate
+	// AttestationQuote is the raw SGX quote received during the
+	// handshake, if any.
+	AttestationQuote []byte
+	// ClientHello is the peer's parsed ClientHello (server side only);
+	// mbTLS servers use it to learn about middlebox support.
+	ClientHello *ClientHello
+}
+
+// SessionKeys exports one session's record-protection material. mbTLS
+// endpoints export their primary session's keys as the "bridge" key
+// K(C-S) handed to the outermost middleboxes (paper Figure 4), together
+// with the current sequence numbers as required by the
+// MBTLSKeyMaterial format (Appendix A.1).
+type SessionKeys struct {
+	Suite          uint16
+	ClientWriteKey []byte
+	ClientWriteIV  []byte
+	ServerWriteKey []byte
+	ServerWriteIV  []byte
+	// ClientSeq and ServerSeq are the next record sequence numbers in
+	// the client-to-server and server-to-client directions.
+	ClientSeq uint64
+	ServerSeq uint64
+}
+
+// Conn is one endpoint of a TLS 1.2 session over a RecordLayer. It is
+// used both for ordinary two-party TLS and, by internal/core, for the
+// primary and secondary sessions of an mbTLS handshake.
+type Conn struct {
+	rl       *RecordLayer
+	config   *Config
+	isClient bool
+
+	// closer, if non-nil, is closed with the connection (typically the
+	// underlying net.Conn).
+	closer io.Closer
+
+	hsMu          sync.Mutex
+	handshakeDone bool
+	handshakeErr  error
+
+	// mbTLS interleaving hooks: a client may have already sent its
+	// ClientHello (shared with the primary handshake), and a server
+	// (middlebox) may have already received one.
+	pendingHello     *ClientHello
+	pendingHelloRaw  []byte
+	receivedHelloRaw []byte
+
+	// hsBuf accumulates handshake-record payloads until a complete
+	// message is available.
+	hsBuf []byte
+
+	readMu     sync.Mutex
+	appBuf     []byte
+	readErr    error
+	keyMatBuf  [][]byte // MBTLSKeyMaterial payloads awaiting ReadKeyMaterial
+	peerClosed bool
+
+	alertMu   sync.Mutex
+	sentAlert bool
+
+	state ConnectionState
+
+	// masterSecret is retained for key export and resumption.
+	masterSecret []byte
+	clientRandom [randomLen]byte
+	serverRandom [randomLen]byte
+}
+
+// Client returns a client-side Conn over rl.
+func Client(rl *RecordLayer, config *Config) *Conn {
+	return &Conn{rl: rl, config: config, isClient: true}
+}
+
+// Server returns a server-side Conn over rl.
+func Server(rl *RecordLayer, config *Config) *Conn {
+	return &Conn{rl: rl, config: config}
+}
+
+// ClientWithSentHello returns a client-side Conn whose ClientHello was
+// already written to the wire by the caller. mbTLS uses this twice: the
+// core client writes the primary ClientHello itself (so it can attach
+// the MiddleboxSupport extension and reuse the bytes), and every
+// secondary session with a discovered middlebox reuses the primary
+// ClientHello as its first flight (paper §3.4, P7).
+func ClientWithSentHello(rl *RecordLayer, config *Config, hello *ClientHello, raw []byte) *Conn {
+	return &Conn{rl: rl, config: config, isClient: true, pendingHello: hello, pendingHelloRaw: raw}
+}
+
+// ServerWithReceivedHello returns a server-side Conn that treats raw as
+// the already-received ClientHello. Middleboxes use this to run their
+// secondary handshake against the sniffed primary ClientHello.
+func ServerWithReceivedHello(rl *RecordLayer, config *Config, raw []byte) *Conn {
+	return &Conn{rl: rl, config: config, receivedHelloRaw: raw}
+}
+
+// NewClientConn dials TLS over an existing net.Conn, owning its
+// lifetime.
+func NewClientConn(nc net.Conn, config *Config) *Conn {
+	c := Client(NewRecordLayer(nc), config)
+	c.closer = nc
+	return c
+}
+
+// NewServerConn accepts TLS over an existing net.Conn, owning its
+// lifetime.
+func NewServerConn(nc net.Conn, config *Config) *Conn {
+	c := Server(NewRecordLayer(nc), config)
+	c.closer = nc
+	return c
+}
+
+// SetCloser attaches an io.Closer closed alongside the Conn.
+func (c *Conn) SetCloser(cl io.Closer) { c.closer = cl }
+
+// RecordLayer exposes the connection's record layer so mbTLS can
+// install per-hop data-plane ciphers after key distribution.
+func (c *Conn) RecordLayer() *RecordLayer { return c.rl }
+
+// ConnectionState returns the post-handshake connection state.
+func (c *Conn) ConnectionState() ConnectionState {
+	c.hsMu.Lock()
+	defer c.hsMu.Unlock()
+	return c.state
+}
+
+// Handshake runs the handshake if it has not run yet.
+func (c *Conn) Handshake() error {
+	c.hsMu.Lock()
+	defer c.hsMu.Unlock()
+	return c.handshakeLocked()
+}
+
+// sw returns the configured handshake stopwatch (nil-safe).
+func (c *Conn) sw() *timing.Stopwatch {
+	if c.config == nil {
+		return nil
+	}
+	return c.config.Stopwatch
+}
+
+func (c *Conn) handshakeLocked() error {
+	if c.handshakeDone {
+		return c.handshakeErr
+	}
+	c.handshakeDone = true
+	c.sw().Enter()
+	defer c.sw().Exit()
+	if c.isClient {
+		c.handshakeErr = c.clientHandshake()
+	} else {
+		c.handshakeErr = c.serverHandshake()
+	}
+	if c.handshakeErr == nil {
+		c.state.HandshakeComplete = true
+	}
+	return c.handshakeErr
+}
+
+// errUnexpectedCCS reports a ChangeCipherSpec at an illegal point.
+var errUnexpectedCCS = errors.New("tls12: unexpected change_cipher_spec")
+
+// handleAlert processes an alert record payload and returns the
+// resulting terminal error (nil for ignorable warnings).
+func (c *Conn) handleAlert(payload []byte) error {
+	if len(payload) != 2 {
+		return c.fatal(AlertDecodeError, errors.New("tls12: malformed alert"))
+	}
+	level, desc := AlertLevel(payload[0]), AlertDescription(payload[1])
+	if desc == AlertCloseNotify {
+		c.peerClosed = true
+		return io.EOF
+	}
+	if level == AlertLevelFatal {
+		return &AlertError{Description: desc, Remote: true}
+	}
+	return nil // ignore warnings
+}
+
+// fatal sends a fatal alert (best effort) and returns an AlertError
+// wrapping cause.
+func (c *Conn) fatal(desc AlertDescription, cause error) error {
+	c.sendAlert(AlertLevelFatal, desc)
+	if cause == nil {
+		return &AlertError{Description: desc}
+	}
+	return fmt.Errorf("%w (%s)", cause, desc)
+}
+
+func (c *Conn) sendAlert(level AlertLevel, desc AlertDescription) {
+	c.alertMu.Lock()
+	defer c.alertMu.Unlock()
+	if c.sentAlert && level == AlertLevelFatal {
+		return
+	}
+	if level == AlertLevelFatal || desc == AlertCloseNotify {
+		c.sentAlert = true
+	}
+	_ = c.rl.WriteRecord(TypeAlert, []byte{byte(level), byte(desc)})
+}
+
+// readHandshakeMsg returns the next complete handshake message. If
+// allowCCS is true and a ChangeCipherSpec record arrives on a message
+// boundary, it returns ccs=true with no message.
+func (c *Conn) readHandshakeMsg(allowCCS bool) (typ HandshakeType, body, raw []byte, ccs bool, err error) {
+	for {
+		if len(c.hsBuf) >= 4 {
+			n := int(c.hsBuf[1])<<16 | int(c.hsBuf[2])<<8 | int(c.hsBuf[3])
+			if len(c.hsBuf) >= 4+n {
+				raw = c.hsBuf[:4+n]
+				c.hsBuf = c.hsBuf[4+n:]
+				typ = HandshakeType(raw[0])
+				body = raw[4 : 4+n]
+				return typ, body, raw, false, nil
+			}
+		}
+		c.sw().Pause()
+		rec, err := c.rl.ReadRecord()
+		c.sw().Resume()
+		if err != nil {
+			return 0, nil, nil, false, err
+		}
+		switch rec.Type {
+		case TypeHandshake:
+			if len(rec.Payload) == 0 {
+				return 0, nil, nil, false, c.fatal(AlertDecodeError, errors.New("tls12: empty handshake record"))
+			}
+			c.hsBuf = append(c.hsBuf, rec.Payload...)
+		case TypeAlert:
+			if err := c.handleAlert(rec.Payload); err != nil {
+				return 0, nil, nil, false, err
+			}
+		case TypeChangeCipherSpec:
+			if !allowCCS || len(c.hsBuf) != 0 {
+				return 0, nil, nil, false, c.fatal(AlertUnexpectedMessage, errUnexpectedCCS)
+			}
+			if len(rec.Payload) != 1 || rec.Payload[0] != 1 {
+				return 0, nil, nil, false, c.fatal(AlertDecodeError, errors.New("tls12: malformed change_cipher_spec"))
+			}
+			return 0, nil, nil, true, nil
+		case TypeEncapsulated, TypeMiddleboxAnnouncement, TypeKeyMaterial:
+			// A legacy endpoint confronted with mbTLS record types
+			// either skips them or fails the handshake (paper §3.4,
+			// "Server-Side Middleboxes").
+			if c.config != nil && c.config.LenientUnknownRecords {
+				continue
+			}
+			return 0, nil, nil, false, c.fatal(AlertUnexpectedMessage,
+				fmt.Errorf("tls12: unexpected %s record during handshake", rec.Type))
+		default:
+			return 0, nil, nil, false, c.fatal(AlertUnexpectedMessage,
+				fmt.Errorf("tls12: unexpected %s record during handshake", rec.Type))
+		}
+	}
+}
+
+// expectHandshakeMsg reads the next handshake message and checks its
+// type.
+func (c *Conn) expectHandshakeMsg(want HandshakeType) (body, raw []byte, err error) {
+	typ, body, raw, _, err := c.readHandshakeMsg(false)
+	if err != nil {
+		return nil, nil, err
+	}
+	if typ != want {
+		return nil, nil, c.fatal(AlertUnexpectedMessage, fmt.Errorf("tls12: expected %s, got %s", want, typ))
+	}
+	return body, raw, nil
+}
+
+// readChangeCipherSpec consumes a CCS record.
+func (c *Conn) readChangeCipherSpec() error {
+	_, _, _, ccs, err := c.readHandshakeMsg(true)
+	if err != nil {
+		return err
+	}
+	if !ccs {
+		return c.fatal(AlertUnexpectedMessage, errors.New("tls12: expected change_cipher_spec"))
+	}
+	return nil
+}
+
+func (c *Conn) writeHandshakeMsg(raw []byte) error {
+	return c.rl.WriteRecord(TypeHandshake, raw)
+}
+
+func (c *Conn) writeChangeCipherSpec() error {
+	return c.rl.WriteRecord(TypeChangeCipherSpec, []byte{1})
+}
+
+// Read reads application data, running the handshake first if needed.
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.Handshake(); err != nil {
+		return 0, err
+	}
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	for len(c.appBuf) == 0 {
+		if c.readErr != nil {
+			return 0, c.readErr
+		}
+		rec, err := c.rl.ReadRecord()
+		if err != nil {
+			c.readErr = err
+			return 0, err
+		}
+		switch rec.Type {
+		case TypeApplicationData:
+			c.appBuf = rec.Payload
+		case TypeAlert:
+			if err := c.handleAlert(rec.Payload); err != nil {
+				c.readErr = err
+				return 0, err
+			}
+		case TypeKeyMaterial:
+			c.keyMatBuf = append(c.keyMatBuf, rec.Payload)
+		case TypeEncapsulated, TypeMiddleboxAnnouncement:
+			if c.config != nil && c.config.LenientUnknownRecords {
+				continue
+			}
+			c.readErr = c.fatal(AlertUnexpectedMessage, fmt.Errorf("tls12: unexpected %s record", rec.Type))
+			return 0, c.readErr
+		default:
+			c.readErr = c.fatal(AlertUnexpectedMessage, fmt.Errorf("tls12: unexpected %s record", rec.Type))
+			return 0, c.readErr
+		}
+	}
+	n := copy(p, c.appBuf)
+	c.appBuf = c.appBuf[n:]
+	return n, nil
+}
+
+// Write writes application data, running the handshake first if needed.
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.Handshake(); err != nil {
+		return 0, err
+	}
+	if err := c.rl.WriteRecord(TypeApplicationData, p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// WriteKeyMaterial sends an MBTLSKeyMaterial record, protected by this
+// session's cipher. mbTLS endpoints call this on their secondary
+// sessions to hand per-hop keys to middleboxes (paper §3.4).
+func (c *Conn) WriteKeyMaterial(payload []byte) error {
+	if err := c.Handshake(); err != nil {
+		return err
+	}
+	return c.rl.WriteRecord(TypeKeyMaterial, payload)
+}
+
+// ReadKeyMaterial blocks until an MBTLSKeyMaterial record arrives.
+// Application data arriving first is buffered for later Reads.
+func (c *Conn) ReadKeyMaterial() ([]byte, error) {
+	if err := c.Handshake(); err != nil {
+		return nil, err
+	}
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	for {
+		if len(c.keyMatBuf) > 0 {
+			km := c.keyMatBuf[0]
+			c.keyMatBuf = c.keyMatBuf[1:]
+			return km, nil
+		}
+		if c.readErr != nil {
+			return nil, c.readErr
+		}
+		rec, err := c.rl.ReadRecord()
+		if err != nil {
+			c.readErr = err
+			return nil, err
+		}
+		switch rec.Type {
+		case TypeKeyMaterial:
+			c.keyMatBuf = append(c.keyMatBuf, rec.Payload)
+		case TypeApplicationData:
+			c.appBuf = append(c.appBuf, rec.Payload...)
+		case TypeAlert:
+			if err := c.handleAlert(rec.Payload); err != nil {
+				c.readErr = err
+				return nil, err
+			}
+		default:
+			c.readErr = c.fatal(AlertUnexpectedMessage, fmt.Errorf("tls12: unexpected %s record", rec.Type))
+			return nil, c.readErr
+		}
+	}
+}
+
+// Close sends a close_notify alert and closes the underlying transport
+// if the Conn owns one.
+func (c *Conn) Close() error {
+	c.sendAlert(AlertLevelWarning, AlertCloseNotify)
+	if c.closer != nil {
+		return c.closer.Close()
+	}
+	return nil
+}
+
+// SetDeadline forwards to the underlying net.Conn when one is attached.
+func (c *Conn) SetDeadline(t time.Time) error {
+	if nc, ok := c.closer.(net.Conn); ok {
+		return nc.SetDeadline(t)
+	}
+	return errors.New("tls12: no deadline support on this transport")
+}
+
+// ExportSessionKeys exports the session's record keys and current
+// sequence numbers. It is only valid after a completed handshake.
+func (c *Conn) ExportSessionKeys() (*SessionKeys, error) {
+	c.hsMu.Lock()
+	defer c.hsMu.Unlock()
+	if !c.state.HandshakeComplete {
+		return nil, errors.New("tls12: handshake not complete")
+	}
+	cwKey, swKey, cwIV, swIV := keysFromMaster(c.state.CipherSuite, c.masterSecret, c.clientRandom[:], c.serverRandom[:])
+	sk := &SessionKeys{
+		Suite:          c.state.CipherSuite,
+		ClientWriteKey: cwKey,
+		ClientWriteIV:  cwIV,
+		ServerWriteKey: swKey,
+		ServerWriteIV:  swIV,
+	}
+	write := c.rl.WriteCipher()
+	read := c.rl.ReadCipher()
+	if write == nil || read == nil {
+		return nil, errors.New("tls12: record protection not active")
+	}
+	if c.isClient {
+		sk.ClientSeq = write.Seq()
+		sk.ServerSeq = read.Seq()
+	} else {
+		sk.ClientSeq = read.Seq()
+		sk.ServerSeq = write.Seq()
+	}
+	return sk, nil
+}
+
+// InstallDataCiphers replaces the connection's record protection with
+// mbTLS per-hop cipher states. Endpoints call this after distributing
+// MBTLSKeyMaterial so their adjacent hop uses its fresh key (paper
+// Figure 4) instead of the end-to-end session key.
+func (c *Conn) InstallDataCiphers(read, write *CipherState) {
+	c.rl.SetReadCipher(read)
+	c.rl.SetWriteCipher(write)
+}
+
+// keysFromMaster expands the master secret into the suite's GCM keys
+// and implicit IVs (RFC 5246 §6.3 key block, MAC keys elided for AEAD).
+func keysFromMaster(suite uint16, master, clientRandom, serverRandom []byte) (cwKey, swKey, cwIV, swIV []byte) {
+	keyLen, err := suiteKeyLen(suite)
+	if err != nil {
+		panic(err) // suite validated during negotiation
+	}
+	ivLen := suiteIVLen(suite)
+	kb := keyBlock(suite, master, clientRandom, serverRandom, 2*keyLen+2*ivLen)
+	cwKey, kb = kb[:keyLen], kb[keyLen:]
+	swKey, kb = kb[:keyLen], kb[keyLen:]
+	cwIV, kb = kb[:ivLen], kb[ivLen:]
+	swIV = kb[:ivLen]
+	return cwKey, swKey, cwIV, swIV
+}
+
+// AttestationReportData maps a transcript hash into the 64-byte SGX
+// report data field, binding a quote to one specific handshake
+// (paper §3.4, "Secure Environment Attestation").
+func AttestationReportData(transcriptHash []byte) []byte {
+	rd := make([]byte, 64)
+	copy(rd, transcriptHash)
+	return rd
+}

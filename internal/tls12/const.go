@@ -1,0 +1,170 @@
+// Package tls12 implements the subset of TLS 1.2 (RFC 5246) that mbTLS
+// builds on, plus the mbTLS wire extensions from the paper's Appendix A:
+// the Encapsulated, MBTLSKeyMaterial, and MiddleboxAnnouncement record
+// types, the MiddleboxSupport ClientHello extension, and the
+// SGXAttestation handshake message.
+//
+// The package is self-contained on the Go standard library: X25519 ECDHE
+// key exchange, Ed25519 certificate signatures, AES-GCM record
+// protection, and the TLS 1.2 PRF. It is not a general-purpose TLS
+// stack — it exists so the mbTLS layer (internal/core) has full control
+// over handshake interleaving, record routing, and key export, which
+// crypto/tls does not expose.
+package tls12
+
+import "fmt"
+
+// VersionTLS12 is the only protocol version this package speaks.
+const VersionTLS12 uint16 = 0x0303
+
+// ContentType identifies the payload carried by a TLS record.
+type ContentType uint8
+
+// Record content types. Types 20–23 are standard TLS 1.2; types 30–32
+// are the mbTLS additions (paper Appendix A.1).
+const (
+	TypeChangeCipherSpec      ContentType = 20
+	TypeAlert                 ContentType = 21
+	TypeHandshake             ContentType = 22
+	TypeApplicationData       ContentType = 23
+	TypeEncapsulated          ContentType = 30
+	TypeKeyMaterial           ContentType = 31
+	TypeMiddleboxAnnouncement ContentType = 32
+)
+
+// String returns the RFC-style name of the content type.
+func (t ContentType) String() string {
+	switch t {
+	case TypeChangeCipherSpec:
+		return "change_cipher_spec"
+	case TypeAlert:
+		return "alert"
+	case TypeHandshake:
+		return "handshake"
+	case TypeApplicationData:
+		return "application_data"
+	case TypeEncapsulated:
+		return "mbtls_encapsulated"
+	case TypeKeyMaterial:
+		return "mbtls_key_material"
+	case TypeMiddleboxAnnouncement:
+		return "mbtls_middlebox_announcement"
+	}
+	return fmt.Sprintf("content_type(%d)", uint8(t))
+}
+
+// isKnownType reports whether t is a content type this implementation
+// understands at all (used to reject garbage framing early).
+func isKnownType(t ContentType) bool {
+	switch t {
+	case TypeChangeCipherSpec, TypeAlert, TypeHandshake, TypeApplicationData,
+		TypeEncapsulated, TypeKeyMaterial, TypeMiddleboxAnnouncement:
+		return true
+	}
+	return false
+}
+
+// typeBypassesCipher reports whether records of type t are exempt from
+// record-layer protection. Encapsulated records carry an inner record
+// with its own protection (the secondary session's), and announcements
+// are sent before any keys exist, so both must remain readable by
+// on-path middleboxes regardless of the carrying session's cipher state.
+func typeBypassesCipher(t ContentType) bool {
+	return t == TypeEncapsulated || t == TypeMiddleboxAnnouncement
+}
+
+// HandshakeType identifies a handshake protocol message.
+type HandshakeType uint8
+
+// Handshake message types. sgx_attestation(17) is the mbTLS addition
+// (paper Appendix A.2).
+const (
+	TypeClientHello       HandshakeType = 1
+	TypeServerHello       HandshakeType = 2
+	TypeNewSessionTicket  HandshakeType = 4
+	TypeCertificate       HandshakeType = 11
+	TypeServerKeyExchange HandshakeType = 12
+	TypeServerHelloDone   HandshakeType = 14
+	TypeClientKeyExchange HandshakeType = 16
+	TypeSGXAttestation    HandshakeType = 17
+	TypeFinished          HandshakeType = 20
+)
+
+// String returns the RFC-style name of the handshake message type.
+func (t HandshakeType) String() string {
+	switch t {
+	case TypeClientHello:
+		return "client_hello"
+	case TypeServerHello:
+		return "server_hello"
+	case TypeNewSessionTicket:
+		return "new_session_ticket"
+	case TypeCertificate:
+		return "certificate"
+	case TypeServerKeyExchange:
+		return "server_key_exchange"
+	case TypeServerHelloDone:
+		return "server_hello_done"
+	case TypeClientKeyExchange:
+		return "client_key_exchange"
+	case TypeSGXAttestation:
+		return "sgx_attestation"
+	case TypeFinished:
+		return "finished"
+	}
+	return fmt.Sprintf("handshake_type(%d)", uint8(t))
+}
+
+// Cipher suites. The identifiers are the IANA ECDHE_ECDSA AES-GCM codes;
+// this implementation authenticates servers with Ed25519 certificates,
+// which RFC 8422 folds under the ECDSA-capable suites.
+const (
+	TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256 uint16 = 0xC02B
+	TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384 uint16 = 0xC02C
+)
+
+// CipherSuiteName returns a human-readable suite name.
+func CipherSuiteName(id uint16) string {
+	switch id {
+	case TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256:
+		return "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256"
+	case TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384:
+		return "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384"
+	}
+	return fmt.Sprintf("cipher_suite(0x%04X)", id)
+}
+
+// TLS extension identifiers carried in ClientHello/ServerHello.
+const (
+	extServerName        uint16 = 0
+	extSessionTicket     uint16 = 35
+	extRenegotiationInfo uint16 = 0xFF01
+	// ExtMiddleboxSupport is the mbTLS MiddleboxSupport extension
+	// (paper Appendix A.2). Exported so middleboxes outside this
+	// package can detect mbTLS-capable ClientHellos.
+	ExtMiddleboxSupport uint16 = 0xFFB0
+	// extAttestationRequest asks the peer to include an
+	// SGXAttestation message in its handshake flight.
+	extAttestationRequest uint16 = 0xFFB1
+)
+
+// Named curve and signature identifiers (RFC 8422 / RFC 8446 registry).
+const (
+	curveX25519      uint16 = 29
+	sigSchemeEd25519 uint16 = 0x0807
+	curveTypeNamed   uint8  = 3
+)
+
+// Record-size limits. A TLS plaintext fragment is at most 2^14 bytes; an
+// encrypted record may exceed that by the AEAD expansion. Inner records
+// carried inside Encapsulated records additionally lose one byte to the
+// subchannel ID (paper Appendix A.1).
+const (
+	maxPlaintext    = 16384
+	maxCiphertext   = maxPlaintext + 2048
+	recordHeaderLen = 5
+	// MaxEncapsulatedPlaintext is the largest plaintext fragment that,
+	// after AEAD sealing and inner framing, still fits in the payload
+	// of an outer Encapsulated record.
+	MaxEncapsulatedPlaintext = maxPlaintext - recordHeaderLen - 1 - 8 - 16 - 64
+)

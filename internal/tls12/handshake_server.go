@@ -1,0 +1,241 @@
+package tls12
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+)
+
+func (c *Conn) serverHandshake() error {
+	cfg := c.config
+	if cfg == nil {
+		cfg = &Config{}
+	}
+
+	// ClientHello: either already received (middlebox secondary
+	// handshake, paper §3.4) or read off the wire.
+	helloRaw := c.receivedHelloRaw
+	if helloRaw == nil {
+		typ, _, raw, _, err := c.readHandshakeMsg(false)
+		if err != nil {
+			return err
+		}
+		if typ != TypeClientHello {
+			return c.fatal(AlertUnexpectedMessage, fmt.Errorf("tls12: expected client_hello, got %s", typ))
+		}
+		helloRaw = raw
+	}
+	hello, err := ParseClientHello(helloRaw)
+	if err != nil {
+		return c.fatal(AlertDecodeError, err)
+	}
+	c.state.ClientHello = hello
+	c.clientRandom = hello.Random
+
+	// Suite selection: server preference order.
+	var suite uint16
+	for _, s := range cfg.cipherSuites() {
+		if containsSuite(hello.CipherSuites, s) {
+			suite = s
+			break
+		}
+	}
+	if suite == 0 {
+		return c.fatal(AlertHandshakeFailure, errors.New("tls12: no mutually supported cipher suite"))
+	}
+	c.state.CipherSuite = suite
+
+	// Ticket resumption attempt.
+	var resumed *sessionState
+	if cfg.EnableTickets && len(hello.SessionTicket) > 0 {
+		if st := openTicket(cfg, hello.SessionTicket); st != nil && containsSuite(hello.CipherSuites, st.suite) {
+			resumed = st
+			suite = st.suite
+			c.state.CipherSuite = suite
+		}
+	}
+
+	sh := &ServerHello{
+		CipherSuite:    suite,
+		TicketExpected: cfg.EnableTickets && hello.HasSessionTicket,
+	}
+	if _, err := io.ReadFull(cfg.rand(), sh.Random[:]); err != nil {
+		return c.fatal(AlertInternalError, err)
+	}
+	c.serverRandom = sh.Random
+
+	ts := newTranscript(suite)
+	ts.add(helloRaw)
+	shRaw := sh.marshal()
+	if err := c.writeHandshakeMsg(shRaw); err != nil {
+		return err
+	}
+	ts.add(shRaw)
+
+	if resumed != nil {
+		return c.serverResume(cfg, sh, resumed, ts)
+	}
+
+	if cfg.Certificate == nil || len(cfg.Certificate.Chain) == 0 {
+		return c.fatal(AlertInternalError, errNoCertificate)
+	}
+
+	// Certificate.
+	certMsg := &certificateMsg{chain: cfg.Certificate.Chain}
+	certRaw := certMsg.marshal()
+	if err := c.writeHandshakeMsg(certRaw); err != nil {
+		return err
+	}
+	ts.add(certRaw)
+
+	// ServerKeyExchange: ephemeral X25519, Ed25519-signed.
+	priv, err := ecdh.X25519().GenerateKey(cfg.rand())
+	if err != nil {
+		return c.fatal(AlertInternalError, err)
+	}
+	ske := &serverKeyExchange{publicKey: priv.PublicKey().Bytes()}
+	sigInput := make([]byte, 0, 2*randomLen+64)
+	sigInput = append(sigInput, c.clientRandom[:]...)
+	sigInput = append(sigInput, c.serverRandom[:]...)
+	sigInput = append(sigInput, ske.paramsBytes()...)
+	if cfg.Certificate.PrivateKey == nil {
+		return c.fatal(AlertInternalError, errors.New("tls12: certificate has no private key"))
+	}
+	ske.signature = ed25519.Sign(cfg.Certificate.PrivateKey, sigInput)
+	skeRaw := ske.marshal()
+	if err := c.writeHandshakeMsg(skeRaw); err != nil {
+		return err
+	}
+	ts.add(skeRaw)
+
+	// Optional SGXAttestation over the transcript so far (§3.4).
+	if hello.RequestAttestation && cfg.Quoter != nil {
+		quote, err := cfg.Quoter(AttestationReportData(ts.sum()))
+		if err != nil {
+			return c.fatal(AlertInternalError, err)
+		}
+		att := &sgxAttestationMsg{quote: quote}
+		attRaw := att.marshal()
+		if err := c.writeHandshakeMsg(attRaw); err != nil {
+			return err
+		}
+		ts.add(attRaw)
+		c.state.AttestationQuote = append([]byte(nil), quote...)
+	}
+
+	// ServerHelloDone.
+	shdRaw := handshakeHeader(TypeServerHelloDone, nil)
+	if err := c.writeHandshakeMsg(shdRaw); err != nil {
+		return err
+	}
+	ts.add(shdRaw)
+
+	// ClientKeyExchange.
+	ckeBody, ckeRaw, err := c.expectHandshakeMsg(TypeClientKeyExchange)
+	if err != nil {
+		return err
+	}
+	cke, err := parseClientKeyExchange(ckeBody)
+	if err != nil {
+		return c.fatal(AlertDecodeError, err)
+	}
+	ts.add(ckeRaw)
+	clientPub, err := ecdh.X25519().NewPublicKey(cke.publicKey)
+	if err != nil {
+		return c.fatal(AlertIllegalParameter, err)
+	}
+	preMaster, err := priv.ECDH(clientPub)
+	if err != nil {
+		return c.fatal(AlertIllegalParameter, err)
+	}
+	c.masterSecret = computeMasterSecret(suite, preMaster, c.clientRandom[:], c.serverRandom[:])
+
+	// Client CCS + Finished.
+	if err := c.readChangeCipherSpec(); err != nil {
+		return err
+	}
+	if err := c.activateCiphers(suite, false, true); err != nil {
+		return c.fatal(AlertInternalError, err)
+	}
+	if err := c.verifyPeerFinished(suite, ts, true); err != nil {
+		return err
+	}
+
+	// NewSessionTicket, then our CCS + Finished.
+	if sh.TicketExpected {
+		if err := c.sendNewTicket(cfg, suite, ts); err != nil {
+			return err
+		}
+	}
+	if err := c.writeChangeCipherSpec(); err != nil {
+		return err
+	}
+	if err := c.activateCiphers(suite, true, false); err != nil {
+		return c.fatal(AlertInternalError, err)
+	}
+	fin := &finishedMsg{verifyData: finishedVerifyData(suite, c.masterSecret, false, ts.sum())}
+	finRaw := fin.marshal()
+	if err := c.writeHandshakeMsg(finRaw); err != nil {
+		return err
+	}
+	ts.add(finRaw)
+	return nil
+}
+
+// serverResume completes an abbreviated handshake from a valid ticket.
+func (c *Conn) serverResume(cfg *Config, sh *ServerHello, st *sessionState, ts *transcript) error {
+	c.masterSecret = append([]byte(nil), st.master...)
+	c.state.Resumed = true
+	suite := st.suite
+
+	if sh.TicketExpected {
+		if err := c.sendNewTicket(cfg, suite, ts); err != nil {
+			return err
+		}
+	}
+	if err := c.writeChangeCipherSpec(); err != nil {
+		return err
+	}
+	if err := c.activateCiphers(suite, true, false); err != nil {
+		return c.fatal(AlertInternalError, err)
+	}
+	fin := &finishedMsg{verifyData: finishedVerifyData(suite, c.masterSecret, false, ts.sum())}
+	finRaw := fin.marshal()
+	if err := c.writeHandshakeMsg(finRaw); err != nil {
+		return err
+	}
+	ts.add(finRaw)
+
+	if err := c.readChangeCipherSpec(); err != nil {
+		return err
+	}
+	if err := c.activateCiphers(suite, false, true); err != nil {
+		return c.fatal(AlertInternalError, err)
+	}
+	return c.verifyPeerFinished(suite, ts, true)
+}
+
+// sendNewTicket seals the current session into a ticket and sends it.
+func (c *Conn) sendNewTicket(cfg *Config, suite uint16, ts *transcript) error {
+	state := &sessionState{
+		suite:     suite,
+		master:    c.masterSecret,
+		createdAt: uint64(cfg.time().Unix()),
+	}
+	ticket, err := sealTicket(cfg, state)
+	if err != nil {
+		return c.fatal(AlertInternalError, err)
+	}
+	nst := &newSessionTicketMsg{
+		lifetimeHint: uint32(ticketLifetime.Seconds()),
+		ticket:       ticket,
+	}
+	nstRaw := nst.marshal()
+	if err := c.writeHandshakeMsg(nstRaw); err != nil {
+		return err
+	}
+	ts.add(nstRaw)
+	return nil
+}

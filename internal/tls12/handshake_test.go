@@ -1,0 +1,338 @@
+package tls12_test
+
+import (
+	"bytes"
+	"crypto/x509"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/certs"
+	"repro/internal/netsim"
+	"repro/internal/tls12"
+)
+
+// testPKI builds a CA, a server certificate, and matching configs.
+func testPKI(t *testing.T, serverName string) (*certs.CA, *tls12.Config, *tls12.Config) {
+	t.Helper()
+	ca, err := certs.NewCA("test root")
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	cert, err := ca.Issue(serverName, []string{serverName}, nil)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	clientCfg := &tls12.Config{RootCAs: ca.Pool(), ServerName: serverName}
+	serverCfg := &tls12.Config{Certificate: cert}
+	return ca, clientCfg, serverCfg
+}
+
+// runHandshake performs a full handshake over net.Pipe and returns both
+// connections with any handshake errors.
+func runHandshake(t *testing.T, clientCfg, serverCfg *tls12.Config) (*tls12.Conn, *tls12.Conn, error, error) {
+	t.Helper()
+	cp, sp := netsim.Pipe()
+	client := tls12.NewClientConn(cp, clientCfg)
+	server := tls12.NewServerConn(sp, serverCfg)
+	var wg sync.WaitGroup
+	var cErr, sErr error
+	wg.Add(2)
+	go func() { defer wg.Done(); cErr = client.Handshake() }()
+	go func() { defer wg.Done(); sErr = server.Handshake() }()
+	wg.Wait()
+	return client, server, cErr, sErr
+}
+
+func TestFullHandshakeAndData(t *testing.T) {
+	_, clientCfg, serverCfg := testPKI(t, "example.com")
+	client, server, cErr, sErr := runHandshake(t, clientCfg, serverCfg)
+	if cErr != nil || sErr != nil {
+		t.Fatalf("handshake: client=%v server=%v", cErr, sErr)
+	}
+	defer client.Close()
+	defer server.Close()
+
+	cs := client.ConnectionState()
+	if !cs.HandshakeComplete || cs.Resumed {
+		t.Fatalf("bad client state: %+v", cs)
+	}
+	if len(cs.PeerCertificates) == 0 || cs.PeerCertificates[0].Subject.CommonName != "example.com" {
+		t.Fatalf("client did not capture peer certificates: %+v", cs.PeerCertificates)
+	}
+
+	msg := []byte("hello from client")
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Write(msg)
+		done <- err
+	}()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatalf("server read: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("client write: %v", err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("server got %q, want %q", buf, msg)
+	}
+
+	reply := []byte("hello from server, a somewhat longer reply to exercise framing")
+	go func() {
+		_, err := server.Write(reply)
+		done <- err
+	}()
+	buf = make([]byte, len(reply))
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatalf("client read: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server write: %v", err)
+	}
+	if !bytes.Equal(buf, reply) {
+		t.Fatalf("client got %q, want %q", buf, reply)
+	}
+}
+
+func TestCipherSuiteNegotiation(t *testing.T) {
+	for _, suite := range []uint16{
+		tls12.TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256,
+		tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384,
+	} {
+		_, clientCfg, serverCfg := testPKI(t, "example.com")
+		clientCfg.CipherSuites = []uint16{suite}
+		client, server, cErr, sErr := runHandshake(t, clientCfg, serverCfg)
+		if cErr != nil || sErr != nil {
+			t.Fatalf("%s: handshake: client=%v server=%v", tls12.CipherSuiteName(suite), cErr, sErr)
+		}
+		if got := client.ConnectionState().CipherSuite; got != suite {
+			t.Fatalf("negotiated 0x%04X, want 0x%04X", got, suite)
+		}
+		client.Close()
+		server.Close()
+	}
+}
+
+func TestNoCommonCipherSuite(t *testing.T) {
+	_, clientCfg, serverCfg := testPKI(t, "example.com")
+	clientCfg.CipherSuites = []uint16{tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384}
+	serverCfg.CipherSuites = []uint16{tls12.TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256}
+	_, _, cErr, sErr := runHandshake(t, clientCfg, serverCfg)
+	if sErr == nil {
+		t.Fatal("server accepted handshake without a common suite")
+	}
+	if cErr == nil {
+		t.Fatal("client did not observe the failure")
+	}
+	if !tls12.IsRemoteAlert(cErr, tls12.AlertHandshakeFailure) {
+		t.Fatalf("client error = %v, want remote handshake_failure alert", cErr)
+	}
+}
+
+func TestWrongHostname(t *testing.T) {
+	_, clientCfg, serverCfg := testPKI(t, "example.com")
+	clientCfg.ServerName = "other.com"
+	_, _, cErr, _ := runHandshake(t, clientCfg, serverCfg)
+	if cErr == nil {
+		t.Fatal("client accepted certificate for the wrong host")
+	}
+}
+
+func TestUntrustedCA(t *testing.T) {
+	_, clientCfg, serverCfg := testPKI(t, "example.com")
+	otherCA, err := certs.NewCA("other root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientCfg.RootCAs = otherCA.Pool()
+	_, _, cErr, _ := runHandshake(t, clientCfg, serverCfg)
+	if cErr == nil {
+		t.Fatal("client accepted certificate from untrusted CA")
+	}
+}
+
+func TestExpiredCertificate(t *testing.T) {
+	ca, err := certs.NewCA("test root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := ca.IssueExpired("example.com", []string{"example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientCfg := &tls12.Config{RootCAs: ca.Pool(), ServerName: "example.com"}
+	serverCfg := &tls12.Config{Certificate: cert}
+	_, _, cErr, _ := runHandshake(t, clientCfg, serverCfg)
+	if cErr == nil {
+		t.Fatal("client accepted expired certificate")
+	}
+}
+
+func TestSessionResumption(t *testing.T) {
+	_, clientCfg, serverCfg := testPKI(t, "example.com")
+	serverCfg.EnableTickets = true
+	if _, err := io.ReadFull(bytes.NewReader(bytes.Repeat([]byte{7}, 32)), serverCfg.TicketKey[:]); err != nil {
+		t.Fatal(err)
+	}
+	var ticket *tls12.SessionTicket
+	clientCfg.EnableTickets = true
+	clientCfg.OnNewTicket = func(tk *tls12.SessionTicket) { ticket = tk }
+
+	client, server, cErr, sErr := runHandshake(t, clientCfg, serverCfg)
+	if cErr != nil || sErr != nil {
+		t.Fatalf("full handshake: client=%v server=%v", cErr, sErr)
+	}
+	client.Close()
+	server.Close()
+	if ticket == nil {
+		t.Fatal("client did not receive a session ticket")
+	}
+
+	clientCfg.SessionTicket = ticket
+	client, server, cErr, sErr = runHandshake(t, clientCfg, serverCfg)
+	if cErr != nil || sErr != nil {
+		t.Fatalf("abbreviated handshake: client=%v server=%v", cErr, sErr)
+	}
+	defer client.Close()
+	defer server.Close()
+	if !client.ConnectionState().Resumed {
+		t.Fatal("client session was not resumed")
+	}
+	if !server.ConnectionState().Resumed {
+		t.Fatal("server session was not resumed")
+	}
+
+	// Resumed sessions must still carry data.
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Write([]byte("resumed data"))
+		done <- err
+	}()
+	buf := make([]byte, 12)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatalf("server read after resumption: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResumptionWithBogusTicketFallsBack(t *testing.T) {
+	_, clientCfg, serverCfg := testPKI(t, "example.com")
+	serverCfg.EnableTickets = true
+	clientCfg.EnableTickets = true
+	clientCfg.SessionTicket = &tls12.SessionTicket{
+		Ticket:       []byte("not a real ticket"),
+		CipherSuite:  tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384,
+		MasterSecret: make([]byte, 48),
+	}
+	client, server, cErr, sErr := runHandshake(t, clientCfg, serverCfg)
+	if cErr != nil || sErr != nil {
+		t.Fatalf("handshake: client=%v server=%v", cErr, sErr)
+	}
+	defer client.Close()
+	defer server.Close()
+	if client.ConnectionState().Resumed {
+		t.Fatal("session resumed from a bogus ticket")
+	}
+}
+
+func TestExportSessionKeys(t *testing.T) {
+	_, clientCfg, serverCfg := testPKI(t, "example.com")
+	client, server, cErr, sErr := runHandshake(t, clientCfg, serverCfg)
+	if cErr != nil || sErr != nil {
+		t.Fatalf("handshake: client=%v server=%v", cErr, sErr)
+	}
+	defer client.Close()
+	defer server.Close()
+
+	ck, err := client.ExportSessionKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := server.ExportSessionKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ck.ClientWriteKey, sk.ClientWriteKey) || !bytes.Equal(ck.ServerWriteKey, sk.ServerWriteKey) {
+		t.Fatal("endpoints exported different session keys")
+	}
+	if !bytes.Equal(ck.ClientWriteIV, sk.ClientWriteIV) || !bytes.Equal(ck.ServerWriteIV, sk.ServerWriteIV) {
+		t.Fatal("endpoints exported different IVs")
+	}
+	if ck.ClientSeq != sk.ClientSeq || ck.ServerSeq != sk.ServerSeq {
+		t.Fatalf("sequence mismatch: client exports (%d,%d), server (%d,%d)",
+			ck.ClientSeq, ck.ServerSeq, sk.ClientSeq, sk.ServerSeq)
+	}
+	// Exactly one protected record (Finished) has flowed each way.
+	if ck.ClientSeq != 1 || ck.ServerSeq != 1 {
+		t.Fatalf("unexpected starting sequences: (%d,%d)", ck.ClientSeq, ck.ServerSeq)
+	}
+}
+
+func TestVerifyPeerCertificateHook(t *testing.T) {
+	called := false
+	_, clientCfg, serverCfg := testPKI(t, "example.com")
+	clientCfg.VerifyPeerCertificate = func(chain []*x509.Certificate) error {
+		called = true
+		return nil
+	}
+	_, _, cErr, sErr := runHandshake(t, clientCfg, serverCfg)
+	if cErr != nil || sErr != nil {
+		t.Fatalf("handshake: client=%v server=%v", cErr, sErr)
+	}
+	if !called {
+		t.Fatal("VerifyPeerCertificate was not called")
+	}
+}
+
+func TestLargeTransfer(t *testing.T) {
+	_, clientCfg, serverCfg := testPKI(t, "example.com")
+	client, server, cErr, sErr := runHandshake(t, clientCfg, serverCfg)
+	if cErr != nil || sErr != nil {
+		t.Fatalf("handshake: client=%v server=%v", cErr, sErr)
+	}
+	defer client.Close()
+	defer server.Close()
+
+	// 100 KiB forces fragmentation across many records.
+	payload := make([]byte, 100<<10)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Write(payload)
+		done <- err
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatalf("server read: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large transfer corrupted data")
+	}
+}
+
+func TestCloseNotify(t *testing.T) {
+	_, clientCfg, serverCfg := testPKI(t, "example.com")
+	client, server, cErr, sErr := runHandshake(t, clientCfg, serverCfg)
+	if cErr != nil || sErr != nil {
+		t.Fatalf("handshake: client=%v server=%v", cErr, sErr)
+	}
+	readDone := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 16)
+		_, err := server.Read(buf)
+		readDone <- err
+	}()
+	client.Close()
+	if err := <-readDone; err != io.EOF {
+		t.Fatalf("server read after close = %v, want io.EOF", err)
+	}
+	server.Close()
+}

@@ -1,0 +1,225 @@
+package tls12
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// A Record is one TLS record: a content type and its (decrypted, if a
+// read cipher is installed) payload.
+type Record struct {
+	Type    ContentType
+	Payload []byte
+}
+
+// RecordLayer frames, protects, and de-protects TLS records over a byte
+// stream. It is used at three places in an mbTLS deployment:
+//
+//   - directly over a TCP connection (ordinary TLS, or the outer mbTLS
+//     stream),
+//   - over a subchannel pipe, where each written record is wrapped into
+//     an Encapsulated outer record by the pipe (paper §3.4, "Control
+//     Messaging"),
+//   - on each side of a middlebox's data plane, where per-hop
+//     CipherStates installed from MBTLSKeyMaterial protect application
+//     records (paper Figure 4).
+//
+// Reads and writes are independently safe for one concurrent reader and
+// one concurrent writer; WriteRecord is additionally safe for multiple
+// concurrent writers.
+type RecordLayer struct {
+	r io.Reader
+	w io.Writer
+
+	readMu  sync.Mutex
+	hdr     [recordHeaderLen]byte
+	pending []Record // records decoded but not yet returned
+
+	writeMu sync.Mutex
+
+	// cipherMu guards the cipher-state pointers separately from the
+	// I/O mutexes, so key export and rekeying never wait behind a
+	// reader blocked on the network.
+	cipherMu sync.Mutex
+	read     *CipherState // nil until ChangeCipherSpec / key install
+	write    *CipherState
+}
+
+// NewRecordLayer returns a RecordLayer over the given stream. Both
+// directions start unprotected.
+func NewRecordLayer(rw io.ReadWriter) *RecordLayer {
+	return &RecordLayer{r: rw, w: rw}
+}
+
+// NewRecordLayerRW returns a RecordLayer with distinct read and write
+// streams (used by middlebox relays and tests).
+func NewRecordLayerRW(r io.Reader, w io.Writer) *RecordLayer {
+	return &RecordLayer{r: r, w: w}
+}
+
+// SetReadCipher installs (or clears) record protection for inbound
+// records. Pass nil to return to plaintext (never done in-protocol; used
+// by tests).
+func (rl *RecordLayer) SetReadCipher(cs *CipherState) {
+	rl.cipherMu.Lock()
+	rl.read = cs
+	rl.cipherMu.Unlock()
+}
+
+// SetWriteCipher installs record protection for outbound records.
+func (rl *RecordLayer) SetWriteCipher(cs *CipherState) {
+	rl.cipherMu.Lock()
+	rl.write = cs
+	rl.cipherMu.Unlock()
+}
+
+// ReadCipher returns the current inbound CipherState (nil if plaintext).
+func (rl *RecordLayer) ReadCipher() *CipherState {
+	rl.cipherMu.Lock()
+	defer rl.cipherMu.Unlock()
+	return rl.read
+}
+
+// WriteCipher returns the current outbound CipherState.
+func (rl *RecordLayer) WriteCipher() *CipherState {
+	rl.cipherMu.Lock()
+	defer rl.cipherMu.Unlock()
+	return rl.write
+}
+
+// ReadRecord reads and, if protected, decrypts the next record.
+func (rl *RecordLayer) ReadRecord() (Record, error) {
+	rl.readMu.Lock()
+	defer rl.readMu.Unlock()
+	return rl.readRecordLocked()
+}
+
+func (rl *RecordLayer) readRecordLocked() (Record, error) {
+	if n := len(rl.pending); n > 0 {
+		rec := rl.pending[0]
+		rl.pending = rl.pending[1:]
+		return rec, nil
+	}
+	if _, err := io.ReadFull(rl.r, rl.hdr[:]); err != nil {
+		return Record{}, err
+	}
+	typ := ContentType(rl.hdr[0])
+	version := binary.BigEndian.Uint16(rl.hdr[1:3])
+	length := int(binary.BigEndian.Uint16(rl.hdr[3:5]))
+	if !isKnownType(typ) {
+		return Record{}, fmt.Errorf("tls12: unknown record type %d", rl.hdr[0])
+	}
+	if version != VersionTLS12 {
+		return Record{}, &AlertError{Description: AlertProtocolVersion}
+	}
+	if length > maxCiphertext {
+		return Record{}, &AlertError{Description: AlertRecordOverflow}
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(rl.r, payload); err != nil {
+		return Record{}, err
+	}
+	if cs := rl.ReadCipher(); cs != nil && !typeBypassesCipher(typ) {
+		var err error
+		payload, err = cs.Open(typ, payload)
+		if err != nil {
+			return Record{}, err
+		}
+	}
+	return Record{Type: typ, Payload: payload}, nil
+}
+
+// Unread pushes a record back so the next ReadRecord returns it first.
+// Middleboxes use this after peeking at handshake traffic.
+func (rl *RecordLayer) Unread(rec Record) {
+	rl.readMu.Lock()
+	rl.pending = append([]Record{rec}, rl.pending...)
+	rl.readMu.Unlock()
+}
+
+// WriteRecord frames, protects, and writes a record. Oversized payloads
+// are split into maximum-size fragments (only legal for stream types;
+// handshake and application data both are). Each fragment is written
+// with a single Write call so subchannel pipes see whole records.
+func (rl *RecordLayer) WriteRecord(typ ContentType, payload []byte) error {
+	rl.writeMu.Lock()
+	defer rl.writeMu.Unlock()
+	for first := true; first || len(payload) > 0; first = false {
+		frag := payload
+		if len(frag) > maxPlaintext {
+			frag = frag[:maxPlaintext]
+		}
+		payload = payload[len(frag):]
+		if err := rl.writeFragmentLocked(typ, frag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (rl *RecordLayer) writeFragmentLocked(typ ContentType, frag []byte) error {
+	body := frag
+	if cs := rl.WriteCipher(); cs != nil && !typeBypassesCipher(typ) {
+		body = cs.Seal(typ, frag)
+	}
+	if len(body) > maxCiphertext {
+		return &AlertError{Description: AlertRecordOverflow}
+	}
+	msg := make([]byte, recordHeaderLen+len(body))
+	msg[0] = byte(typ)
+	binary.BigEndian.PutUint16(msg[1:3], VersionTLS12)
+	binary.BigEndian.PutUint16(msg[3:5], uint16(len(body)))
+	copy(msg[recordHeaderLen:], body)
+	_, err := rl.w.Write(msg)
+	return err
+}
+
+// RawRecord is an undecrypted record as read off the wire, with its
+// 5-byte header preserved. Middleboxes relay primary-session records
+// they cannot (and must not) decrypt in this form.
+type RawRecord struct {
+	Type    ContentType
+	Payload []byte // record body, still protected if the sender protects it
+}
+
+// WireSize returns the full on-the-wire size of the raw record.
+func (r RawRecord) WireSize() int { return recordHeaderLen + len(r.Payload) }
+
+// Marshal reassembles the wire form of the raw record.
+func (r RawRecord) Marshal() []byte {
+	msg := make([]byte, recordHeaderLen+len(r.Payload))
+	msg[0] = byte(r.Type)
+	binary.BigEndian.PutUint16(msg[1:3], VersionTLS12)
+	binary.BigEndian.PutUint16(msg[3:5], uint16(len(r.Payload)))
+	copy(msg[recordHeaderLen:], r.Payload)
+	return msg
+}
+
+// ReadRawRecord reads the next record without applying record
+// protection, returning the body exactly as received. It shares the
+// pending queue and read lock with ReadRecord; the two must not be mixed
+// on the same stream except by tests.
+func ReadRawRecord(r io.Reader) (RawRecord, error) {
+	var hdr [recordHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return RawRecord{}, err
+	}
+	typ := ContentType(hdr[0])
+	if !isKnownType(typ) {
+		return RawRecord{}, fmt.Errorf("tls12: unknown record type %d", hdr[0])
+	}
+	if binary.BigEndian.Uint16(hdr[1:3]) != VersionTLS12 {
+		return RawRecord{}, &AlertError{Description: AlertProtocolVersion}
+	}
+	length := int(binary.BigEndian.Uint16(hdr[3:5]))
+	if length > maxCiphertext {
+		return RawRecord{}, &AlertError{Description: AlertRecordOverflow}
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return RawRecord{}, err
+	}
+	return RawRecord{Type: typ, Payload: payload}, nil
+}

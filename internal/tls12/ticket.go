@@ -1,0 +1,92 @@
+package tls12
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"errors"
+	"io"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ticketLifetime is the advertised session ticket lifetime.
+const ticketLifetime = 24 * time.Hour
+
+// sessionState is the server-side session state sealed inside a ticket.
+type sessionState struct {
+	suite     uint16
+	master    []byte
+	createdAt uint64 // unix seconds
+}
+
+func (s *sessionState) marshal() []byte {
+	b := wire.NewBuilder(nil)
+	b.AddUint16(s.suite)
+	b.AddUint8Prefixed(func(b *wire.Builder) { b.AddBytes(s.master) })
+	b.AddUint64(s.createdAt)
+	return b.Bytes()
+}
+
+func parseSessionState(data []byte) (*sessionState, error) {
+	p := wire.NewParser(data)
+	var s sessionState
+	var master []byte
+	if !p.ReadUint16(&s.suite) || !p.ReadUint8Prefixed(&master) || !p.ReadUint64(&s.createdAt) || !p.Empty() {
+		return nil, errors.New("tls12: malformed session state")
+	}
+	s.master = append([]byte(nil), master...)
+	return &s, nil
+}
+
+// sealTicket encrypts session state under the config's ticket key using
+// AES-256-GCM with a random nonce prepended.
+func sealTicket(cfg *Config, state *sessionState) ([]byte, error) {
+	block, err := aes.NewCipher(cfg.TicketKey[:])
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(cfg.rand(), nonce); err != nil {
+		return nil, err
+	}
+	return aead.Seal(nonce, nonce, state.marshal(), nil), nil
+}
+
+// openTicket decrypts and validates a session ticket. It returns nil
+// (no error) for tickets that do not decrypt or have expired, signaling
+// a fallback to a full handshake rather than a protocol failure.
+func openTicket(cfg *Config, ticket []byte) *sessionState {
+	block, err := aes.NewCipher(cfg.TicketKey[:])
+	if err != nil {
+		return nil
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil
+	}
+	if len(ticket) < aead.NonceSize() {
+		return nil
+	}
+	plain, err := aead.Open(nil, ticket[:aead.NonceSize()], ticket[aead.NonceSize():], nil)
+	if err != nil {
+		return nil
+	}
+	state, err := parseSessionState(plain)
+	if err != nil {
+		return nil
+	}
+	created := time.Unix(int64(state.createdAt), 0)
+	now := cfg.time()
+	if now.Before(created) || now.Sub(created) > ticketLifetime {
+		return nil
+	}
+	if !cfg.supportsSuite(state.suite) {
+		return nil
+	}
+	return state
+}

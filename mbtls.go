@@ -1,0 +1,122 @@
+package mbtls
+
+import (
+	"net"
+
+	"repro/internal/certs"
+	"repro/internal/core"
+	"repro/internal/enclave"
+	"repro/internal/tls12"
+)
+
+// Protocol types re-exported from the implementation packages. The
+// facade keeps downstream code on one import while the internal
+// packages stay independently testable.
+type (
+	// Session is an established mbTLS session endpoint (an
+	// io.ReadWriteCloser carrying application data).
+	Session = core.Session
+	// ClientConfig configures Dial.
+	ClientConfig = core.ClientConfig
+	// ServerConfig configures Accept.
+	ServerConfig = core.ServerConfig
+	// Middlebox is an on-path mbTLS middlebox.
+	Middlebox = core.Middlebox
+	// MiddleboxConfig configures NewMiddlebox.
+	MiddleboxConfig = core.MiddleboxConfig
+	// MiddleboxStats are a middlebox's cumulative counters.
+	MiddleboxStats = core.MiddleboxStats
+	// MiddleboxSummary describes a session middlebox to the approving
+	// endpoint.
+	MiddleboxSummary = core.MiddleboxSummary
+	// Processor transforms application data at a middlebox.
+	Processor = core.Processor
+	// ProcessorFunc adapts a function to Processor.
+	ProcessorFunc = core.ProcessorFunc
+	// Direction is a data-plane flow direction.
+	Direction = core.Direction
+	// Mode selects client-side or server-side middlebox behavior.
+	Mode = core.Mode
+
+	// TLSConfig configures the underlying TLS 1.2 engine.
+	TLSConfig = tls12.Config
+	// Certificate is an Ed25519 certificate chain with its key.
+	Certificate = tls12.Certificate
+	// SessionTicket is client-side resumption state.
+	SessionTicket = tls12.SessionTicket
+
+	// CA is an in-process certificate authority for provisioning
+	// servers and middleboxes.
+	CA = certs.CA
+
+	// Attestation trust chain (simulated SGX).
+	Authority   = enclave.Authority
+	Platform    = enclave.Platform
+	Enclave     = enclave.Enclave
+	CodeImage   = enclave.CodeImage
+	Measurement = enclave.Measurement
+	Quote       = enclave.Quote
+	Verifier    = enclave.Verifier
+)
+
+// Middlebox modes.
+const (
+	ClientSide = core.ClientSide
+	ServerSide = core.ServerSide
+)
+
+// Data-plane directions.
+const (
+	DirClientToServer = core.DirClientToServer
+	DirServerToClient = core.DirServerToClient
+)
+
+// Supported cipher suites.
+const (
+	TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256 = tls12.TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256
+	TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384 = tls12.TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384
+)
+
+// Dial establishes an mbTLS session as the client over transport,
+// discovering on-path middleboxes during the handshake (no round trips
+// added).
+func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
+	return core.Dial(transport, cfg)
+}
+
+// DialAddr connects to addr over TCP and establishes an mbTLS session.
+func DialAddr(addr string, cfg *ClientConfig) (*Session, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := core.Dial(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return sess, nil
+}
+
+// Accept establishes an mbTLS session as the server over an accepted
+// transport connection.
+func Accept(transport net.Conn, cfg *ServerConfig) (*Session, error) {
+	return core.Accept(transport, cfg)
+}
+
+// NewMiddlebox builds an mbTLS middlebox.
+func NewMiddlebox(cfg MiddleboxConfig) (*Middlebox, error) {
+	return core.NewMiddlebox(cfg)
+}
+
+// NewCA creates a self-signed certificate authority, typically one per
+// deployment domain (origin PKI, middlebox-service-provider PKI).
+func NewCA(commonName string) (*CA, error) {
+	return certs.NewCA(commonName)
+}
+
+// NewAuthority creates an attestation authority (plays Intel's role in
+// the SGX trust chain).
+func NewAuthority() (*Authority, error) {
+	return enclave.NewAuthority()
+}

@@ -1,0 +1,175 @@
+package mbtls_test
+
+// API-level tests: everything here uses only the public mbtls facade
+// (plus netsim for in-memory transport), the way a downstream user
+// would.
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	mbtls "repro"
+	"repro/internal/netsim"
+)
+
+func TestPublicAPIFullSession(t *testing.T) {
+	ca, err := mbtls.NewCA("api test root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCert, err := ca.Issue("origin.example", []string{"origin.example"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxyCert, err := ca.Issue("proxy.example", []string{"proxy.example"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	authority, err := mbtls.NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := authority.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	image := mbtls.CodeImage{Name: "api-proxy", Version: "1.0"}
+	encl := platform.CreateEnclave(image)
+
+	proxy, err := mbtls.NewMiddlebox(mbtls.MiddleboxConfig{
+		Mode:        mbtls.ClientSide,
+		Certificate: proxyCert,
+		Enclave:     encl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clientEnd, proxyDown := netsim.Pipe()
+	proxyUp, serverEnd := netsim.Pipe()
+	go proxy.Handle(proxyDown, proxyUp) //nolint:errcheck
+
+	serverReady := make(chan *mbtls.Session, 1)
+	go func() {
+		sess, err := mbtls.Accept(serverEnd, &mbtls.ServerConfig{
+			TLS: &mbtls.TLSConfig{Certificate: serverCert},
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		serverReady <- sess
+	}()
+
+	approved := 0
+	sess, err := mbtls.Dial(clientEnd, &mbtls.ClientConfig{
+		TLS:                         &mbtls.TLSConfig{RootCAs: ca.Pool(), ServerName: "origin.example"},
+		MiddleboxTLS:                &mbtls.TLSConfig{RootCAs: ca.Pool()},
+		RequireMiddleboxAttestation: true,
+		MiddleboxVerifier: &mbtls.Verifier{
+			Authority: authority.PublicKey(),
+			Allowed:   []mbtls.Measurement{image.Measurement()},
+		},
+		Approve: func(mb mbtls.MiddleboxSummary) bool {
+			approved++
+			return mb.Attested
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	server := <-serverReady
+	defer server.Close()
+
+	if approved != 1 {
+		t.Fatalf("approval callback ran %d times", approved)
+	}
+	mbs := sess.Middleboxes()
+	if len(mbs) != 1 || !mbs[0].Attested || mbs[0].Measurement != image.Measurement() {
+		t.Fatalf("middleboxes = %+v", mbs)
+	}
+
+	go sess.Write([]byte("public api ping")) //nolint:errcheck
+	buf := make([]byte, 15)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "public api ping" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestPublicAPIOverTCP(t *testing.T) {
+	ca, err := mbtls.NewCA("tcp test root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCert, err := ca.Issue("origin.example", []string{"origin.example"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		sess, err := mbtls.Accept(conn, &mbtls.ServerConfig{
+			TLS: &mbtls.TLSConfig{Certificate: serverCert},
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer sess.Close()
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(sess, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		sess.Write(buf) //nolint:errcheck
+	}()
+
+	sess, err := mbtls.DialAddr(ln.Addr().String(), &mbtls.ClientConfig{
+		TLS: &mbtls.TLSConfig{RootCAs: ca.Pool(), ServerName: "origin.example"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	sessDone := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(sess, buf)
+		sessDone <- err
+	}()
+	select {
+	case err := <-sessDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("echo over TCP timed out")
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestDialAddrRefused(t *testing.T) {
+	if _, err := mbtls.DialAddr("127.0.0.1:1", &mbtls.ClientConfig{TLS: &mbtls.TLSConfig{}}); err == nil {
+		t.Fatal("dial to a closed port succeeded")
+	}
+}
