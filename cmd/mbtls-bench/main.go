@@ -28,6 +28,7 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "latency scale for fig6 (1.0 = real inter-DC latencies)")
 	window := flag.Duration("window", 250*time.Millisecond, "measurement window per fig7 cell")
 	boundary := flag.Duration("boundary-cost", time.Microsecond, "simulated SGX transition cost for fig7")
+	jsonOut := flag.Bool("json", false, "for fig7: also write BENCH_fig7.json (buffer size → Gbps, allocs/op)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mbtls-bench [flags] {design|table1|table2|fig5|fig6|fig7|legacy|all}\n")
 		flag.PrintDefaults()
@@ -37,6 +38,12 @@ func main() {
 	if cmd == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	// Accept flags after the subcommand too (mbtls-bench fig7 -json).
+	if flag.NArg() > 1 {
+		if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+			os.Exit(2)
+		}
 	}
 
 	run := func(name string) {
@@ -60,6 +67,11 @@ func main() {
 			cells, err := experiments.RunFig7(experiments.Fig7Options{Window: *window, BoundaryCost: *boundary})
 			exitOn(err)
 			fmt.Print(experiments.FormatFig7(cells))
+			if *jsonOut {
+				exitOn(experiments.AnnotateFig7Allocs(cells, *boundary))
+				exitOn(experiments.WriteFig7JSON("BENCH_fig7.json", cells))
+				fmt.Println("wrote BENCH_fig7.json")
+			}
 		case "legacy":
 			r, err := experiments.RunLegacy(experiments.LegacyOptions{})
 			exitOn(err)

@@ -2,7 +2,9 @@ package core
 
 import (
 	"crypto/rand"
+	"fmt"
 	"io"
+	"runtime"
 
 	"repro/internal/enclave"
 	"repro/internal/tls12"
@@ -12,8 +14,11 @@ import (
 // throughput experiment: a record source playing the clients, the
 // middlebox stage under test (forward vs decrypt/re-encrypt, inside or
 // outside an enclave), and a sink playing the server. Only
-// MiddleboxProcess belongs in the timed region; Seal and Open account
-// for the client and server machines of the paper's testbed.
+// ProcessBatch belongs in the timed region; SealInto and DrainWire
+// account for the client and server machines of the paper's testbed.
+//
+// All three stages work over caller-provided buffers, so a
+// steady-state benchmark loop performs zero heap allocations.
 type BenchHarness struct {
 	srcSeal  *tls12.CipherState // client sealing toward the middlebox
 	sinkOpen *tls12.CipherState // server opening what the middlebox sent
@@ -62,42 +67,119 @@ func NewBenchHarness(encl *enclave.Enclave, suite uint16, reencrypt bool) (*Benc
 	return h, nil
 }
 
-// Seal produces one client record of the given plaintext (untimed
-// client work).
-func (h *BenchHarness) Seal(plaintext []byte) tls12.RawRecord {
-	return tls12.RawRecord{
+// SealInto appends one framed client record to buf (untimed client
+// work) and returns the extended buffer plus the record, whose payload
+// aliases it.
+func (h *BenchHarness) SealInto(buf, plaintext []byte) ([]byte, tls12.RawRecord) {
+	start := len(buf)
+	buf = appendSealedRecord(buf, h.srcSeal, tls12.TypeApplicationData, plaintext)
+	return buf, tls12.RawRecord{
 		Type:    tls12.TypeApplicationData,
-		Payload: h.srcSeal.Seal(tls12.TypeApplicationData, plaintext),
+		Payload: buf[start+tls12.RecordHeaderLen : len(buf)],
 	}
 }
 
-// MiddleboxProcess runs one record through the middlebox stage under
-// test — the timed region of the Figure 7 experiment.
-func (h *BenchHarness) MiddleboxProcess(rec tls12.RawRecord) ([]tls12.RawRecord, error) {
+// ProcessBatch runs a batch of records through the middlebox stage
+// under test — the timed region of the Figure 7 experiment — appending
+// the framed output records to dst. The input payloads are consumed
+// (decrypted in place on the re-encrypt path).
+func (h *BenchHarness) ProcessBatch(recs []tls12.RawRecord, dst []byte) ([]byte, int, error) {
 	if h.reencrypt {
-		return h.dp.handleRecord(DirClientToServer, rec)
+		return h.dp.handleBatch(DirClientToServer, recs, dst)
 	}
-	// Forwarding only. With an enclave, the record still traverses the
-	// enclave application (one ecall round trip and a copy), matching
-	// the paper's "No Encryption + Enclave" configuration.
+	// Forwarding only. With an enclave, the batch still traverses the
+	// enclave application — one ecall round trip for the whole batch and
+	// a copy — matching the paper's "No Encryption + Enclave"
+	// configuration with the amortized boundary crossing.
 	if h.encl != nil {
-		var out []byte
 		h.encl.Enter(func(enclave.Memory) {
-			out = append([]byte(nil), rec.Payload...)
+			for _, rec := range recs {
+				dst = rec.AppendWire(dst)
+			}
 		})
-		return []tls12.RawRecord{{Type: rec.Type, Payload: out}}, nil
+		return dst, len(recs), nil
 	}
-	return []tls12.RawRecord{rec}, nil
+	for _, rec := range recs {
+		dst = rec.AppendWire(dst)
+	}
+	return dst, len(recs), nil
 }
 
-// Open validates one middlebox output record at the sink (untimed
-// server work). It returns the plaintext length.
-func (h *BenchHarness) Open(rec tls12.RawRecord) (int, error) {
-	plaintext, err := h.sinkOpen.Open(rec.Type, rec.Payload)
+// DrainWire opens every framed record in buf at the sink (untimed
+// server work), destroying buf's contents, and returns the total
+// plaintext byte count.
+func (h *BenchHarness) DrainWire(buf []byte) (int, error) {
+	total := 0
+	for len(buf) > 0 {
+		typ, length, err := tls12.ParseRecordHeader(buf)
+		if err != nil {
+			return total, err
+		}
+		plaintext, err := h.sinkOpen.OpenInPlace(typ, buf[tls12.RecordHeaderLen:tls12.RecordHeaderLen+length])
+		if err != nil {
+			return total, err
+		}
+		total += len(plaintext)
+		buf = buf[tls12.RecordHeaderLen+length:]
+	}
+	return total, nil
+}
+
+// Fig7MeasureAllocs runs rounds batches of batch records of size
+// bufSize through a fresh harness and reports the steady-state heap
+// allocations per middlebox operation (one processed record), measured
+// with runtime.MemStats. It backs the allocs/op column of the
+// machine-readable Figure 7 baseline.
+func Fig7MeasureAllocs(encl *enclave.Enclave, suite uint16, reencrypt bool, bufSize, batch, rounds int) (float64, error) {
+	h, err := NewBenchHarness(encl, suite, reencrypt)
 	if err != nil {
 		return 0, err
 	}
-	return len(plaintext), nil
+	plaintext := RandomPlaintext(bufSize)
+	srcBuf := make([]byte, 0, batch*(tls12.RecordHeaderLen+bufSize+64))
+	dst := make([]byte, 0, cap(srcBuf))
+	recs := make([]tls12.RawRecord, 0, batch)
+
+	run := func() error {
+		srcBuf = srcBuf[:0]
+		recs = recs[:0]
+		for i := 0; i < batch; i++ {
+			var rec tls12.RawRecord
+			srcBuf, rec = h.SealInto(srcBuf, plaintext)
+			recs = append(recs, rec)
+		}
+		var n int
+		dst, n, err = h.ProcessBatch(recs, dst[:0])
+		if err != nil {
+			return err
+		}
+		if n != batch && !h.reencrypt {
+			return fmt.Errorf("core: bench processed %d of %d records", n, batch)
+		}
+		_, err = h.DrainWire(dst)
+		return err
+	}
+	// Warm up buffers and pools outside the measured region.
+	for i := 0; i < 3; i++ {
+		if err := run(); err != nil {
+			return 0, err
+		}
+	}
+	before := heapMallocs()
+	for i := 0; i < rounds; i++ {
+		if err := run(); err != nil {
+			return 0, err
+		}
+	}
+	after := heapMallocs()
+	return float64(after-before) / float64(rounds*batch), nil
+}
+
+// heapMallocs snapshots the cumulative heap allocation count.
+func heapMallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
 }
 
 // RandomPlaintext returns a buffer of random bytes for the workload

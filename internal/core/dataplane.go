@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync/atomic"
 
@@ -10,13 +11,21 @@ import (
 
 // maxRecordPlaintext mirrors the TLS fragment limit for resealed
 // records.
-const maxRecordPlaintext = 16384
+const maxRecordPlaintext = tls12.MaxPlaintext
 
-// dataPlaneHandler is a middlebox's per-session data plane: it opens a
-// protected record arriving on one hop, optionally transforms
+// dataPlaneHandler is a middlebox's per-session data plane: it opens
+// protected records arriving on one hop, optionally transforms
 // application data, and reseals for the next hop (paper Figure 4).
+//
+// handleBatch processes a batch of records in one call, appending the
+// resealed records in wire form (header included) to dst and returning
+// the extended buffer plus the number of records appended. Input
+// payloads are decrypted in place and destroyed; the appended bytes
+// never alias them, so the caller may reuse its read buffers as soon
+// as the call returns. Batching is what makes the enclave variant
+// cheap: the whole batch crosses the boundary as a single ecall.
 type dataPlaneHandler interface {
-	handleRecord(dir Direction, rec tls12.RawRecord) ([]tls12.RawRecord, error)
+	handleBatch(dir Direction, recs []tls12.RawRecord, dst []byte) ([]byte, int, error)
 }
 
 // dataPlane is the host-memory implementation.
@@ -52,41 +61,55 @@ func newDataPlane(km *KeyMaterial, proc Processor) (*dataPlane, error) {
 	}, nil
 }
 
-// handleRecord implements dataPlaneHandler. A MAC failure is fatal for
+// appendSealedRecord seals one outbound fragment and appends its full
+// wire form (header, explicit nonce, ciphertext, tag) to dst with no
+// intermediate copy.
+func appendSealedRecord(dst []byte, cs *tls12.CipherState, typ tls12.ContentType, plaintext []byte) []byte {
+	start := len(dst)
+	dst = append(dst, byte(typ), byte(tls12.VersionTLS12>>8), byte(tls12.VersionTLS12&0xff), 0, 0)
+	dst = cs.SealAppend(dst, typ, plaintext)
+	binary.BigEndian.PutUint16(dst[start+3:start+5], uint16(len(dst)-start-tls12.RecordHeaderLen))
+	return dst
+}
+
+// handleBatch implements dataPlaneHandler. A MAC failure is fatal for
 // the session: per-hop keys are what enforce path integrity (P4), so a
 // record arriving under the wrong key must kill the connection, not be
 // forwarded.
-func (dp *dataPlane) handleRecord(dir Direction, rec tls12.RawRecord) ([]tls12.RawRecord, error) {
+func (dp *dataPlane) handleBatch(dir Direction, recs []tls12.RawRecord, dst []byte) ([]byte, int, error) {
 	openCS, sealCS := dp.openC2S, dp.sealC2S
 	if dir == DirServerToClient {
 		openCS, sealCS = dp.openS2C, dp.sealS2C
 	}
-	plaintext, err := openCS.Open(rec.Type, rec.Payload)
-	if err != nil {
-		return nil, fmt.Errorf("core: hop MAC check failed (%s, %s): %w", dir, rec.Type, err)
-	}
-	out := plaintext
-	if rec.Type == tls12.TypeApplicationData && dp.proc != nil {
-		out, err = dp.proc.Process(dir, plaintext)
+	n := 0
+	for _, rec := range recs {
+		plaintext, err := openCS.OpenInPlace(rec.Type, rec.Payload)
 		if err != nil {
-			return nil, fmt.Errorf("core: middlebox processor: %w", err)
+			return dst, n, fmt.Errorf("core: hop MAC check failed (%s, %s): %w", dir, rec.Type, err)
+		}
+		out := plaintext
+		if rec.Type == tls12.TypeApplicationData && dp.proc != nil {
+			out, err = dp.proc.Process(dir, plaintext)
+			if err != nil {
+				return dst, n, fmt.Errorf("core: middlebox processor: %w", err)
+			}
+		}
+		// Every inbound record yields at least one outbound record, even
+		// when the payload is empty: non-data records (alerts) reseal
+		// verbatim, and an empty application-data record — legal TLS,
+		// sometimes sent as a traffic-analysis countermeasure — must
+		// still reach the next hop with the sequence numbers it consumed.
+		for first := true; first || len(out) > 0; first = false {
+			frag := out
+			if len(frag) > maxRecordPlaintext {
+				frag = frag[:maxRecordPlaintext]
+			}
+			out = out[len(frag):]
+			dst = appendSealedRecord(dst, sealCS, rec.Type, frag)
+			n++
 		}
 	}
-	var recs []tls12.RawRecord
-	if rec.Type != tls12.TypeApplicationData {
-		// Non-data records (alerts) are resealed verbatim, even when
-		// empty.
-		return []tls12.RawRecord{{Type: rec.Type, Payload: sealCS.Seal(rec.Type, out)}}, nil
-	}
-	for len(out) > 0 {
-		frag := out
-		if len(frag) > maxRecordPlaintext {
-			frag = frag[:maxRecordPlaintext]
-		}
-		out = out[len(frag):]
-		recs = append(recs, tls12.RawRecord{Type: rec.Type, Payload: sealCS.Seal(rec.Type, frag)})
-	}
-	return recs, nil
+	return dst, n, nil
 }
 
 // enclaveDataPlane keeps the cipher states and processor inside an SGX
@@ -116,17 +139,21 @@ func installEnclaveDataPlane(e *enclave.Enclave, km *KeyMaterial, proc Processor
 	return &enclaveDataPlane{e: e, key: key}, nil
 }
 
-// handleRecord implements dataPlaneHandler via an ecall. The cipher
-// states advance per record, so each direction must be driven by one
-// goroutine — which the relay guarantees.
-func (edp *enclaveDataPlane) handleRecord(dir Direction, rec tls12.RawRecord) (recs []tls12.RawRecord, err error) {
+// handleBatch implements dataPlaneHandler via a single ecall for the
+// whole batch — the boundary-crossing cost is amortized across every
+// record the relay drained, which is what lets Figure 7's enclave
+// configuration track the no-enclave one. The cipher states advance
+// per record, so each direction must be driven by one goroutine —
+// which the relay guarantees.
+func (edp *enclaveDataPlane) handleBatch(dir Direction, recs []tls12.RawRecord, dst []byte) (out []byte, n int, err error) {
+	out = dst
 	edp.e.Enter(func(mem enclave.Memory) {
 		dp, ok := mem.Get(edp.key).(*dataPlane)
 		if !ok {
 			err = fmt.Errorf("core: enclave data plane missing")
 			return
 		}
-		recs, err = dp.handleRecord(dir, rec)
+		out, n, err = dp.handleBatch(dir, recs, dst)
 	})
-	return recs, err
+	return out, n, err
 }

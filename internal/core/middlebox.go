@@ -260,6 +260,22 @@ func (s *mbSession) writeRecord(conn net.Conn, mu *sync.Mutex, rec tls12.RawReco
 	return err
 }
 
+// writeWire writes already-framed record bytes to one side.
+func (s *mbSession) writeWire(conn net.Conn, mu *sync.Mutex, wire []byte) error {
+	mu.Lock()
+	defer mu.Unlock()
+	_, err := conn.Write(wire)
+	return err
+}
+
+// outbound returns the connection and write lock for a direction.
+func (s *mbSession) outbound(dir Direction) (net.Conn, *sync.Mutex) {
+	if dir == DirServerToClient {
+		return s.down, &s.downW
+	}
+	return s.up, &s.upW
+}
+
 // forward relays a record unchanged in the given direction.
 func (s *mbSession) forward(dir Direction, rec tls12.RawRecord) error {
 	s.mb.recordsRelayed.Add(1)
@@ -267,6 +283,13 @@ func (s *mbSession) forward(dir Direction, rec tls12.RawRecord) error {
 		return s.writeRecord(s.up, &s.upW, rec)
 	}
 	return s.writeRecord(s.down, &s.downW, rec)
+}
+
+// forwardWire relays an already-framed record without re-marshaling.
+func (s *mbSession) forwardWire(dir Direction, wire []byte) error {
+	s.mb.recordsRelayed.Add(1)
+	conn, mu := s.outbound(dir)
+	return s.writeWire(conn, mu, wire)
 }
 
 // writeEncapsulated wraps an inner record for our subchannel toward the
@@ -521,12 +544,12 @@ func (s *mbSession) transparent(buffered []tls12.RawRecord) error {
 // enclave even when it performs no cryptography.
 func (s *mbSession) spliceOneWay(dst net.Conn, src io.Reader) error {
 	buf := make([]byte, 32<<10)
+	var inEnclave []byte
 	for {
 		n, err := src.Read(buf)
 		if n > 0 {
 			chunk := buf[:n]
 			if e := s.mb.cfg.Enclave; e != nil {
-				var inEnclave []byte
 				e.Enter(func(enclave.Memory) {
 					inEnclave = append(inEnclave[:0], chunk...)
 				})
@@ -542,25 +565,105 @@ func (s *mbSession) spliceOneWay(dst net.Conn, src io.Reader) error {
 	}
 }
 
+// maxRelayBatch caps how many records one data-plane batch (and thus
+// one ecall and one outbound write) may carry, bounding latency and the
+// size of the reseal buffer.
+const maxRelayBatch = 32
+
 // relay pumps records in one direction, participating in the mbTLS
-// handshake and data plane as required.
+// handshake and data plane as required. Steady-state application data
+// is drained in batches: every buffered record headed for the data
+// plane is collected, opened/transformed/resealed in one handleBatch
+// call (one ecall when the plane lives in an enclave), and flushed to
+// the next hop in a single vectored write — the zero-allocation fast
+// path. Everything else (handshake, discovery, alerts) takes the
+// per-record slow path.
 func (s *mbSession) relay(dir Direction) error {
 	src := s.downR
 	if dir == DirServerToClient {
 		src = io.Reader(s.up)
 	}
+	rr := newRecordReader(src)
+	// Reused per-direction batch state; each direction is driven by
+	// exactly one goroutine, so no locking here.
+	batch := make([]tls12.RawRecord, 0, maxRelayBatch)
+	out := tls12.GetRecordBuf()
+	defer tls12.PutRecordBuf(out)
 	for {
-		rec, err := tls12.ReadRawRecord(src)
+		rec, wire, err := rr.next()
 		if err != nil {
 			return err
 		}
-		if err := s.handleRecord(dir, rec); err != nil {
+		dp := s.batchReady(dir, rec)
+		if dp == nil {
+			if err := s.handleRecordWire(dir, rec, wire); err != nil {
+				return err
+			}
+			continue
+		}
+		// Fast path: drain every already-buffered data record into one
+		// batch. A record with a different disposition ends the batch
+		// and is handled after the flush, preserving stream order.
+		batch = append(batch[:0], rec)
+		var tail tls12.RawRecord
+		var tailWire []byte
+		for len(batch) < maxRelayBatch && rr.buffered() {
+			next, nextWire, err := rr.next()
+			if err != nil {
+				return err
+			}
+			if s.batchReady(dir, next) == nil {
+				tail, tailWire = next, nextWire
+				break
+			}
+			batch = append(batch, next)
+		}
+		if out, err = s.flushBatch(dir, dp, batch, out); err != nil {
 			return err
+		}
+		if tailWire != nil {
+			if err := s.handleRecordWire(dir, tail, tailWire); err != nil {
+				return err
+			}
 		}
 	}
 }
 
-func (s *mbSession) handleRecord(dir Direction, rec tls12.RawRecord) error {
+// batchReady returns the data plane when rec can take the batched fast
+// path: steady-state application data on a joined, non-degraded session
+// whose per-hop keys are already installed. Everything else (including
+// the False-Start window before key material arrives) goes through
+// handleRecordWire.
+func (s *mbSession) batchReady(dir Direction, rec tls12.RawRecord) dataPlaneHandler {
+	if rec.Type != tls12.TypeApplicationData || !s.mbtls || s.degraded.Load() {
+		return nil
+	}
+	if s.mb.cfg.Mode == ServerSide && !s.secGotData.Load() {
+		// Potential legacy-server degrade; let the slow path decide.
+		return nil
+	}
+	return s.dataPlaneIfReady()
+}
+
+// flushBatch runs a batch through the data plane and writes the whole
+// resealed result in one outbound write. out is the reused reseal
+// buffer; the (possibly grown) buffer is returned for reuse.
+func (s *mbSession) flushBatch(dir Direction, dp dataPlaneHandler, batch []tls12.RawRecord, out []byte) ([]byte, error) {
+	out, n, err := dp.handleBatch(dir, batch, out[:0])
+	if err != nil {
+		return out, err
+	}
+	s.mb.recordsRekeyed.Add(int64(len(batch)))
+	s.mb.bytesProcessed.Add(int64(len(out) - n*recordHeaderLen))
+	conn, mu := s.outbound(dir)
+	return out, s.writeWire(conn, mu, out)
+}
+
+// handleRecordWire is the per-record slow path. wire is the record's
+// original framing, forwarded directly when the record passes through
+// unmodified; it aliases the relay's read buffer and must not be
+// retained.
+func (s *mbSession) handleRecordWire(dir Direction, rec tls12.RawRecord, wire []byte) error {
 	switch rec.Type {
 	case tls12.TypeEncapsulated:
 		if len(rec.Payload) < 1 {
@@ -589,7 +692,7 @@ func (s *mbSession) handleRecord(dir Direction, rec tls12.RawRecord) error {
 			}
 			s.joinMu.Unlock()
 		}
-		return s.forward(dir, rec)
+		return s.forwardWire(dir, wire)
 
 	case tls12.TypeHandshake:
 		if dir == DirServerToClient && s.mb.cfg.Mode == ClientSide && s.mbtls {
@@ -597,11 +700,11 @@ func (s *mbSession) handleRecord(dir Direction, rec tls12.RawRecord) error {
 				return err
 			}
 		}
-		return s.forward(dir, rec)
+		return s.forwardWire(dir, wire)
 
 	case tls12.TypeApplicationData:
 		if !s.mbtls || s.degraded.Load() {
-			return s.forward(dir, rec)
+			return s.forwardWire(dir, wire)
 		}
 		if s.mb.cfg.Mode == ServerSide && !s.secGotData.Load() && s.dataPlaneIfReady() == nil {
 			// Application data is flowing but the server never spoke
@@ -611,7 +714,7 @@ func (s *mbSession) handleRecord(dir Direction, rec tls12.RawRecord) error {
 			// remember not to announce to this server again.
 			s.degraded.Store(true)
 			s.mb.markNoAnnounce(s.up.RemoteAddr().String())
-			return s.forward(dir, rec)
+			return s.forwardWire(dir, wire)
 		}
 		dp, err := s.waitDataPlane()
 		if err != nil {
@@ -634,10 +737,10 @@ func (s *mbSession) handleRecord(dir Direction, rec tls12.RawRecord) error {
 			// observes the transparent behavior (paper §3.4).
 			s.mb.markNoAnnounce(s.up.RemoteAddr().String())
 		}
-		return s.forward(dir, rec)
+		return s.forwardWire(dir, wire)
 
 	default:
-		return s.forward(dir, rec)
+		return s.forwardWire(dir, wire)
 	}
 }
 
@@ -896,22 +999,14 @@ func (s *mbSession) waitDataPlane() (dataPlaneHandler, error) {
 }
 
 // processForward runs one protected record through the data plane and
-// forwards the resealed result.
+// forwards the resealed result. It is the slow-path (off-batch)
+// companion of flushBatch, used for alerts and the False-Start window;
+// the record's payload is decrypted in place and destroyed.
 func (s *mbSession) processForward(dir Direction, dp dataPlaneHandler, rec tls12.RawRecord) error {
-	recs, err := dp.handleRecord(dir, rec)
-	if err != nil {
-		return err
-	}
-	s.mb.recordsRekeyed.Add(1)
-	for _, out := range recs {
-		s.mb.bytesProcessed.Add(int64(len(out.Payload)))
-		conn, mu := s.up, &s.upW
-		if dir == DirServerToClient {
-			conn, mu = s.down, &s.downW
-		}
-		if err := s.writeRecord(conn, mu, out); err != nil {
-			return err
-		}
-	}
-	return nil
+	out := tls12.GetRecordBuf()
+	defer tls12.PutRecordBuf(out)
+	var err error
+	batch := [1]tls12.RawRecord{rec}
+	out, err = s.flushBatch(dir, dp, batch[:], out)
+	return err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -29,6 +30,8 @@ type mux struct {
 	rw io.ReadWriter
 
 	wmu sync.Mutex
+	// encBuf is the Encapsulated-framing scratch buffer, guarded by wmu.
+	encBuf []byte
 
 	primary *pipeBuf
 
@@ -57,13 +60,18 @@ func (m *mux) writeRaw(b []byte) error {
 }
 
 // writeEncapsulated wraps one inner record into an Encapsulated outer
-// record for the given subchannel.
+// record for the given subchannel, framing into a reused scratch buffer
+// so steady-state subchannel writes do not allocate.
 func (m *mux) writeEncapsulated(sub uint8, inner []byte) error {
-	payload := make([]byte, 1+len(inner))
-	payload[0] = sub
-	copy(payload[1:], inner)
-	rec := tls12.RawRecord{Type: tls12.TypeEncapsulated, Payload: payload}
-	return m.writeRaw(rec.Marshal())
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	b := append(m.encBuf[:0],
+		byte(tls12.TypeEncapsulated), byte(tls12.VersionTLS12>>8), byte(tls12.VersionTLS12&0xff), 0, 0, sub)
+	b = append(b, inner...)
+	binary.BigEndian.PutUint16(b[3:5], uint16(1+len(inner)))
+	m.encBuf = b
+	_, err := m.rw.Write(b)
+	return err
 }
 
 // subchannel returns the pipe for a subchannel, creating it if needed.
@@ -98,12 +106,16 @@ func (m *mux) subchannelIDs() []uint8 {
 	return ids
 }
 
-// readLoop demultiplexes inbound records until the transport fails.
+// readLoop demultiplexes inbound records until the transport fails. It
+// parses through a reused buffer (feed copies what each pipe keeps), so
+// demultiplexing itself allocates nothing per record.
 func (m *mux) readLoop() {
 	var err error
+	rr := newRecordReader(m.rw)
 	for {
 		var raw tls12.RawRecord
-		raw, err = tls12.ReadRawRecord(m.rw)
+		var wire []byte
+		raw, wire, err = rr.next()
 		if err != nil {
 			break
 		}
@@ -118,7 +130,7 @@ func (m *mux) readLoop() {
 		}
 		// Everything else belongs to the primary session; hand the
 		// full record (header included) to its record layer.
-		m.primary.feed(raw.Marshal())
+		m.primary.feed(wire)
 	}
 	m.fail(err)
 }

@@ -14,8 +14,13 @@ import (
 type pipeBuf struct {
 	mu   sync.Mutex
 	cond *sync.Cond
-	buf  []byte
-	err  error
+	// buf[start:] is the readable data. Consuming from the front moves
+	// start instead of reslicing buf, so the backing array (and its
+	// capacity) is reused once drained rather than leaked a prefix at a
+	// time.
+	buf   []byte
+	start int
+	err   error
 
 	writeFn func([]byte) error
 
@@ -38,14 +43,18 @@ func newPipeBuf(writeFn func([]byte) error) *pipeBuf {
 func (p *pipeBuf) Read(b []byte) (int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for len(p.buf) == 0 {
+	for p.start == len(p.buf) {
 		if p.err != nil {
 			return 0, p.err
 		}
 		p.cond.Wait()
 	}
-	n := copy(b, p.buf)
-	p.buf = p.buf[n:]
+	n := copy(b, p.buf[p.start:])
+	p.start += n
+	if p.start == len(p.buf) {
+		p.buf = p.buf[:0]
+		p.start = 0
+	}
 	return n, nil
 }
 
@@ -60,9 +69,17 @@ func (p *pipeBuf) Write(b []byte) (int, error) {
 	return len(b), nil
 }
 
-// feed appends received bytes for Read.
+// feed appends a copy of the received bytes for Read (b may alias a
+// caller buffer that is reused immediately).
 func (p *pipeBuf) feed(b []byte) {
 	p.mu.Lock()
+	// Reclaim the consumed prefix when it dominates the buffer, keeping
+	// growth amortized O(1) per byte without unbounded dead space.
+	if p.start > 0 && p.start >= len(p.buf)-p.start {
+		n := copy(p.buf, p.buf[p.start:])
+		p.buf = p.buf[:n]
+		p.start = 0
+	}
 	p.buf = append(p.buf, b...)
 	p.cond.Broadcast()
 	p.mu.Unlock()

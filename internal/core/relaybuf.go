@@ -1,0 +1,91 @@
+package core
+
+import (
+	"io"
+
+	"repro/internal/tls12"
+)
+
+// relayReadBufSize sizes a recordReader's buffer: room for a few
+// maximum-size records so one transport Read feeds several relay
+// iterations.
+const relayReadBufSize = 4 * tls12.MaxRecordWireSize
+
+// recordReader incrementally parses TLS records out of a byte stream
+// through one reused buffer, so the relay loop can drain every record
+// already buffered — the unit that becomes one data-plane batch and one
+// vectored write — without an allocation or an extra Read per record.
+//
+// Ownership: the RawRecord returned by next aliases the internal
+// buffer. It stays valid until the first next call that follows a
+// buffered() == false observation (only then may the buffer compact),
+// so the drain pattern "next once, then next again while buffered()"
+// keeps every record of a batch alive together.
+type recordReader struct {
+	src io.Reader
+	buf []byte
+	r   int // parse position
+	w   int // fill position
+}
+
+func newRecordReader(src io.Reader) *recordReader {
+	return &recordReader{src: src, buf: make([]byte, relayReadBufSize)}
+}
+
+// peekHeader parses the header at the current position without
+// consuming it. ok is false when fewer than a full record's bytes are
+// buffered.
+func (rr *recordReader) peekHeader() (typ tls12.ContentType, length int, ok bool, err error) {
+	if rr.w-rr.r < tls12.RecordHeaderLen {
+		return 0, 0, false, nil
+	}
+	typ, length, err = tls12.ParseRecordHeader(rr.buf[rr.r : rr.r+tls12.RecordHeaderLen])
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if rr.w-rr.r < tls12.RecordHeaderLen+length {
+		return 0, 0, false, nil
+	}
+	return typ, length, true, nil
+}
+
+// buffered reports whether a complete record can be returned without
+// reading from the transport or moving already-returned records.
+func (rr *recordReader) buffered() bool {
+	_, _, ok, err := rr.peekHeader()
+	return ok && err == nil
+}
+
+// next returns the next record. The returned record and wire slices
+// alias the internal buffer; see the type comment for lifetime rules.
+// wire is the record's full framing (header plus body), for forwarding
+// without re-marshaling.
+func (rr *recordReader) next() (rec tls12.RawRecord, wire []byte, err error) {
+	for {
+		typ, length, ok, err := rr.peekHeader()
+		if err != nil {
+			return tls12.RawRecord{}, nil, err
+		}
+		if ok {
+			start := rr.r
+			rr.r += tls12.RecordHeaderLen + length
+			body := rr.buf[start+tls12.RecordHeaderLen : rr.r]
+			return tls12.RawRecord{Type: typ, Payload: body}, rr.buf[start:rr.r], nil
+		}
+		// Incomplete record: compact (previously returned records are no
+		// longer protected once we get here) and refill.
+		if rr.r > 0 {
+			copy(rr.buf, rr.buf[rr.r:rr.w])
+			rr.w -= rr.r
+			rr.r = 0
+		}
+		n, rerr := rr.src.Read(rr.buf[rr.w:])
+		rr.w += n
+		if n == 0 && rerr != nil {
+			if rerr == io.EOF && rr.w > 0 {
+				rerr = io.ErrUnexpectedEOF
+			}
+			return tls12.RawRecord{}, nil, rerr
+		}
+	}
+}

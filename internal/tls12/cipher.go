@@ -15,6 +15,10 @@ const (
 	gcmTagLen           = 16
 )
 
+// sealOverhead is the number of bytes sealing adds to a plaintext:
+// explicit nonce plus AEAD tag.
+const sealOverhead = gcmExplicitNonceLen + gcmTagLen
+
 // suiteKeyLen returns the AEAD key length for a cipher suite.
 func suiteKeyLen(suiteID uint16) (int, error) {
 	switch suiteID {
@@ -34,10 +38,22 @@ func suiteIVLen(suiteID uint16) int { return gcmImplicitNonceLen }
 // mbTLS exposes it because per-hop keys (paper §3.4, Figure 4) are
 // installed directly into record layers at arbitrary starting sequence
 // numbers carried by MBTLSKeyMaterial messages.
+//
+// A CipherState is not safe for concurrent use: sealing and opening
+// advance the sequence number and share scratch buffers. Each user (a
+// record layer direction, a data-plane hop) must drive it from one
+// goroutine at a time, which the record layer's I/O mutexes and the
+// relay's one-goroutine-per-direction structure guarantee.
 type CipherState struct {
 	aead cipher.AEAD
-	iv   [gcmImplicitNonceLen]byte
 	seq  uint64
+
+	// nonceBuf holds the assembled 12-byte GCM nonce: the implicit salt
+	// (fixed at construction) followed by the per-record explicit part.
+	nonceBuf [gcmImplicitNonceLen + gcmExplicitNonceLen]byte
+	// adBuf holds the 13-byte AEAD associated data, reused per record so
+	// the steady-state seal/open paths allocate nothing.
+	adBuf [13]byte
 }
 
 // NewCipherState builds a CipherState for the given suite from raw key
@@ -63,59 +79,76 @@ func NewCipherState(suiteID uint16, key, iv []byte, seq uint64) (*CipherState, e
 		return nil, err
 	}
 	cs := &CipherState{aead: aead, seq: seq}
-	copy(cs.iv[:], iv)
+	copy(cs.nonceBuf[:gcmImplicitNonceLen], iv)
 	return cs, nil
 }
 
 // Seq returns the next record sequence number to be used.
 func (cs *CipherState) Seq() uint64 { return cs.seq }
 
-// nonce assembles the 12-byte GCM nonce: implicit salt || explicit part.
-func (cs *CipherState) nonce(explicit []byte) []byte {
-	n := make([]byte, 0, gcmImplicitNonceLen+gcmExplicitNonceLen)
-	n = append(n, cs.iv[:]...)
-	n = append(n, explicit...)
-	return n
-}
-
-// additionalData builds the AEAD associated data for a record:
+// additionalData fills the reusable AEAD associated-data buffer:
 // seq(8) || type(1) || version(2) || plaintext length(2), RFC 5246 §6.2.3.3.
-func additionalData(seq uint64, typ ContentType, plaintextLen int) []byte {
-	var ad [13]byte
-	binary.BigEndian.PutUint64(ad[:8], seq)
-	ad[8] = byte(typ)
-	binary.BigEndian.PutUint16(ad[9:11], VersionTLS12)
-	binary.BigEndian.PutUint16(ad[11:13], uint16(plaintextLen))
-	return ad[:]
+func (cs *CipherState) additionalData(seq uint64, typ ContentType, plaintextLen int) []byte {
+	binary.BigEndian.PutUint64(cs.adBuf[:8], seq)
+	cs.adBuf[8] = byte(typ)
+	binary.BigEndian.PutUint16(cs.adBuf[9:11], VersionTLS12)
+	binary.BigEndian.PutUint16(cs.adBuf[11:13], uint16(plaintextLen))
+	return cs.adBuf[:]
 }
 
-// Seal encrypts a record payload, producing the wire form:
-// explicit_nonce(8) || ciphertext || tag. It advances the sequence
-// number. The explicit nonce is the sequence number, as TLS
-// implementations conventionally do.
-func (cs *CipherState) Seal(typ ContentType, plaintext []byte) []byte {
-	var explicit [gcmExplicitNonceLen]byte
-	binary.BigEndian.PutUint64(explicit[:], cs.seq)
-
-	out := make([]byte, gcmExplicitNonceLen, gcmExplicitNonceLen+len(plaintext)+gcmTagLen)
-	copy(out, explicit[:])
-	out = cs.aead.Seal(out, cs.nonce(explicit[:]), plaintext, additionalData(cs.seq, typ, len(plaintext)))
+// SealAppend encrypts a record payload and appends its wire form —
+// explicit_nonce(8) || ciphertext || tag — to dst, advancing the
+// sequence number. When dst has sufficient capacity the call performs
+// zero allocations; dst must not overlap plaintext. The explicit nonce
+// is the sequence number, as TLS implementations conventionally do.
+func (cs *CipherState) SealAppend(dst []byte, typ ContentType, plaintext []byte) []byte {
+	binary.BigEndian.PutUint64(cs.nonceBuf[gcmImplicitNonceLen:], cs.seq)
+	dst = append(dst, cs.nonceBuf[gcmImplicitNonceLen:]...)
+	dst = cs.aead.Seal(dst, cs.nonceBuf[:], plaintext, cs.additionalData(cs.seq, typ, len(plaintext)))
 	cs.seq++
-	return out
+	return dst
 }
 
-// Open decrypts a record payload in wire form and advances the sequence
-// number on success. A failure leaves the sequence number unchanged and
-// returns an error; the connection must be torn down with a
-// bad_record_mac alert (this is what enforces path integrity, paper P4).
-func (cs *CipherState) Open(typ ContentType, payload []byte) ([]byte, error) {
-	if len(payload) < gcmExplicitNonceLen+gcmTagLen {
+// Seal encrypts a record payload into a freshly allocated buffer. It is
+// SealAppend without buffer reuse, kept for callers off the hot path.
+func (cs *CipherState) Seal(typ ContentType, plaintext []byte) []byte {
+	return cs.SealAppend(make([]byte, 0, len(plaintext)+sealOverhead), typ, plaintext)
+}
+
+// OpenInPlace decrypts a record payload in wire form, reusing payload's
+// own storage for the plaintext (the returned slice aliases payload).
+// On success the sequence number advances; on failure it is unchanged,
+// an error is returned, and payload's contents are destroyed — the
+// connection must be torn down with a bad_record_mac alert (this is
+// what enforces path integrity, paper P4), so the clobbered buffer is
+// never observed.
+func (cs *CipherState) OpenInPlace(typ ContentType, payload []byte) ([]byte, error) {
+	if len(payload) < sealOverhead {
 		return nil, &AlertError{Description: AlertBadRecordMAC}
 	}
-	explicit := payload[:gcmExplicitNonceLen]
+	copy(cs.nonceBuf[gcmImplicitNonceLen:], payload[:gcmExplicitNonceLen])
 	ciphertext := payload[gcmExplicitNonceLen:]
 	plaintextLen := len(ciphertext) - gcmTagLen
-	plaintext, err := cs.aead.Open(nil, cs.nonce(explicit), ciphertext, additionalData(cs.seq, typ, plaintextLen))
+	plaintext, err := cs.aead.Open(ciphertext[:0], cs.nonceBuf[:], ciphertext, cs.additionalData(cs.seq, typ, plaintextLen))
+	if err != nil {
+		return nil, &AlertError{Description: AlertBadRecordMAC}
+	}
+	cs.seq++
+	return plaintext, nil
+}
+
+// Open decrypts a record payload in wire form into a fresh buffer,
+// leaving payload intact, and advances the sequence number on success.
+// A failure leaves the sequence number unchanged and returns an error.
+func (cs *CipherState) Open(typ ContentType, payload []byte) ([]byte, error) {
+	if len(payload) < sealOverhead {
+		return nil, &AlertError{Description: AlertBadRecordMAC}
+	}
+	copy(cs.nonceBuf[gcmImplicitNonceLen:], payload[:gcmExplicitNonceLen])
+	ciphertext := payload[gcmExplicitNonceLen:]
+	plaintextLen := len(ciphertext) - gcmTagLen
+	out := make([]byte, 0, plaintextLen)
+	plaintext, err := cs.aead.Open(out, cs.nonceBuf[:], ciphertext, cs.additionalData(cs.seq, typ, plaintextLen))
 	if err != nil {
 		return nil, &AlertError{Description: AlertBadRecordMAC}
 	}
@@ -124,4 +157,4 @@ func (cs *CipherState) Open(typ ContentType, payload []byte) ([]byte, error) {
 }
 
 // Overhead returns the number of bytes Seal adds to a plaintext.
-func (cs *CipherState) Overhead() int { return gcmExplicitNonceLen + gcmTagLen }
+func (cs *CipherState) Overhead() int { return sealOverhead }

@@ -334,7 +334,9 @@ func (c *Conn) Read(p []byte) (int, error) {
 				return 0, err
 			}
 		case TypeKeyMaterial:
-			c.keyMatBuf = append(c.keyMatBuf, rec.Payload)
+			// Retained across further ReadRecord calls, which reuse the
+			// record layer's buffer — copy out of it.
+			c.keyMatBuf = append(c.keyMatBuf, append([]byte(nil), rec.Payload...))
 		case TypeEncapsulated, TypeMiddleboxAnnouncement:
 			if c.config != nil && c.config.LenientUnknownRecords {
 				continue
@@ -380,6 +382,11 @@ func (c *Conn) ReadKeyMaterial() ([]byte, error) {
 	}
 	c.readMu.Lock()
 	defer c.readMu.Unlock()
+	// Undelivered application data may alias the record layer's reused
+	// buffer; detach it before reading more records over it.
+	if len(c.appBuf) > 0 {
+		c.appBuf = append([]byte(nil), c.appBuf...)
+	}
 	for {
 		if len(c.keyMatBuf) > 0 {
 			km := c.keyMatBuf[0]
@@ -396,7 +403,7 @@ func (c *Conn) ReadKeyMaterial() ([]byte, error) {
 		}
 		switch rec.Type {
 		case TypeKeyMaterial:
-			c.keyMatBuf = append(c.keyMatBuf, rec.Payload)
+			c.keyMatBuf = append(c.keyMatBuf, append([]byte(nil), rec.Payload...))
 		case TypeApplicationData:
 			c.appBuf = append(c.appBuf, rec.Payload...)
 		case TypeAlert:

@@ -5,7 +5,70 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
+
+// Exported record-geometry limits, for relay and data-plane buffer
+// sizing outside this package.
+const (
+	// MaxPlaintext is the largest record plaintext fragment (2^14).
+	MaxPlaintext = maxPlaintext
+	// MaxCiphertext is the largest record body accepted off the wire.
+	MaxCiphertext = maxCiphertext
+	// RecordHeaderLen is the record header size.
+	RecordHeaderLen = recordHeaderLen
+	// MaxRecordWireSize is the largest framed record: header plus
+	// maximum body.
+	MaxRecordWireSize = recordHeaderLen + maxCiphertext
+)
+
+// recordBufPool recycles maximum-record-size buffers across record
+// layers, relay batches, and data planes, so steady-state record
+// processing performs no heap allocation.
+var recordBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, MaxRecordWireSize)
+		return &b
+	},
+}
+
+// GetRecordBuf returns a zero-length buffer with capacity for one
+// maximum-size wire record. Return it with PutRecordBuf when done; it
+// is also fine to keep it for the lifetime of a long-lived owner (a
+// record layer does exactly that).
+func GetRecordBuf() []byte {
+	return (*recordBufPool.Get().(*[]byte))[:0]
+}
+
+// PutRecordBuf returns a buffer obtained from GetRecordBuf to the pool.
+// The caller must not use b afterwards.
+func PutRecordBuf(b []byte) {
+	if cap(b) < MaxRecordWireSize {
+		return // never pool undersized buffers
+	}
+	b = b[:0]
+	recordBufPool.Put(&b)
+}
+
+// ParseRecordHeader validates a 5-byte record header and returns the
+// content type and body length. The errors match ReadRawRecord's.
+func ParseRecordHeader(hdr []byte) (ContentType, int, error) {
+	if len(hdr) < recordHeaderLen {
+		return 0, 0, fmt.Errorf("tls12: short record header (%d bytes)", len(hdr))
+	}
+	typ := ContentType(hdr[0])
+	if !isKnownType(typ) {
+		return 0, 0, fmt.Errorf("tls12: unknown record type %d", hdr[0])
+	}
+	if binary.BigEndian.Uint16(hdr[1:3]) != VersionTLS12 {
+		return 0, 0, &AlertError{Description: AlertProtocolVersion}
+	}
+	length := int(binary.BigEndian.Uint16(hdr[3:5]))
+	if length > maxCiphertext {
+		return 0, 0, &AlertError{Description: AlertRecordOverflow}
+	}
+	return typ, length, nil
+}
 
 // A Record is one TLS record: a content type and its (decrypted, if a
 // read cipher is installed) payload.
@@ -29,22 +92,38 @@ type Record struct {
 // Reads and writes are independently safe for one concurrent reader and
 // one concurrent writer; WriteRecord is additionally safe for multiple
 // concurrent writers.
+//
+// Buffer ownership: ReadRecord decrypts into an internal pooled buffer
+// and the returned payload aliases it. The payload is valid until the
+// next ReadRecord call on this layer; callers that retain a payload
+// across reads must copy it. Unread-ing the most recently read record
+// is safe (the buffer is not touched while the record sits in the
+// pending queue at the front).
 type RecordLayer struct {
 	r io.Reader
 	w io.Writer
 
-	readMu  sync.Mutex
-	hdr     [recordHeaderLen]byte
-	pending []Record // records decoded but not yet returned
+	readMu sync.Mutex
+	hdr    [recordHeaderLen]byte
+	// pending is a deque of records decoded but not yet returned;
+	// pendingHead indexes its first live entry so Unread never copies
+	// the whole queue.
+	pending     []Record
+	pendingHead int
+	// readBuf is the pooled buffer records are read and decrypted into.
+	readBuf []byte
 
 	writeMu sync.Mutex
+	// writeBuf coalesces framed records between flushes so one transport
+	// Write carries as many records as size limits allow.
+	writeBuf []byte
 
-	// cipherMu guards the cipher-state pointers separately from the
-	// I/O mutexes, so key export and rekeying never wait behind a
-	// reader blocked on the network.
-	cipherMu sync.Mutex
-	read     *CipherState // nil until ChangeCipherSpec / key install
-	write    *CipherState
+	// Cipher-state pointers are atomic, separate from the I/O mutexes,
+	// so key export and rekeying never wait behind a reader blocked on
+	// the network, and the steady-state record path takes no lock to
+	// load them.
+	read  atomic.Pointer[CipherState] // nil until ChangeCipherSpec / key install
+	write atomic.Pointer[CipherState]
 }
 
 // NewRecordLayer returns a RecordLayer over the given stream. Both
@@ -62,34 +141,20 @@ func NewRecordLayerRW(r io.Reader, w io.Writer) *RecordLayer {
 // SetReadCipher installs (or clears) record protection for inbound
 // records. Pass nil to return to plaintext (never done in-protocol; used
 // by tests).
-func (rl *RecordLayer) SetReadCipher(cs *CipherState) {
-	rl.cipherMu.Lock()
-	rl.read = cs
-	rl.cipherMu.Unlock()
-}
+func (rl *RecordLayer) SetReadCipher(cs *CipherState) { rl.read.Store(cs) }
 
 // SetWriteCipher installs record protection for outbound records.
-func (rl *RecordLayer) SetWriteCipher(cs *CipherState) {
-	rl.cipherMu.Lock()
-	rl.write = cs
-	rl.cipherMu.Unlock()
-}
+func (rl *RecordLayer) SetWriteCipher(cs *CipherState) { rl.write.Store(cs) }
 
 // ReadCipher returns the current inbound CipherState (nil if plaintext).
-func (rl *RecordLayer) ReadCipher() *CipherState {
-	rl.cipherMu.Lock()
-	defer rl.cipherMu.Unlock()
-	return rl.read
-}
+func (rl *RecordLayer) ReadCipher() *CipherState { return rl.read.Load() }
 
 // WriteCipher returns the current outbound CipherState.
-func (rl *RecordLayer) WriteCipher() *CipherState {
-	rl.cipherMu.Lock()
-	defer rl.cipherMu.Unlock()
-	return rl.write
-}
+func (rl *RecordLayer) WriteCipher() *CipherState { return rl.write.Load() }
 
-// ReadRecord reads and, if protected, decrypts the next record.
+// ReadRecord reads and, if protected, decrypts the next record. The
+// returned payload aliases the layer's internal buffer; see the type
+// comment for ownership rules.
 func (rl *RecordLayer) ReadRecord() (Record, error) {
 	rl.readMu.Lock()
 	defer rl.readMu.Unlock()
@@ -97,33 +162,32 @@ func (rl *RecordLayer) ReadRecord() (Record, error) {
 }
 
 func (rl *RecordLayer) readRecordLocked() (Record, error) {
-	if n := len(rl.pending); n > 0 {
-		rec := rl.pending[0]
-		rl.pending = rl.pending[1:]
+	if rl.pendingHead < len(rl.pending) {
+		rec := rl.pending[rl.pendingHead]
+		rl.pending[rl.pendingHead] = Record{}
+		rl.pendingHead++
+		if rl.pendingHead == len(rl.pending) {
+			rl.pending = rl.pending[:0]
+			rl.pendingHead = 0
+		}
 		return rec, nil
 	}
 	if _, err := io.ReadFull(rl.r, rl.hdr[:]); err != nil {
 		return Record{}, err
 	}
-	typ := ContentType(rl.hdr[0])
-	version := binary.BigEndian.Uint16(rl.hdr[1:3])
-	length := int(binary.BigEndian.Uint16(rl.hdr[3:5]))
-	if !isKnownType(typ) {
-		return Record{}, fmt.Errorf("tls12: unknown record type %d", rl.hdr[0])
+	typ, length, err := ParseRecordHeader(rl.hdr[:])
+	if err != nil {
+		return Record{}, err
 	}
-	if version != VersionTLS12 {
-		return Record{}, &AlertError{Description: AlertProtocolVersion}
+	if rl.readBuf == nil {
+		rl.readBuf = GetRecordBuf()
 	}
-	if length > maxCiphertext {
-		return Record{}, &AlertError{Description: AlertRecordOverflow}
-	}
-	payload := make([]byte, length)
+	payload := rl.readBuf[:length]
 	if _, err := io.ReadFull(rl.r, payload); err != nil {
 		return Record{}, err
 	}
-	if cs := rl.ReadCipher(); cs != nil && !typeBypassesCipher(typ) {
-		var err error
-		payload, err = cs.Open(typ, payload)
+	if cs := rl.read.Load(); cs != nil && !typeBypassesCipher(typ) {
+		payload, err = cs.OpenInPlace(typ, payload)
 		if err != nil {
 			return Record{}, err
 		}
@@ -132,47 +196,112 @@ func (rl *RecordLayer) readRecordLocked() (Record, error) {
 }
 
 // Unread pushes a record back so the next ReadRecord returns it first.
-// Middleboxes use this after peeking at handshake traffic.
+// Middleboxes use this after peeking at handshake traffic. Consecutive
+// Unreads replay in LIFO order. The caller keeps ownership of the
+// payload; unread-ing the record ReadRecord just returned is safe.
 func (rl *RecordLayer) Unread(rec Record) {
 	rl.readMu.Lock()
-	rl.pending = append([]Record{rec}, rl.pending...)
-	rl.readMu.Unlock()
+	defer rl.readMu.Unlock()
+	if rl.pendingHead > 0 {
+		rl.pendingHead--
+		rl.pending[rl.pendingHead] = rec
+		return
+	}
+	if len(rl.pending) == 0 {
+		rl.pending = append(rl.pending, rec)
+		return
+	}
+	// Front of a dense queue: shift once (rare — requires interleaving
+	// Unreads with queued records, which no steady-state path does).
+	rl.pending = append(rl.pending, Record{})
+	copy(rl.pending[1:], rl.pending)
+	rl.pending[0] = rec
 }
+
+// writeFlushLimit caps how many framed bytes accumulate before a flush.
+// It must stay below maxCiphertext so a coalesced Write, wrapped into a
+// single Encapsulated record by a subchannel pipe (one extra byte for
+// the subchannel ID), still fits an outer record body.
+const writeFlushLimit = maxCiphertext - 1
 
 // WriteRecord frames, protects, and writes a record. Oversized payloads
 // are split into maximum-size fragments (only legal for stream types;
-// handshake and application data both are). Each fragment is written
-// with a single Write call so subchannel pipes see whole records.
+// handshake and application data both are). Fragments are coalesced
+// into as few transport Writes as the record-size limits allow, and
+// everything is flushed before WriteRecord returns.
 func (rl *RecordLayer) WriteRecord(typ ContentType, payload []byte) error {
 	rl.writeMu.Lock()
 	defer rl.writeMu.Unlock()
+	if err := rl.appendRecordLocked(typ, payload); err != nil {
+		return err
+	}
+	return rl.flushLocked()
+}
+
+// WriteRecords frames and protects several payloads of the same content
+// type, coalescing them into as few transport Writes as the record-size
+// limits allow — a net.Buffers-style vectored write path for callers
+// that produce records in batches.
+func (rl *RecordLayer) WriteRecords(typ ContentType, payloads [][]byte) error {
+	rl.writeMu.Lock()
+	defer rl.writeMu.Unlock()
+	for _, p := range payloads {
+		if err := rl.appendRecordLocked(typ, p); err != nil {
+			return err
+		}
+	}
+	return rl.flushLocked()
+}
+
+// appendRecordLocked fragments one payload into the write buffer,
+// flushing whenever the coalescing limit would be exceeded.
+func (rl *RecordLayer) appendRecordLocked(typ ContentType, payload []byte) error {
 	for first := true; first || len(payload) > 0; first = false {
 		frag := payload
 		if len(frag) > maxPlaintext {
 			frag = frag[:maxPlaintext]
 		}
 		payload = payload[len(frag):]
-		if err := rl.writeFragmentLocked(typ, frag); err != nil {
+		if err := rl.appendFragmentLocked(typ, frag); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (rl *RecordLayer) writeFragmentLocked(typ ContentType, frag []byte) error {
-	body := frag
-	if cs := rl.WriteCipher(); cs != nil && !typeBypassesCipher(typ) {
-		body = cs.Seal(typ, frag)
+func (rl *RecordLayer) appendFragmentLocked(typ ContentType, frag []byte) error {
+	projected := recordHeaderLen + len(frag) + sealOverhead
+	if len(rl.writeBuf) > 0 && len(rl.writeBuf)+projected > writeFlushLimit {
+		if err := rl.flushLocked(); err != nil {
+			return err
+		}
 	}
-	if len(body) > maxCiphertext {
+	if rl.writeBuf == nil {
+		rl.writeBuf = GetRecordBuf()
+	}
+	start := len(rl.writeBuf)
+	rl.writeBuf = append(rl.writeBuf, byte(typ), byte(VersionTLS12>>8), byte(VersionTLS12&0xff), 0, 0)
+	if cs := rl.write.Load(); cs != nil && !typeBypassesCipher(typ) {
+		rl.writeBuf = cs.SealAppend(rl.writeBuf, typ, frag)
+	} else {
+		rl.writeBuf = append(rl.writeBuf, frag...)
+	}
+	body := len(rl.writeBuf) - start - recordHeaderLen
+	if body > maxCiphertext {
+		rl.writeBuf = rl.writeBuf[:start]
 		return &AlertError{Description: AlertRecordOverflow}
 	}
-	msg := make([]byte, recordHeaderLen+len(body))
-	msg[0] = byte(typ)
-	binary.BigEndian.PutUint16(msg[1:3], VersionTLS12)
-	binary.BigEndian.PutUint16(msg[3:5], uint16(len(body)))
-	copy(msg[recordHeaderLen:], body)
-	_, err := rl.w.Write(msg)
+	binary.BigEndian.PutUint16(rl.writeBuf[start+3:start+5], uint16(body))
+	return nil
+}
+
+// flushLocked writes the coalesced records in one transport Write.
+func (rl *RecordLayer) flushLocked() error {
+	if len(rl.writeBuf) == 0 {
+		return nil
+	}
+	_, err := rl.w.Write(rl.writeBuf)
+	rl.writeBuf = rl.writeBuf[:0]
 	return err
 }
 
@@ -187,37 +316,56 @@ type RawRecord struct {
 // WireSize returns the full on-the-wire size of the raw record.
 func (r RawRecord) WireSize() int { return recordHeaderLen + len(r.Payload) }
 
+// AppendWire appends the wire form of the raw record to dst.
+func (r RawRecord) AppendWire(dst []byte) []byte {
+	var hdr [recordHeaderLen]byte
+	hdr[0] = byte(r.Type)
+	binary.BigEndian.PutUint16(hdr[1:3], VersionTLS12)
+	binary.BigEndian.PutUint16(hdr[3:5], uint16(len(r.Payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, r.Payload...)
+}
+
 // Marshal reassembles the wire form of the raw record.
 func (r RawRecord) Marshal() []byte {
-	msg := make([]byte, recordHeaderLen+len(r.Payload))
-	msg[0] = byte(r.Type)
-	binary.BigEndian.PutUint16(msg[1:3], VersionTLS12)
-	binary.BigEndian.PutUint16(msg[3:5], uint16(len(r.Payload)))
-	copy(msg[recordHeaderLen:], r.Payload)
-	return msg
+	return r.AppendWire(make([]byte, 0, recordHeaderLen+len(r.Payload)))
 }
 
 // ReadRawRecord reads the next record without applying record
-// protection, returning the body exactly as received. It shares the
-// pending queue and read lock with ReadRecord; the two must not be mixed
-// on the same stream except by tests.
+// protection, returning the body exactly as received in a freshly
+// allocated buffer. It shares the pending queue and read lock with
+// ReadRecord; the two must not be mixed on the same stream except by
+// tests.
 func ReadRawRecord(r io.Reader) (RawRecord, error) {
 	var hdr [recordHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return RawRecord{}, err
 	}
-	typ := ContentType(hdr[0])
-	if !isKnownType(typ) {
-		return RawRecord{}, fmt.Errorf("tls12: unknown record type %d", hdr[0])
-	}
-	if binary.BigEndian.Uint16(hdr[1:3]) != VersionTLS12 {
-		return RawRecord{}, &AlertError{Description: AlertProtocolVersion}
-	}
-	length := int(binary.BigEndian.Uint16(hdr[3:5]))
-	if length > maxCiphertext {
-		return RawRecord{}, &AlertError{Description: AlertRecordOverflow}
+	typ, length, err := ParseRecordHeader(hdr[:])
+	if err != nil {
+		return RawRecord{}, err
 	}
 	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return RawRecord{}, err
+	}
+	return RawRecord{Type: typ, Payload: payload}, nil
+}
+
+// ReadRawRecordInto reads the next record into buf, which must have
+// capacity for a maximum-size record (e.g. from GetRecordBuf). The
+// returned payload aliases buf; the caller owns both and decides when
+// the buffer may be reused.
+func ReadRawRecordInto(r io.Reader, buf []byte) (RawRecord, error) {
+	hdr := buf[:recordHeaderLen:recordHeaderLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return RawRecord{}, err
+	}
+	typ, length, err := ParseRecordHeader(hdr)
+	if err != nil {
+		return RawRecord{}, err
+	}
+	payload := buf[recordHeaderLen : recordHeaderLen+length]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return RawRecord{}, err
 	}
