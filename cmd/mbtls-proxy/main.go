@@ -11,6 +11,7 @@ import (
 	"log"
 	"net"
 	"path/filepath"
+	"time"
 
 	mbtls "repro"
 	"repro/internal/certs"
@@ -24,6 +25,7 @@ func main() {
 	mode := flag.String("mode", "client-side", "middlebox mode: client-side or server-side")
 	sgx := flag.Bool("sgx", false, "run inside a simulated SGX enclave")
 	header := flag.String("header", "1.1 mbtls-proxy", "Via header value to insert")
+	statsEvery := flag.Duration("stats", 0, "log cumulative session/fault counters at this interval (0 disables)")
 	flag.Parse()
 
 	cert, err := certs.LoadCertPEM(filepath.Join(*pkiDir, "proxy.pem"), filepath.Join(*pkiDir, "proxy.key"))
@@ -65,6 +67,16 @@ func main() {
 		log.Fatalf("mbtls-proxy: %v", err)
 	}
 	log.Printf("mbtls-proxy: %s middlebox on %s → %s (sgx=%v)", *mode, *listen, *next, *sgx)
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				s := mb.Stats()
+				log.Printf("mbtls-proxy: stats sessions=%d mbtls=%d relayed=%d rekeyed=%d bytes=%d announce_skipped=%d faults=%d",
+					s.Sessions, s.MbTLSSessions, s.RecordsRelayed, s.RecordsRekeyed,
+					s.BytesProcessed, s.AnnounceSkipped, s.FaultsObserved)
+			}
+		}()
+	}
 	err = mb.Serve(ln, func() (net.Conn, error) {
 		return net.Dial("tcp", *next)
 	})

@@ -85,7 +85,8 @@ func (h *BenchHarness) SealInto(buf, plaintext []byte) ([]byte, tls12.RawRecord)
 // (decrypted in place on the re-encrypt path).
 func (h *BenchHarness) ProcessBatch(recs []tls12.RawRecord, dst []byte) ([]byte, int, error) {
 	if h.reencrypt {
-		return h.dp.handleBatch(DirClientToServer, recs, dst)
+		out, res, err := h.dp.handleBatch(DirClientToServer, recs, dst)
+		return out, res.appended, err
 	}
 	// Forwarding only. With an enclave, the batch still traverses the
 	// enclave application — one ecall round trip for the whole batch and

@@ -91,8 +91,16 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 	// The optimistic hello of the MiddleboxSupport extension is the
 	// primary ClientHello itself, serving double duty (paper §3.4).
 	m := newMux(transport)
+	hw := watchHandshake(handshakeLimit(cfg.HandshakeTimeout), m, transport)
+	defer hw.stop()
+	// Arm the phase deadline before the first write: a stalled transport
+	// can wedge the hello itself, and nothing else would unblock it.
+	hw.enter(PhasePrimaryHandshake)
 	prl := tls12.NewRecordLayer(m.primary)
 	if err := prl.WriteRecord(tls12.TypeHandshake, helloRaw); err != nil {
+		if te := hw.err(); te != nil {
+			err = te
+		}
 		transport.Close()
 		return nil, err
 	}
@@ -113,6 +121,12 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 	})
 
 	fail := func(err error) (*Session, error) {
+		// When a phase deadline fired, the watcher killed the mux and
+		// the error observed here is whatever secondary failure that
+		// unblocking produced; surface the typed timeout instead.
+		if te := hw.err(); te != nil {
+			err = te
+		}
 		m.fail(err)
 		transport.Close()
 		return nil, err
@@ -122,6 +136,7 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 		return fail(err)
 	}
 	close(stop)
+	hw.enter(PhaseSecondaryHandshakes)
 
 	var secs []secondaryResult
 	for r := range results {
@@ -147,6 +162,7 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 		}
 	}
 
+	hw.enter(PhaseKeyDistribution)
 	if cfg.NeighborKeys {
 		if err := clientNeighborKeys(m, pconn, secCfg, len(secs) > 0); err != nil {
 			return fail(err)
@@ -154,6 +170,7 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 	} else if err := distributeClientKeys(pconn, secs); err != nil {
 		return fail(err)
 	}
+	hw.stop()
 
 	sess := &Session{conn: pconn, m: m, transport: transport}
 	for _, r := range secs {

@@ -14,6 +14,7 @@ package core
 
 import (
 	"crypto/x509"
+	"time"
 
 	"repro/internal/enclave"
 	"repro/internal/tls12"
@@ -88,6 +89,12 @@ type ClientConfig struct {
 	// see internal/core/neighbor.go). Requires an mbTLS server and
 	// client-side middleboxes only.
 	NeighborKeys bool
+	// HandshakeTimeout bounds each phase of session establishment
+	// (primary handshake, secondary handshakes, key distribution).
+	// Zero applies DefaultHandshakeTimeout; negative disables the
+	// deadlines. On expiry Dial fails with a HandshakeTimeoutError
+	// naming the phase.
+	HandshakeTimeout time.Duration
 }
 
 // ServerConfig configures an mbTLS server endpoint.
@@ -109,6 +116,9 @@ type ServerConfig struct {
 	// Approve is consulted for each announced middlebox; nil approves
 	// all verified middleboxes.
 	Approve func(MiddleboxSummary) bool
+	// HandshakeTimeout mirrors ClientConfig.HandshakeTimeout for
+	// Accept.
+	HandshakeTimeout time.Duration
 }
 
 // secondaryClientConfig derives the tls12 config for a secondary

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/enclave"
@@ -13,23 +14,51 @@ import (
 // records.
 const maxRecordPlaintext = tls12.MaxPlaintext
 
+// batchResult accounts for one handleBatch call. Both counters are
+// exact even when the batch fails partway: opened counts the input
+// records fully opened and resealed before the failure, appended the
+// output records framed into dst. Counting this way keeps the stats
+// surface deterministic — totals depend on the record stream, not on
+// how the relay happened to slice it into batches.
+type batchResult struct {
+	appended int // records framed into dst
+	opened   int // input records fully opened and resealed
+}
+
 // dataPlaneHandler is a middlebox's per-session data plane: it opens
 // protected records arriving on one hop, optionally transforms
 // application data, and reseals for the next hop (paper Figure 4).
 //
 // handleBatch processes a batch of records in one call, appending the
 // resealed records in wire form (header included) to dst and returning
-// the extended buffer plus the number of records appended. Input
-// payloads are decrypted in place and destroyed; the appended bytes
-// never alias them, so the caller may reuse its read buffers as soon
-// as the call returns. Batching is what makes the enclave variant
+// the extended buffer plus the batch accounting. Input payloads are
+// decrypted in place and destroyed; the appended bytes never alias
+// them, so the caller may reuse its read buffers as soon as the call
+// returns. On error, dst still carries the records resealed before
+// the failure — the caller must flush them, because they consumed
+// sealing sequence numbers. Batching is what makes the enclave variant
 // cheap: the whole batch crosses the boundary as a single ecall.
+//
+// appendAlert seals a fatal alert under the given direction's sealing
+// state and appends its wire form to dst. A relay uses it to tell the
+// next hop the path died (DESIGN.md §7); it must go through the data
+// plane because a plaintext alert would be a MAC failure for a peer
+// holding hop keys.
 type dataPlaneHandler interface {
-	handleBatch(dir Direction, recs []tls12.RawRecord, dst []byte) ([]byte, int, error)
+	handleBatch(dir Direction, recs []tls12.RawRecord, dst []byte) ([]byte, batchResult, error)
+	appendAlert(dir Direction, desc tls12.AlertDescription, dst []byte) ([]byte, error)
 }
 
 // dataPlane is the host-memory implementation.
 type dataPlane struct {
+	// Per-direction locks. Each direction is normally driven by its own
+	// single relay goroutine, but fault propagation seals an alert in
+	// both directions from whichever goroutine saw the failure, so the
+	// sealing states need protection. One uncontended lock per batch is
+	// free next to the AEAD work.
+	c2sMu sync.Mutex
+	s2cMu sync.Mutex
+
 	// Opening states for inbound records and sealing states for
 	// outbound records, per direction. For a middlebox, client→server
 	// records are opened with the downstream (client-side) hop key and
@@ -72,26 +101,37 @@ func appendSealedRecord(dst []byte, cs *tls12.CipherState, typ tls12.ContentType
 	return dst
 }
 
+// dirLock returns the lock guarding a direction's cipher states.
+func (dp *dataPlane) dirLock(dir Direction) *sync.Mutex {
+	if dir == DirServerToClient {
+		return &dp.s2cMu
+	}
+	return &dp.c2sMu
+}
+
 // handleBatch implements dataPlaneHandler. A MAC failure is fatal for
 // the session: per-hop keys are what enforce path integrity (P4), so a
 // record arriving under the wrong key must kill the connection, not be
 // forwarded.
-func (dp *dataPlane) handleBatch(dir Direction, recs []tls12.RawRecord, dst []byte) ([]byte, int, error) {
+func (dp *dataPlane) handleBatch(dir Direction, recs []tls12.RawRecord, dst []byte) ([]byte, batchResult, error) {
+	mu := dp.dirLock(dir)
+	mu.Lock()
+	defer mu.Unlock()
 	openCS, sealCS := dp.openC2S, dp.sealC2S
 	if dir == DirServerToClient {
 		openCS, sealCS = dp.openS2C, dp.sealS2C
 	}
-	n := 0
+	var res batchResult
 	for _, rec := range recs {
 		plaintext, err := openCS.OpenInPlace(rec.Type, rec.Payload)
 		if err != nil {
-			return dst, n, fmt.Errorf("core: hop MAC check failed (%s, %s): %w", dir, rec.Type, err)
+			return dst, res, fmt.Errorf("core: hop MAC check failed (%s, %s): %w", dir, rec.Type, err)
 		}
 		out := plaintext
 		if rec.Type == tls12.TypeApplicationData && dp.proc != nil {
 			out, err = dp.proc.Process(dir, plaintext)
 			if err != nil {
-				return dst, n, fmt.Errorf("core: middlebox processor: %w", err)
+				return dst, res, fmt.Errorf("core: middlebox processor: %w", err)
 			}
 		}
 		// Every inbound record yields at least one outbound record, even
@@ -106,10 +146,24 @@ func (dp *dataPlane) handleBatch(dir Direction, recs []tls12.RawRecord, dst []by
 			}
 			out = out[len(frag):]
 			dst = appendSealedRecord(dst, sealCS, rec.Type, frag)
-			n++
+			res.appended++
 		}
+		res.opened++
 	}
-	return dst, n, nil
+	return dst, res, nil
+}
+
+// appendAlert implements dataPlaneHandler.
+func (dp *dataPlane) appendAlert(dir Direction, desc tls12.AlertDescription, dst []byte) ([]byte, error) {
+	mu := dp.dirLock(dir)
+	mu.Lock()
+	defer mu.Unlock()
+	sealCS := dp.sealC2S
+	if dir == DirServerToClient {
+		sealCS = dp.sealS2C
+	}
+	body := [2]byte{byte(tls12.AlertLevelFatal), byte(desc)}
+	return appendSealedRecord(dst, sealCS, tls12.TypeAlert, body[:]), nil
 }
 
 // enclaveDataPlane keeps the cipher states and processor inside an SGX
@@ -143,9 +197,8 @@ func installEnclaveDataPlane(e *enclave.Enclave, km *KeyMaterial, proc Processor
 // whole batch — the boundary-crossing cost is amortized across every
 // record the relay drained, which is what lets Figure 7's enclave
 // configuration track the no-enclave one. The cipher states advance
-// per record, so each direction must be driven by one goroutine —
-// which the relay guarantees.
-func (edp *enclaveDataPlane) handleBatch(dir Direction, recs []tls12.RawRecord, dst []byte) (out []byte, n int, err error) {
+// per record, protected by the inner plane's per-direction locks.
+func (edp *enclaveDataPlane) handleBatch(dir Direction, recs []tls12.RawRecord, dst []byte) (out []byte, res batchResult, err error) {
 	out = dst
 	edp.e.Enter(func(mem enclave.Memory) {
 		dp, ok := mem.Get(edp.key).(*dataPlane)
@@ -153,7 +206,21 @@ func (edp *enclaveDataPlane) handleBatch(dir Direction, recs []tls12.RawRecord, 
 			err = fmt.Errorf("core: enclave data plane missing")
 			return
 		}
-		out, n, err = dp.handleBatch(dir, recs, dst)
+		out, res, err = dp.handleBatch(dir, recs, dst)
 	})
-	return out, n, err
+	return out, res, err
+}
+
+// appendAlert implements dataPlaneHandler inside the enclave.
+func (edp *enclaveDataPlane) appendAlert(dir Direction, desc tls12.AlertDescription, dst []byte) (out []byte, err error) {
+	out = dst
+	edp.e.Enter(func(mem enclave.Memory) {
+		dp, ok := mem.Get(edp.key).(*dataPlane)
+		if !ok {
+			err = fmt.Errorf("core: enclave data plane missing")
+			return
+		}
+		out, err = dp.appendAlert(dir, desc, dst)
+	})
+	return out, err
 }

@@ -65,12 +65,12 @@ func TestDataPlaneEmptyAppDataResealed(t *testing.T) {
 		Type:    tls12.TypeApplicationData,
 		Payload: src.Seal(tls12.TypeApplicationData, nil),
 	}
-	out, n, err := dp.handleBatch(DirClientToServer, []tls12.RawRecord{rec}, nil)
+	out, res, err := dp.handleBatch(DirClientToServer, []tls12.RawRecord{rec}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 1 {
-		t.Fatalf("empty app-data record yielded %d records, want 1", n)
+	if res.appended != 1 || res.opened != 1 {
+		t.Fatalf("empty app-data record yielded %+v, want 1 appended, 1 opened", res)
 	}
 	recs := parseWire(t, out)
 	plain, err := sink.OpenInPlace(recs[0].Type, recs[0].Payload)
@@ -103,7 +103,7 @@ func TestDataPlaneBatchMatchesSingle(t *testing.T) {
 	}
 
 	dpA, srcA, _ := testDataPlaneKit(t, nil)
-	batchOut, nBatch, err := dpA.handleBatch(DirClientToServer, sealBatch(srcA), nil)
+	batchOut, batchRes, err := dpA.handleBatch(DirClientToServer, sealBatch(srcA), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,17 +112,18 @@ func TestDataPlaneBatchMatchesSingle(t *testing.T) {
 	// shapes (keys differ, so bytes can't be compared directly).
 	dp2, src2, _ := testDataPlaneKit(t, nil)
 	var singleOut []byte
-	nSingle := 0
+	var singleRes batchResult
 	for _, rec := range sealBatch(src2) {
-		var n int
-		singleOut, n, err = dp2.handleBatch(DirClientToServer, []tls12.RawRecord{rec}, singleOut)
+		var res batchResult
+		singleOut, res, err = dp2.handleBatch(DirClientToServer, []tls12.RawRecord{rec}, singleOut)
 		if err != nil {
 			t.Fatal(err)
 		}
-		nSingle += n
+		singleRes.appended += res.appended
+		singleRes.opened += res.opened
 	}
-	if nBatch != nSingle {
-		t.Fatalf("batch yielded %d records, singles %d", nBatch, nSingle)
+	if batchRes != singleRes {
+		t.Fatalf("batch accounting %+v, singles %+v", batchRes, singleRes)
 	}
 	// Keys differ between the two kits, so compare structure and
 	// decrypted contents rather than raw bytes.
@@ -152,12 +153,12 @@ func TestDataPlaneProcessorExpansion(t *testing.T) {
 		Type:    tls12.TypeApplicationData,
 		Payload: src.Seal(tls12.TypeApplicationData, payload),
 	}
-	out, n, err := dp.handleBatch(DirClientToServer, []tls12.RawRecord{rec}, nil)
+	out, res, err := dp.handleBatch(DirClientToServer, []tls12.RawRecord{rec}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 {
-		t.Fatalf("18000-byte output yielded %d records, want 2", n)
+	if res.appended != 2 || res.opened != 1 {
+		t.Fatalf("18000-byte output yielded %+v, want 2 appended, 1 opened", res)
 	}
 	var got []byte
 	for _, r := range parseWire(t, out) {
@@ -192,11 +193,11 @@ func TestDataPlaneMACFailure(t *testing.T) {
 		Type:    tls12.TypeApplicationData,
 		Payload: wrongSrc.Seal(tls12.TypeApplicationData, []byte("evil")),
 	}
-	_, n, err := dp.handleBatch(DirClientToServer, []tls12.RawRecord{good, bad}, nil)
+	_, res, err := dp.handleBatch(DirClientToServer, []tls12.RawRecord{good, bad}, nil)
 	if err == nil || !strings.Contains(err.Error(), "hop MAC check failed") {
 		t.Fatalf("err = %v", err)
 	}
-	if n != 1 {
-		t.Fatalf("processed %d records before the failure, want 1", n)
+	if res.opened != 1 || res.appended != 1 {
+		t.Fatalf("partial-batch accounting %+v, want 1 opened, 1 appended", res)
 	}
 }

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/tls12"
+)
+
+// This file is the failure-path vocabulary of the session chain: a
+// classification of every error the chain can surface, per-phase
+// handshake deadlines, and bounded retry. Together with the netsim
+// fault substrate it makes failure behavior deterministic — each fault
+// class maps to a defined error class at each layer (DESIGN.md §7)
+// rather than to whichever goroutine happened to lose a race.
+
+// ErrorClass buckets session-chain errors by operational meaning:
+// what a caller (or a relay deciding which alert to propagate) should
+// do about them, independent of which layer produced them.
+type ErrorClass int
+
+// Error classes, roughly ordered from benign to severe.
+const (
+	// ClassOK is a nil error.
+	ClassOK ErrorClass = iota
+	// ClassCleanClose is an orderly shutdown: close_notify, EOF.
+	ClassCleanClose
+	// ClassTimeout is a deadline expiry — a read deadline, a handshake
+	// phase deadline, or a data-plane wait.
+	ClassTimeout
+	// ClassReset is an abrupt transport death: connection reset, write
+	// on a closed pipe, unexpected EOF mid-record.
+	ClassReset
+	// ClassIntegrity is cryptographic or framing damage: MAC failures,
+	// corrupt headers, oversized records.
+	ClassIntegrity
+	// ClassRemoteAlert is a fatal alert received from the peer (or
+	// propagated by a relay on the path).
+	ClassRemoteAlert
+	// ClassProtocol is a local protocol violation: unexpected messages,
+	// bad parameters, failed verification.
+	ClassProtocol
+	// ClassInternal is everything else.
+	ClassInternal
+)
+
+// String names the class.
+func (c ErrorClass) String() string {
+	switch c {
+	case ClassOK:
+		return "ok"
+	case ClassCleanClose:
+		return "clean_close"
+	case ClassTimeout:
+		return "timeout"
+	case ClassReset:
+		return "reset"
+	case ClassIntegrity:
+		return "integrity"
+	case ClassRemoteAlert:
+		return "remote_alert"
+	case ClassProtocol:
+		return "protocol"
+	case ClassInternal:
+		return "internal"
+	}
+	return "class(?)"
+}
+
+// Transient reports whether retrying over a fresh transport could
+// plausibly succeed. Integrity and protocol failures are
+// deterministic; retrying only re-runs them.
+func (c ErrorClass) Transient() bool { return c == ClassTimeout || c == ClassReset }
+
+// isFault reports whether the class represents a path fault rather
+// than a clean shutdown.
+func (c ErrorClass) isFault() bool { return c != ClassOK && c != ClassCleanClose }
+
+// ClassifyError maps an error from Dial, Accept, Session I/O, or a
+// relay goroutine to its ErrorClass. It sees through fmt.Errorf
+// wrapping at every layer.
+func ClassifyError(err error) ErrorClass {
+	if err == nil {
+		return ClassOK
+	}
+	var hte *HandshakeTimeoutError
+	if errors.As(err, &hte) {
+		return ClassTimeout
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return ClassTimeout
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) {
+		return ClassReset
+	}
+	if errors.Is(err, io.EOF) {
+		return ClassCleanClose
+	}
+	var ae *tls12.AlertError
+	if errors.As(err, &ae) {
+		if ae.Remote {
+			return ClassRemoteAlert
+		}
+		switch ae.Description {
+		case tls12.AlertBadRecordMAC, tls12.AlertDecryptError,
+			tls12.AlertRecordOverflow, tls12.AlertDecodeError,
+			tls12.AlertProtocolVersion:
+			return ClassIntegrity
+		}
+		return ClassProtocol
+	}
+	return ClassInternal
+}
+
+// describeTeardown renders an error as a stable teardown-reason
+// string: the class, refined with the alert description when one is
+// attached (e.g. "remote_alert:bad_record_mac").
+func describeTeardown(err error) string {
+	cls := ClassifyError(err)
+	var ae *tls12.AlertError
+	if errors.As(err, &ae) {
+		return fmt.Sprintf("%s:%s", cls, ae.Description)
+	}
+	return cls.String()
+}
+
+// alertForClass maps a fault class to the alert a relay propagates
+// down the chain when that fault kills a session.
+func alertForClass(c ErrorClass) tls12.AlertDescription {
+	switch c {
+	case ClassIntegrity:
+		return tls12.AlertBadRecordMAC
+	case ClassProtocol:
+		return tls12.AlertUnexpectedMessage
+	default:
+		return tls12.AlertInternalError
+	}
+}
+
+// HandshakePhase names the deadline-bounded phases of session
+// establishment.
+type HandshakePhase string
+
+// Establishment phases, in order.
+const (
+	PhasePrimaryHandshake    HandshakePhase = "primary-handshake"
+	PhaseSecondaryHandshakes HandshakePhase = "secondary-handshakes"
+	PhaseKeyDistribution     HandshakePhase = "key-distribution"
+)
+
+// DefaultHandshakeTimeout bounds each establishment phase when a
+// config leaves HandshakeTimeout zero.
+const DefaultHandshakeTimeout = 30 * time.Second
+
+// handshakeLimit resolves a config's HandshakeTimeout field: zero
+// means the default, negative disables phase deadlines.
+func handshakeLimit(d time.Duration) time.Duration {
+	switch {
+	case d == 0:
+		return DefaultHandshakeTimeout
+	case d < 0:
+		return 0
+	}
+	return d
+}
+
+// HandshakeTimeoutError reports which establishment phase overran its
+// deadline. It implements net.Error, so generic timeout handling
+// (errors.As + Timeout()) classifies it without knowing about mbTLS.
+type HandshakeTimeoutError struct {
+	Phase HandshakePhase
+	Limit time.Duration
+}
+
+// Error implements the error interface.
+func (e *HandshakeTimeoutError) Error() string {
+	return fmt.Sprintf("core: %s exceeded %v deadline", e.Phase, e.Limit)
+}
+
+// Timeout implements net.Error.
+func (e *HandshakeTimeoutError) Timeout() bool { return true }
+
+// Temporary implements net.Error.
+func (e *HandshakeTimeoutError) Temporary() bool { return true }
+
+// hsWatch arms a per-phase deadline over session establishment. The
+// endpoint goroutines spend establishment parked in reads on mux
+// pipes, where no read deadline can reach (the pipes are not
+// net.Conns); when a phase overruns, the watcher fails the mux and
+// closes the transport, which unblocks every parked read, and err()
+// lets the caller surface the typed timeout instead of the secondary
+// closed-pipe error the unblocking produced. A nil watcher (deadlines
+// disabled) is inert.
+type hsWatch struct {
+	limit     time.Duration
+	m         *mux
+	transport net.Conn
+
+	mu    sync.Mutex
+	timer *time.Timer
+	phase HandshakePhase
+	fired *HandshakeTimeoutError
+	done  bool
+}
+
+// watchHandshake starts a watcher; limit <= 0 disables it.
+func watchHandshake(limit time.Duration, m *mux, transport net.Conn) *hsWatch {
+	if limit <= 0 {
+		return nil
+	}
+	return &hsWatch{limit: limit, m: m, transport: transport}
+}
+
+// enter (re)arms the deadline for the next phase.
+func (w *hsWatch) enter(phase HandshakePhase) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done || w.fired != nil {
+		return
+	}
+	w.phase = phase
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+	w.timer = time.AfterFunc(w.limit, w.fire)
+}
+
+func (w *hsWatch) fire() {
+	w.mu.Lock()
+	if w.done || w.fired != nil {
+		w.mu.Unlock()
+		return
+	}
+	w.fired = &HandshakeTimeoutError{Phase: w.phase, Limit: w.limit}
+	w.mu.Unlock()
+	w.m.fail(w.fired)
+	w.transport.Close()
+}
+
+// stop disarms the watcher (establishment finished, either way).
+func (w *hsWatch) stop() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.done = true
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+	w.mu.Unlock()
+}
+
+// err returns the timeout that fired, or nil.
+func (w *hsWatch) err() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fired != nil {
+		return w.fired
+	}
+	return nil
+}
+
+// RetryPolicy bounds session-establishment retries.
+type RetryPolicy struct {
+	// Attempts is the total number of tries; values below 1 mean 1.
+	Attempts int
+	// Backoff is the delay before the first retry, doubling on each
+	// subsequent one. Zero means 100ms.
+	Backoff time.Duration
+	// MaxBackoff caps the delay; zero means 5s.
+	MaxBackoff time.Duration
+}
+
+func (rp RetryPolicy) attempts() int {
+	if rp.Attempts < 1 {
+		return 1
+	}
+	return rp.Attempts
+}
+
+// Delay returns the backoff before retry number retry (0-based),
+// deterministically: exponential, capped, no jitter — reproducibility
+// is worth more to this codebase than thundering-herd protection.
+func (rp RetryPolicy) Delay(retry int) time.Duration {
+	d := rp.Backoff
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	maxD := rp.MaxBackoff
+	if maxD <= 0 {
+		maxD = 5 * time.Second
+	}
+	for i := 0; i < retry; i++ {
+		d *= 2
+		if d >= maxD {
+			return maxD
+		}
+	}
+	if d > maxD {
+		return maxD
+	}
+	return d
+}
+
+// DialRetry establishes a client session over transports from dial,
+// retrying with exponential backoff while the failure is transient
+// (ClassTimeout, ClassReset — the classes a fresh path can fix).
+// Deterministic failures (alerts, MAC damage, rejected middleboxes)
+// abort immediately.
+func DialRetry(dial func() (net.Conn, error), cfg *ClientConfig, rp RetryPolicy) (*Session, error) {
+	var err error
+	for attempt := 0; attempt < rp.attempts(); attempt++ {
+		if attempt > 0 {
+			time.Sleep(rp.Delay(attempt - 1))
+		}
+		var transport net.Conn
+		if transport, err = dial(); err != nil {
+			if !ClassifyError(err).Transient() {
+				return nil, err
+			}
+			continue
+		}
+		var sess *Session
+		if sess, err = Dial(transport, cfg); err == nil {
+			return sess, nil
+		}
+		if !ClassifyError(err).Transient() {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// AcceptRetry is DialRetry's server-side mirror: it accepts successive
+// transports from accept until a session establishes, a non-transient
+// failure occurs, or attempts run out. A server loop uses it to ride
+// out clients that die mid-handshake without surfacing each corpse.
+func AcceptRetry(accept func() (net.Conn, error), cfg *ServerConfig, rp RetryPolicy) (*Session, error) {
+	var err error
+	for attempt := 0; attempt < rp.attempts(); attempt++ {
+		if attempt > 0 {
+			time.Sleep(rp.Delay(attempt - 1))
+		}
+		var transport net.Conn
+		if transport, err = accept(); err != nil {
+			return nil, err // listener failure: not a per-connection fault
+		}
+		var sess *Session
+		if sess, err = Accept(transport, cfg); err == nil {
+			return sess, nil
+		}
+		if !ClassifyError(err).Transient() {
+			return nil, err
+		}
+	}
+	return nil, err
+}

@@ -1,0 +1,227 @@
+package core_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/tls12"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// snoopConn records the raw bytes crossing the client's transport in
+// each direction.
+type snoopConn struct {
+	net.Conn
+	mu  sync.Mutex
+	c2s []byte
+	s2c []byte
+}
+
+func (s *snoopConn) Read(p []byte) (int, error) {
+	n, err := s.Conn.Read(p)
+	s.mu.Lock()
+	s.s2c = append(s.s2c, p[:n]...)
+	s.mu.Unlock()
+	return n, err
+}
+
+func (s *snoopConn) Write(p []byte) (int, error) {
+	n, err := s.Conn.Write(p)
+	s.mu.Lock()
+	s.c2s = append(s.c2s, p[:n]...)
+	s.mu.Unlock()
+	return n, err
+}
+
+func (s *snoopConn) snapshot() (c2s, s2c []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.c2s...), append([]byte(nil), s.s2c...)
+}
+
+// transcriptStream accumulates one logical record stream — one
+// direction of the primary channel or of one subchannel — and renders
+// it as a list of message lines.
+type transcriptStream struct {
+	buf      []byte // raw record bytes not yet parsed
+	hsBuf    []byte // plaintext handshake bytes spanning records
+	afterCCS bool
+	lines    []string
+}
+
+func (ts *transcriptStream) feed(t *testing.T, b []byte) {
+	t.Helper()
+	ts.buf = append(ts.buf, b...)
+	for len(ts.buf) >= 5 {
+		typ, length, err := tls12.ParseRecordHeader(ts.buf[:5])
+		if err != nil {
+			t.Fatalf("transcript stream: %v", err)
+		}
+		if len(ts.buf) < 5+length {
+			return
+		}
+		payload := ts.buf[5 : 5+length]
+		ts.buf = ts.buf[5+length:]
+		ts.record(t, typ, payload)
+	}
+}
+
+func (ts *transcriptStream) record(t *testing.T, typ tls12.ContentType, payload []byte) {
+	t.Helper()
+	switch {
+	case typ == tls12.TypeChangeCipherSpec:
+		ts.afterCCS = true
+		ts.lines = append(ts.lines, "change_cipher_spec")
+	case typ == tls12.TypeHandshake && !ts.afterCCS:
+		// Plaintext handshake: messages may span or share records, so
+		// reassemble across the stream before naming them.
+		ts.hsBuf = append(ts.hsBuf, payload...)
+		for len(ts.hsBuf) >= 4 {
+			msgLen := int(ts.hsBuf[1])<<16 | int(ts.hsBuf[2])<<8 | int(ts.hsBuf[3])
+			if len(ts.hsBuf) < 4+msgLen {
+				break
+			}
+			ts.lines = append(ts.lines, fmt.Sprintf("handshake: %s", tls12.HandshakeType(ts.hsBuf[0])))
+			ts.hsBuf = ts.hsBuf[4+msgLen:]
+		}
+	default:
+		// Everything after the stream's CCS is ciphertext; record only
+		// the content type, which stays visible on the wire.
+		ts.lines = append(ts.lines, fmt.Sprintf("%s: <encrypted>", typ))
+	}
+}
+
+// TestGoldenTranscript pins the wire-visible structure of a
+// 1-middlebox session establishment: which messages cross the client's
+// transport, on which channel, in which per-stream order. Byte
+// contents (randoms, keys, signatures) vary run to run; the message
+// structure must not. Streams are rendered separately because the
+// interleaving ACROSS channels depends on goroutine scheduling, while
+// the sequence WITHIN each (direction, channel) stream is fixed by the
+// protocol. Regenerate with -update after intentional protocol
+// changes.
+func TestGoldenTranscript(t *testing.T) {
+	e := newEnv(t)
+	mb := e.middlebox(t, "mb.example", core.ClientSide)
+	left, right := netsim.Pipe()
+	snoop := &snoopConn{Conn: left}
+	upL, upR := netsim.Pipe()
+	go mb.Handle(right, upL) //nolint:errcheck
+
+	srvCh := make(chan *core.Session, 1)
+	go func() {
+		s, _ := core.Accept(upR, e.serverConfig())
+		srvCh <- s
+	}()
+	sess, err := core.Dial(snoop, e.clientConfig())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	// Snapshot before any close traffic: by the time Dial returns, the
+	// handshake byte streams are complete and quiescent in both
+	// directions (the client consumed every byte its peers sent).
+	c2s, s2c := snoop.snapshot()
+	sess.Close()
+	if srv := <-srvCh; srv != nil {
+		srv.Close()
+	}
+
+	// Demultiplex each direction into primary + per-subchannel streams,
+	// exactly as the mux does: Encapsulated outer records carry a
+	// 1-byte subchannel ID plus inner record bytes.
+	type key struct {
+		dir string
+		sub int // -1 = primary channel
+	}
+	streams := map[key]*transcriptStream{}
+	stream := func(k key) *transcriptStream {
+		if streams[k] == nil {
+			streams[k] = &transcriptStream{}
+		}
+		return streams[k]
+	}
+	demux := func(dir string, raw []byte) {
+		for len(raw) > 0 {
+			if len(raw) < 5 {
+				t.Fatalf("%s: %d trailing bytes", dir, len(raw))
+			}
+			typ, length, err := tls12.ParseRecordHeader(raw[:5])
+			if err != nil {
+				t.Fatalf("%s outer record: %v", dir, err)
+			}
+			if len(raw) < 5+length {
+				t.Fatalf("%s: truncated outer record", dir)
+			}
+			if typ == tls12.TypeEncapsulated {
+				payload := raw[5 : 5+length]
+				if len(payload) < 1 {
+					t.Fatalf("%s: empty Encapsulated record", dir)
+				}
+				stream(key{dir, int(payload[0])}).feed(t, payload[1:])
+			} else {
+				stream(key{dir, -1}).feed(t, raw[:5+length])
+			}
+			raw = raw[5+length:]
+		}
+	}
+	demux("client->server", c2s)
+	demux("server->client", s2c)
+
+	keys := make([]key, 0, len(streams))
+	for k := range streams {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].sub != keys[j].sub {
+			return keys[i].sub < keys[j].sub
+		}
+		return keys[i].dir < keys[j].dir
+	})
+
+	var out bytes.Buffer
+	fmt.Fprintf(&out, "# Wire-visible message structure of a 1-middlebox mbTLS handshake,\n")
+	fmt.Fprintf(&out, "# observed on the client's transport. Grouped by (channel, direction);\n")
+	fmt.Fprintf(&out, "# cross-stream interleaving is scheduling-dependent and not recorded.\n")
+	fmt.Fprintf(&out, "# Regenerate: go test ./internal/core/ -run TestGoldenTranscript -update\n")
+	for _, k := range keys {
+		ch := "primary"
+		if k.sub >= 0 {
+			ch = fmt.Sprintf("subchannel %d", k.sub)
+		}
+		fmt.Fprintf(&out, "\n[%s %s]\n", ch, k.dir)
+		ts := streams[k]
+		if len(ts.buf) != 0 || len(ts.hsBuf) != 0 {
+			t.Fatalf("stream %v has %d+%d unconsumed bytes", k, len(ts.buf), len(ts.hsBuf))
+		}
+		for _, l := range ts.lines {
+			fmt.Fprintf(&out, "%s\n", l)
+		}
+	}
+
+	goldenPath := filepath.Join("testdata", "handshake.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("handshake transcript diverged from golden.\n--- got ---\n%s\n--- want ---\n%s", out.Bytes(), want)
+	}
+}

@@ -78,6 +78,7 @@ type MiddleboxStats struct {
 	RecordsRekeyed  int64 // records opened and resealed on the data plane
 	BytesProcessed  int64 // plaintext bytes through the Processor
 	AnnounceSkipped int64 // announcements suppressed by the negative cache
+	FaultsObserved  int64 // sessions torn down by a fault-classified error
 }
 
 // Middlebox is an mbTLS application-layer middlebox: it relays a TCP
@@ -96,6 +97,7 @@ type Middlebox struct {
 	recordsRekeyed atomic.Int64
 	bytesProcessed atomic.Int64
 	annSkipped     atomic.Int64
+	faultsObserved atomic.Int64
 }
 
 // NewMiddlebox builds a middlebox. Key material is stored in an
@@ -136,6 +138,7 @@ func (mb *Middlebox) Stats() MiddleboxStats {
 		RecordsRekeyed:  mb.recordsRekeyed.Load(),
 		BytesProcessed:  mb.bytesProcessed.Load(),
 		AnnounceSkipped: mb.annSkipped.Load(),
+		FaultsObserved:  mb.faultsObserved.Load(),
 	}
 }
 
@@ -402,12 +405,55 @@ func (s *mbSession) run() error {
 	go func() { errc <- s.relay(DirClientToServer) }()
 	go func() { errc <- s.relay(DirServerToClient) }()
 	err = <-errc
+	// The first relay error decides the session's fate. A fault-
+	// classified one (reset, MAC damage, protocol violation — anything
+	// but a clean EOF) means a hop died: tell both neighbors with a
+	// fatal alert before tearing down, so endpoints blocked mid-read
+	// fail fast on a protocol-level signal instead of waiting out their
+	// deadlines.
+	if cls := ClassifyError(err); cls.isFault() {
+		s.mb.faultsObserved.Add(1)
+		s.propagateFault(alertForClass(cls))
+	}
 	s.closeAll()
 	<-errc
 	if err == io.EOF || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
 		return nil
 	}
 	return err
+}
+
+// propagateFault best-effort notifies both sides that the path died.
+// After key material the alert must be hop-sealed — a plaintext alert
+// would be a MAC failure for a peer holding hop keys — which is safe
+// against the still-running opposite relay because the data plane
+// locks each direction's sealing state. Before key material a
+// plaintext fatal alert is the best available signal (the endpoints
+// are still in their plaintext or primary-protected handshake). The
+// writes race the dying transports by design; losing that race just
+// means the deadline path fires instead.
+func (s *mbSession) propagateFault(desc tls12.AlertDescription) {
+	if !s.mbtls || s.degraded.Load() {
+		return
+	}
+	if dp := s.dataPlaneIfReady(); dp != nil {
+		var buf [64]byte
+		for _, dir := range []Direction{DirClientToServer, DirServerToClient} {
+			wire, err := dp.appendAlert(dir, desc, buf[:0])
+			if err != nil {
+				continue
+			}
+			conn, mu := s.outbound(dir)
+			s.writeWire(conn, mu, wire) //nolint:errcheck
+		}
+		return
+	}
+	plain := tls12.RawRecord{
+		Type:    tls12.TypeAlert,
+		Payload: []byte{byte(tls12.AlertLevelFatal), byte(desc)},
+	}
+	s.writeRecord(s.up, &s.upW, plain)     //nolint:errcheck
+	s.writeRecord(s.down, &s.downW, plain) //nolint:errcheck
 }
 
 // plausibleRecordHeader reports whether a 5-byte prefix looks like a
@@ -649,14 +695,20 @@ func (s *mbSession) batchReady(dir Direction, rec tls12.RawRecord) dataPlaneHand
 // resealed result in one outbound write. out is the reused reseal
 // buffer; the (possibly grown) buffer is returned for reuse.
 func (s *mbSession) flushBatch(dir Direction, dp dataPlaneHandler, batch []tls12.RawRecord, out []byte) ([]byte, error) {
-	out, n, err := dp.handleBatch(dir, batch, out[:0])
-	if err != nil {
-		return out, err
+	out, res, err := dp.handleBatch(dir, batch, out[:0])
+	s.mb.recordsRekeyed.Add(int64(res.opened))
+	s.mb.bytesProcessed.Add(int64(len(out) - res.appended*recordHeaderLen))
+	if len(out) > 0 {
+		// Flush even a partially processed batch: the records already
+		// resealed consumed sealing sequence numbers, so dropping them
+		// would desynchronize the hop and turn any subsequently sealed
+		// alert into MAC garbage at the peer.
+		conn, mu := s.outbound(dir)
+		if werr := s.writeWire(conn, mu, out); err == nil {
+			err = werr
+		}
 	}
-	s.mb.recordsRekeyed.Add(int64(len(batch)))
-	s.mb.bytesProcessed.Add(int64(len(out) - n*recordHeaderLen))
-	conn, mu := s.outbound(dir)
-	return out, s.writeWire(conn, mu, out)
+	return out, err
 }
 
 // handleRecordWire is the per-record slow path. wire is the record's

@@ -26,6 +26,8 @@ func Accept(transport net.Conn, cfg *ServerConfig) (*Session, error) {
 	tcfg := *cfg.TLS
 
 	m := newMux(transport)
+	hw := watchHandshake(handshakeLimit(cfg.HandshakeTimeout), m, transport)
+	defer hw.stop()
 	prl := tls12.NewRecordLayer(m.primary)
 	pconn := tls12.Server(prl, &tcfg)
 
@@ -71,15 +73,22 @@ func Accept(transport net.Conn, cfg *ServerConfig) (*Session, error) {
 	})
 
 	fail := func(err error) (*Session, error) {
+		// Surface the typed phase timeout over the secondary error its
+		// unblocking produced (see Dial).
+		if te := hw.err(); te != nil {
+			err = te
+		}
 		m.fail(err)
 		transport.Close()
 		return nil, err
 	}
 
+	hw.enter(PhasePrimaryHandshake)
 	if err := <-primaryDone; err != nil {
 		return fail(err)
 	}
 	close(stop)
+	hw.enter(PhaseSecondaryHandshakes)
 
 	var secs []secondaryResult
 	for r := range results {
@@ -105,6 +114,7 @@ func Accept(transport net.Conn, cfg *ServerConfig) (*Session, error) {
 		}
 	}
 
+	hw.enter(PhaseKeyDistribution)
 	hello := pconn.ConnectionState().ClientHello
 	neighborMode := hello != nil && hello.MiddleboxSupport != nil && hello.MiddleboxSupport.NeighborKeys
 	switch {
@@ -134,6 +144,7 @@ func Accept(transport net.Conn, cfg *ServerConfig) (*Session, error) {
 			return fail(err)
 		}
 	}
+	hw.stop()
 
 	sess := &Session{conn: pconn, m: m, transport: transport}
 	// Report middleboxes in path order from the server outward.

@@ -2,9 +2,36 @@ package core
 
 import (
 	"net"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/tls12"
 )
+
+// SessionStats is the observable counter surface of one party's view
+// of a session chain: how much it moved, what it resealed, what went
+// wrong, and why the session ended. Endpoints expose it via
+// Session.Stats; the middlebox aggregate lives in MiddleboxStats.
+// Every field is a deterministic function of the traffic (and, under
+// injected faults, of the fault seed) — never of batch boundaries or
+// goroutine scheduling — so a seeded fault run reproduces its stats
+// exactly.
+type SessionStats struct {
+	// RecordsRelayed counts records crossing this party's record
+	// layer, both directions.
+	RecordsRelayed int64
+	// Reseals counts records opened under one hop key and resealed
+	// under another. Always zero at an endpoint; populated for
+	// middleboxes.
+	Reseals int64
+	// FaultsObserved counts fault-classified errors observed (at most
+	// one per session at an endpoint: the one that killed it).
+	FaultsObserved int64
+	// TeardownReason classifies the error that ended the session
+	// (ClassifyError vocabulary, e.g. "clean_close",
+	// "remote_alert:bad_record_mac"); empty while the session lives.
+	TeardownReason string
+}
 
 // Session is an established mbTLS session from an endpoint's
 // perspective. It carries application data over the primary session's
@@ -16,16 +43,48 @@ type Session struct {
 	m         *mux
 	transport net.Conn
 	mboxes    []MiddleboxSummary
+
+	faults   atomic.Int64
+	teardown atomic.Pointer[string]
+}
+
+// noteErr records the first teardown-worthy error; fault-classified
+// ones also count toward FaultsObserved. Only the first error is
+// recorded, so the stats are independent of how many reads race in
+// after the session dies.
+func (s *Session) noteErr(err error) {
+	cls := ClassifyError(err)
+	if cls == ClassOK {
+		return
+	}
+	reason := describeTeardown(err)
+	if s.teardown.CompareAndSwap(nil, &reason) && cls.isFault() {
+		s.faults.Add(1)
+	}
 }
 
 // Read reads application data.
-func (s *Session) Read(p []byte) (int, error) { return s.conn.Read(p) }
+func (s *Session) Read(p []byte) (int, error) {
+	n, err := s.conn.Read(p)
+	if err != nil {
+		s.noteErr(err)
+	}
+	return n, err
+}
 
 // Write writes application data.
-func (s *Session) Write(p []byte) (int, error) { return s.conn.Write(p) }
+func (s *Session) Write(p []byte) (int, error) {
+	n, err := s.conn.Write(p)
+	if err != nil {
+		s.noteErr(err)
+	}
+	return n, err
+}
 
 // Close sends close_notify and closes the transport.
 func (s *Session) Close() error {
+	local := ClassCleanClose.String()
+	s.teardown.CompareAndSwap(nil, &local)
 	err := s.conn.Close()
 	if s.transport != nil {
 		if cerr := s.transport.Close(); err == nil {
@@ -33,6 +92,35 @@ func (s *Session) Close() error {
 		}
 	}
 	return err
+}
+
+// Transport returns the session's underlying transport conn, letting
+// connection managers (and fault-injection harnesses) reach below the
+// session — e.g. to inspect or kill the first hop.
+func (s *Session) Transport() net.Conn { return s.transport }
+
+// SetDeadline bounds both directions, like net.Conn.
+func (s *Session) SetDeadline(t time.Time) error { return s.transport.SetDeadline(t) }
+
+// SetReadDeadline bounds blocked reads on the underlying transport,
+// so a mid-session stall (a hop that silently stops delivering)
+// surfaces as a timeout error instead of hanging forever.
+func (s *Session) SetReadDeadline(t time.Time) error { return s.transport.SetReadDeadline(t) }
+
+// SetWriteDeadline forwards to the transport.
+func (s *Session) SetWriteDeadline(t time.Time) error { return s.transport.SetWriteDeadline(t) }
+
+// Stats snapshots the session's counters.
+func (s *Session) Stats() SessionStats {
+	in, out := s.conn.RecordCounts()
+	st := SessionStats{
+		RecordsRelayed: in + out,
+		FaultsObserved: s.faults.Load(),
+	}
+	if r := s.teardown.Load(); r != nil {
+		st.TeardownReason = *r
+	}
+	return st
 }
 
 // ConnectionState returns the primary session's state.

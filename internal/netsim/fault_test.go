@@ -1,0 +1,363 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// readN reads exactly n bytes from c under a deadline.
+func readN(t *testing.T, c net.Conn, n int) []byte {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read %d bytes: %v", n, err)
+	}
+	return buf
+}
+
+func TestFaultDropTruncatesAtOffset(t *testing.T) {
+	a, b := FaultPipe(FaultSpec{Kind: FaultDrop, Offset: 10, Dir: DirAToB})
+	defer a.Close()
+	defer b.Close()
+
+	msg := []byte("0123456789ABCDEFGHIJ")
+	if n, err := a.Write(msg); n != len(msg) || err != nil {
+		t.Fatalf("drop must be invisible to the writer: n=%d err=%v", n, err)
+	}
+	got := readN(t, b, 10)
+	if !bytes.Equal(got, msg[:10]) {
+		t.Fatalf("clean prefix = %q, want %q", got, msg[:10])
+	}
+	// Everything after the offset vanished: the next read times out.
+	b.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //nolint:errcheck
+	var one [1]byte
+	_, err := b.Read(one[:])
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("read past dropped bytes = %v, want timeout", err)
+	}
+}
+
+func TestFaultPartitionIsOneWay(t *testing.T) {
+	a, b := FaultPipe(FaultSpec{Kind: FaultPartition, Dir: DirAToB})
+	defer a.Close()
+	defer b.Close()
+
+	if _, err := a.Write([]byte("into the void")); err != nil {
+		t.Fatalf("partitioned write must not error: %v", err)
+	}
+	// The reverse direction is untouched.
+	if _, err := b.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readN(t, a, 4); string(got) != "back" {
+		t.Fatalf("reverse direction got %q", got)
+	}
+	b.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //nolint:errcheck
+	var one [1]byte
+	if _, err := b.Read(one[:]); err == nil {
+		t.Fatal("partitioned direction delivered data")
+	}
+}
+
+func TestFaultStallBlocksUntilClose(t *testing.T) {
+	a, b := FaultPipe(FaultSpec{Kind: FaultStall, Offset: 10, Dir: DirAToB})
+	defer b.Close()
+
+	type wres struct {
+		n   int
+		err error
+	}
+	done := make(chan wres, 1)
+	go func() {
+		n, err := a.Write([]byte("0123456789ABCDEFGHIJ"))
+		done <- wres{n, err}
+	}()
+	if got := readN(t, b, 10); string(got) != "0123456789" {
+		t.Fatalf("pre-stall prefix = %q", got)
+	}
+	select {
+	case r := <-done:
+		t.Fatalf("stalled write returned early: %+v", r)
+	case <-time.After(100 * time.Millisecond):
+	}
+	a.Close()
+	select {
+	case r := <-done:
+		if r.n != 10 || !errors.Is(r.err, io.ErrClosedPipe) {
+			t.Fatalf("stalled write after close: n=%d err=%v, want 10, ErrClosedPipe", r.n, r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled write never unblocked after Close")
+	}
+}
+
+func TestFaultResetClassifiesAsECONNRESET(t *testing.T) {
+	a, b := FaultPipe(FaultSpec{Kind: FaultReset, Offset: 5, Dir: DirAToB})
+	defer a.Close()
+	defer b.Close()
+
+	if n, err := a.Write([]byte("01234")); n != 5 || err != nil {
+		t.Fatalf("pre-offset write: n=%d err=%v", n, err)
+	}
+	n, err := a.Write([]byte("boom"))
+	if n != 0 || !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("write crossing reset: n=%d err=%v, want ECONNRESET", n, err)
+	}
+	// The peer sees the reset too, with in-flight data discarded.
+	var buf [16]byte
+	if _, err := b.Read(buf[:]); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("peer read after reset = %v, want ECONNRESET", err)
+	}
+	// The faulted end stays reset for all subsequent writes.
+	if _, err := a.Write([]byte("x")); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("write after reset = %v, want ECONNRESET", err)
+	}
+}
+
+func TestFaultReorderSwapsChunksAtBoundary(t *testing.T) {
+	a, b := FaultPipe(FaultSpec{Kind: FaultReorder, Offset: 4, Dir: DirAToB})
+	defer a.Close()
+	defer b.Close()
+
+	for _, chunk := range []string{"aaaa", "bbbb", "cccc", "dddd"} {
+		if _, err := a.Write([]byte(chunk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := readN(t, b, 16); string(got) != "aaaaccccbbbbdddd" {
+		t.Fatalf("reordered stream = %q, want aaaaccccbbbbdddd", got)
+	}
+}
+
+// TestFaultCorruptDeterministic: the same seed produces byte-identical
+// corruption; a different seed diverges; the writer's buffer is never
+// mutated.
+func TestFaultCorruptDeterministic(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 512) // 4 KiB
+	run := func(seed int64) []byte {
+		a, b := FaultPipe(FaultSpec{Kind: FaultCorrupt, Offset: 16, Seed: seed, Stride: 64, Dir: DirAToB})
+		defer a.Close()
+		defer b.Close()
+		p := append([]byte(nil), payload...)
+		if _, err := a.Write(p); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p, payload) {
+			t.Fatal("FaultCorrupt mutated the caller's buffer")
+		}
+		return readN(t, b, len(payload))
+	}
+	first := run(7)
+	second := run(7)
+	other := run(8)
+	if !bytes.Equal(first, second) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(first, payload) {
+		t.Fatal("corruption fault delivered clean bytes")
+	}
+	if !bytes.Equal(first[:16], payload[:16]) {
+		t.Fatal("bytes before Offset were corrupted")
+	}
+	if bytes.Equal(first, other) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+// TestFaultCorruptSplitWrites: corruption positions are a function of
+// absolute stream offsets, so how the writer slices its writes must
+// not change the delivered bytes.
+func TestFaultCorruptSplitWrites(t *testing.T) {
+	payload := bytes.Repeat([]byte("mbtls fault substrate "), 100)
+	run := func(chunks []int) []byte {
+		a, b := FaultPipe(FaultSpec{Kind: FaultCorrupt, Offset: 0, Seed: 42, Stride: 32, Dir: DirAToB})
+		defer a.Close()
+		defer b.Close()
+		rest := payload
+		for _, n := range chunks {
+			if n > len(rest) {
+				n = len(rest)
+			}
+			if _, err := a.Write(rest[:n]); err != nil {
+				t.Fatal(err)
+			}
+			rest = rest[n:]
+		}
+		if len(rest) > 0 {
+			if _, err := a.Write(rest); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return readN(t, b, len(payload))
+	}
+	whole := run([]int{len(payload)})
+	sliced := run([]int{1, 7, 100, 3, 900})
+	if !bytes.Equal(whole, sliced) {
+		t.Fatal("corruption depends on write segmentation, not stream offsets")
+	}
+}
+
+// TestNetworkFaultPolicy: a Network fault policy wraps exactly the
+// links it selects, dialer as end A.
+func TestNetworkFaultPolicy(t *testing.T) {
+	n := NewNetwork()
+	n.SetFaultPolicy(func(from, to string) FaultSpec {
+		if from == "evilclient" {
+			return FaultSpec{Kind: FaultReset, Dir: DirAToB}
+		}
+		return FaultSpec{}
+	})
+	l, err := n.Listen("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	good, err := n.Dial("client", "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if _, err := good.Write([]byte("ok")); err != nil {
+		t.Fatalf("clean link write: %v", err)
+	}
+
+	bad, err := n.Dial("evilclient", "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	if _, err := bad.Write([]byte("x")); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("faulted link write = %v, want ECONNRESET", err)
+	}
+}
+
+// TestListenerCloseClosesBacklog: connections queued but never
+// accepted must be closed by Listener.Close, so their dialers see the
+// failure instead of writing into a void.
+func TestListenerCloseClosesBacklog(t *testing.T) {
+	n := NewNetwork()
+	l, err := n.Listen("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := n.Dial("client", "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	l.Close()
+
+	c.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	var buf [1]byte
+	if _, err := c.Read(buf[:]); err == nil {
+		t.Fatal("read from a conn stranded in a closed backlog succeeded")
+	}
+}
+
+// TestListenerCloseRace: concurrent Dial and Close must never strand
+// an open connection — every dial either fails or yields a conn whose
+// peer was accepted or closed.
+func TestListenerCloseRace(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		n := NewNetwork()
+		l, err := n.Listen("server")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dialed := make(chan net.Conn, 1)
+		go func() {
+			c, err := n.Dial("client", "server")
+			if err != nil {
+				dialed <- nil
+				return
+			}
+			dialed <- c
+		}()
+		l.Close()
+		if c := <-dialed; c != nil {
+			// The dial won the race; its queued peer must have been
+			// closed by the draining Close, so reads fail quickly.
+			c.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+			var buf [1]byte
+			if _, err := c.Read(buf[:]); err == nil {
+				t.Fatal("conn delivered to a closed listener stayed open")
+			}
+			c.Close()
+		}
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops to base (plus
+// slack for runtime helpers), dumping stacks on timeout. It is the
+// repo's dependency-free stand-in for goleak.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d running, want <= %d\n%s",
+		runtime.NumGoroutine(), base, buf[:n])
+}
+
+// TestFilteredLinkShutdownNoLeak: aborting a filtered path from either
+// end must cascade closes through every filter goroutine.
+func TestFilteredLinkShutdownNoLeak(t *testing.T) {
+	specs := []FilterSpec{
+		{Kind: KindFramingValidator},
+		{Kind: KindResegmenter, Chunk: 9},
+		{Kind: KindNone},
+	}
+	base := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		client, server := FilteredLink(specs...)
+		// A partial record in flight exercises the mid-parse abort path.
+		if _, err := client.Write([]byte{22, 3, 3, 0, 50, 1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		if round%2 == 0 {
+			client.Close()
+			server.Close()
+		} else {
+			server.Close()
+			client.Close()
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+// TestFilteredLinkEOFPropagates: a clean close on one end surfaces as
+// EOF (not a hang) on the other, through every filter stage.
+func TestFilteredLinkEOFPropagates(t *testing.T) {
+	client, server := FilteredLink(FilterSpec{Kind: KindResegmenter, Chunk: 5})
+	rec := []byte{23, 3, 3, 0, 3, 'a', 'b', 'c'}
+	if _, err := client.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := readN(t, server, len(rec)); !bytes.Equal(got, rec) {
+		t.Fatalf("relayed record = %v", got)
+	}
+	client.Close()
+	server.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	var buf [8]byte
+	if _, err := server.Read(buf[:]); err == nil {
+		t.Fatal("read after peer close succeeded")
+	} else if s := err.Error(); !strings.Contains(s, "EOF") && !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("read after peer close = %v", err)
+	}
+}

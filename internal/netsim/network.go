@@ -17,6 +17,9 @@ type Network struct {
 	// linkFor decides the characteristics of a new connection; nil
 	// means a plain Pipe.
 	linkFor func(from, to string) LinkConfig
+	// faultFor decides the fault injected into a new connection; nil
+	// (or a returned FaultNone spec) means a clean link.
+	faultFor func(from, to string) FaultSpec
 }
 
 // NewNetwork creates an empty network.
@@ -29,6 +32,16 @@ func NewNetwork() *Network {
 func (n *Network) SetLinkPolicy(f func(from, to string) LinkConfig) {
 	n.mu.Lock()
 	n.linkFor = f
+	n.mu.Unlock()
+}
+
+// SetFaultPolicy installs a function choosing the fault injected into
+// each new connection; a FaultNone spec means a clean link. In the
+// resulting pair the dialer is end A, so DirAToB faults dialer→listener
+// traffic.
+func (n *Network) SetFaultPolicy(f func(from, to string) FaultSpec) {
+	n.mu.Lock()
+	n.faultFor = f
 	n.mu.Unlock()
 }
 
@@ -54,6 +67,7 @@ func (n *Network) Dial(from, to string) (net.Conn, error) {
 	n.mu.Lock()
 	l, ok := n.listeners[to]
 	policy := n.linkFor
+	faults := n.faultFor
 	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("netsim: connection refused: %q", to)
@@ -63,21 +77,29 @@ func (n *Network) Dial(from, to string) (net.Conn, error) {
 		cfg = policy(from, to)
 	}
 	cfg.NameA, cfg.NameB = from, to
-	client, server := NewLink(cfg)
-	select {
-	case l.backlog <- server:
-		return client, nil
-	case <-l.closed:
-		return nil, fmt.Errorf("netsim: connection refused: %q closed", to)
-	case <-time.After(5 * time.Second):
-		return nil, fmt.Errorf("netsim: accept backlog full at %q", to)
+	var client, server net.Conn = NewLink(cfg)
+	if faults != nil {
+		if spec := faults(from, to); spec.Kind != FaultNone {
+			client, server = WrapFaultPair(client, server, spec)
+		}
 	}
+	if err := l.deliver(server); err != nil {
+		client.Close()
+		server.Close()
+		return nil, err
+	}
+	return client, nil
 }
 
 // Listener accepts in-memory connections for one address.
 type Listener struct {
 	network *Network
 	addr    string
+
+	// mu serializes backlog delivery against Close, so a connection can
+	// never be stranded in the backlog after Close has drained it.
+	mu      sync.Mutex
+	done    bool
 	backlog chan net.Conn
 
 	closeOnce sync.Once
@@ -86,8 +108,55 @@ type Listener struct {
 
 var _ net.Listener = (*Listener)(nil)
 
+// deliver hands a new connection to Accept, refusing cleanly if the
+// listener closes first.
+func (l *Listener) deliver(c net.Conn) error {
+	refused := fmt.Errorf("netsim: connection refused: %q closed", l.addr)
+	l.mu.Lock()
+	if l.done {
+		l.mu.Unlock()
+		return refused
+	}
+	select {
+	case l.backlog <- c:
+		l.mu.Unlock()
+		return nil
+	default:
+	}
+	l.mu.Unlock()
+	// Backlog full: wait outside the lock so Close stays responsive.
+	select {
+	case l.backlog <- c:
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if !l.done {
+			return nil
+		}
+		// Close raced the send and already drained the backlog; pull a
+		// queued conn back out so nothing is stranded, then refuse (the
+		// caller closes c).
+		select {
+		case q := <-l.backlog:
+			q.Close()
+		default:
+		}
+		return refused
+	case <-l.closed:
+		return refused
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("netsim: accept backlog full at %q", l.addr)
+	}
+}
+
 // Accept waits for the next inbound connection.
 func (l *Listener) Accept() (net.Conn, error) {
+	// Prefer reporting closure: after Close, anything still queued has
+	// already been closed and is not worth handing out.
+	select {
+	case <-l.closed:
+		return nil, net.ErrClosed
+	default:
+	}
 	select {
 	case c := <-l.backlog:
 		return c, nil
@@ -96,13 +165,27 @@ func (l *Listener) Accept() (net.Conn, error) {
 	}
 }
 
-// Close releases the address.
+// Close releases the address, unblocks pending Accepts, and closes any
+// connections still queued in the backlog so their dialers see the
+// failure instead of writing into a void.
 func (l *Listener) Close() error {
 	l.closeOnce.Do(func() {
-		close(l.closed)
 		l.network.mu.Lock()
 		delete(l.network.listeners, l.addr)
 		l.network.mu.Unlock()
+		l.mu.Lock()
+		l.done = true
+		close(l.closed)
+		for {
+			select {
+			case c := <-l.backlog:
+				c.Close()
+				continue
+			default:
+			}
+			break
+		}
+		l.mu.Unlock()
 	})
 	return nil
 }

@@ -11,15 +11,23 @@
 package netsim
 
 import (
-	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 )
 
-// ErrClosedPipe is returned for operations on a closed pipe end.
-var ErrClosedPipe = errors.New("netsim: closed pipe")
+// ErrClosedPipe is returned for operations on a closed pipe end. It
+// wraps io.ErrClosedPipe so protocol code can classify it with
+// errors.Is without importing netsim.
+var ErrClosedPipe = fmt.Errorf("netsim: closed pipe: %w", io.ErrClosedPipe)
+
+// ErrReset is returned after Reset tears a connection down — the
+// netsim analogue of a TCP RST. It wraps syscall.ECONNRESET so it
+// classifies exactly like a kernel-reported reset.
+var ErrReset = fmt.Errorf("netsim: connection reset: %w", syscall.ECONNRESET)
 
 // chunk is a unit of in-flight data with its delivery time.
 type chunk struct {
@@ -41,6 +49,7 @@ type stream struct {
 
 	closed   bool // write side closed: EOF after drain
 	broken   bool // reader gone: writes fail
+	isReset  bool // connection reset: both sides fail, in-flight data discarded
 	bytesIn  int64
 	bytesOut int64
 }
@@ -71,6 +80,9 @@ func (s *stream) write(p []byte) (int, error) {
 		s.cond.Wait()
 	}
 	if s.closed || s.broken {
+		if s.isReset {
+			return 0, ErrReset
+		}
 		return 0, ErrClosedPipe
 	}
 	now := time.Now()
@@ -90,6 +102,9 @@ func (s *stream) read(p []byte, deadline time.Time) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
+		if s.isReset {
+			return 0, ErrReset
+		}
 		if len(s.chunks) > 0 {
 			now := time.Now()
 			first := s.chunks[0]
@@ -150,6 +165,18 @@ func (s *stream) breakRead() {
 	s.mu.Unlock()
 }
 
+// reset abruptly kills the stream in both roles: readers and writers
+// fail with ErrReset and any in-flight data is discarded.
+func (s *stream) reset() {
+	s.mu.Lock()
+	s.isReset = true
+	s.broken = true
+	s.chunks = nil
+	s.offset = 0
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
 var errDeadline error = &timeoutError{}
 
 type timeoutError struct{}
@@ -203,6 +230,18 @@ func (c *Conn) Close() error {
 	c.out.closeWrite()
 	c.in.breakRead()
 	return nil
+}
+
+// Reset abruptly tears the connection down in both directions — the
+// netsim analogue of a TCP RST. Unlike Close, in-flight data is
+// discarded and both ends' subsequent reads and writes fail with
+// ErrReset instead of draining to a clean EOF.
+func (c *Conn) Reset() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.out.reset()
+	c.in.reset()
 }
 
 // LocalAddr returns the local node name.

@@ -1,0 +1,181 @@
+package netsim_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/certs"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/tls12"
+)
+
+// TestConcurrentSessionsThroughFaultyNetwork runs two complete mbTLS
+// sessions at once through one shared Network — one over a clean path,
+// one over a path whose client→middlebox link carries a seeded reset —
+// and requires the clean session to stay fully functional while the
+// faulty one fails. Run under -race (tier-1 does), this exercises the
+// fault state machine, the mux, and the relay goroutines concurrently:
+// a fault on one session must never bleed into another.
+func TestConcurrentSessionsThroughFaultyNetwork(t *testing.T) {
+	ca, err := certs.NewCA("netsim race root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCert, err := ca.Issue("origin.example", []string{"origin.example"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbCert, err := ca.Issue("mb.example", []string{"mb.example"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := core.NewMiddlebox(core.MiddleboxConfig{
+		Name: "mb.example", Mode: core.ClientSide, Certificate: mbCert,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := netsim.NewNetwork()
+	n.SetFaultPolicy(func(from, to string) netsim.FaultSpec {
+		if from == "client-bad" {
+			// Mid-handshake reset on the dialer's (end A's) traffic.
+			return netsim.FaultSpec{Kind: netsim.FaultReset, Offset: 300, Seed: 42, Dir: netsim.DirAToB}
+		}
+		return netsim.FaultSpec{}
+	})
+
+	srvLn, err := n.Listen("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvLn.Close()
+	mbLn, err := n.Listen("mb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mbLn.Close()
+
+	scfg := &core.ServerConfig{
+		TLS:               &tls12.Config{Certificate: serverCert},
+		AcceptMiddleboxes: true,
+		MiddleboxTLS:      &tls12.Config{RootCAs: ca.Pool()},
+		HandshakeTimeout:  5 * time.Second,
+	}
+	go func() {
+		for {
+			c, err := srvLn.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				s, err := core.Accept(c, scfg)
+				if err != nil {
+					c.Close()
+					return
+				}
+				defer s.Close()
+				buf := make([]byte, 256)
+				nr, err := s.Read(buf)
+				if err != nil {
+					return
+				}
+				s.Write(buf[:nr]) //nolint:errcheck
+			}(c)
+		}
+	}()
+	go func() {
+		for {
+			c, err := mbLn.Accept()
+			if err != nil {
+				return
+			}
+			up, err := n.Dial("mb", "server")
+			if err != nil {
+				c.Close()
+				return
+			}
+			go mb.Handle(c, up) //nolint:errcheck
+		}
+	}()
+
+	ccfg := func() *core.ClientConfig {
+		return &core.ClientConfig{
+			TLS:              &tls12.Config{RootCAs: ca.Pool(), ServerName: "origin.example"},
+			HandshakeTimeout: 5 * time.Second,
+		}
+	}
+
+	okDone := make(chan error, 1)
+	badDone := make(chan error, 1)
+	go func() {
+		conn, err := n.Dial("client-ok", "mb")
+		if err != nil {
+			okDone <- err
+			return
+		}
+		sess, err := core.Dial(conn, ccfg())
+		if err != nil {
+			okDone <- err
+			return
+		}
+		defer sess.Close()
+		msg := []byte("through the clean path")
+		if _, err := sess.Write(msg); err != nil {
+			okDone <- err
+			return
+		}
+		sess.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+		buf := make([]byte, len(msg))
+		if _, err := readFull(sess, buf); err != nil {
+			okDone <- err
+			return
+		}
+		okDone <- nil
+	}()
+	go func() {
+		conn, err := n.Dial("client-bad", "mb")
+		if err != nil {
+			badDone <- err
+			return
+		}
+		sess, err := core.Dial(conn, ccfg())
+		if err == nil {
+			sess.Close()
+		}
+		badDone <- err
+	}()
+
+	select {
+	case err := <-okDone:
+		if err != nil {
+			t.Errorf("clean-path session failed beside a faulty one: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("clean-path session wedged")
+	}
+	select {
+	case err := <-badDone:
+		if err == nil {
+			t.Error("reset-at-300 path produced a working session")
+		} else if cls := core.ClassifyError(err); !cls.Transient() && cls != core.ClassCleanClose {
+			t.Errorf("faulty path surfaced class %s (%v), want a transport-failure class", cls, err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("faulty-path session wedged")
+	}
+}
+
+func readFull(r interface{ Read([]byte) (int, error) }, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -218,8 +218,35 @@ func (c *Conn) sendAlert(level AlertLevel, desc AlertDescription) {
 	if level == AlertLevelFatal || desc == AlertCloseNotify {
 		c.sentAlert = true
 	}
-	_ = c.rl.WriteRecord(TypeAlert, []byte{byte(level), byte(desc)})
+	// Best-effort: if another goroutine is wedged mid-write on a dead or
+	// stalled transport it holds the record layer's write lock, and
+	// queueing behind it would deadlock the teardown path that is about
+	// to close that transport. Dropping the alert is always legal —
+	// peers must treat transport loss as an implicit failure anyway.
+	_ = c.rl.TryWriteRecord(TypeAlert, []byte{byte(level), byte(desc)})
 }
+
+// readRecord reads the next record, answering a locally detected
+// record-layer violation (bad version, length overflow, decode
+// failure, MAC failure) with a fatal alert before surfacing the
+// error. Without this, a peer — or an intermediate middlebox relay —
+// watching the reverse direction would only ever see a silent
+// transport close and could not distinguish an integrity failure from
+// a crash (DESIGN.md §7). Remote alerts are not echoed back.
+func (c *Conn) readRecord() (Record, error) {
+	rec, err := c.rl.ReadRecord()
+	if err != nil {
+		var ae *AlertError
+		if errors.As(err, &ae) && !ae.Remote {
+			c.sendAlert(AlertLevelFatal, ae.Description)
+		}
+	}
+	return rec, err
+}
+
+// RecordCounts reports how many records this connection's record
+// layer has read and written, feeding core.SessionStats.
+func (c *Conn) RecordCounts() (in, out int64) { return c.rl.Counters() }
 
 // readHandshakeMsg returns the next complete handshake message. If
 // allowCCS is true and a ChangeCipherSpec record arrives on a message
@@ -237,7 +264,7 @@ func (c *Conn) readHandshakeMsg(allowCCS bool) (typ HandshakeType, body, raw []b
 			}
 		}
 		c.sw().Pause()
-		rec, err := c.rl.ReadRecord()
+		rec, err := c.readRecord()
 		c.sw().Resume()
 		if err != nil {
 			return 0, nil, nil, false, err
@@ -320,7 +347,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 		if c.readErr != nil {
 			return 0, c.readErr
 		}
-		rec, err := c.rl.ReadRecord()
+		rec, err := c.readRecord()
 		if err != nil {
 			c.readErr = err
 			return 0, err
@@ -396,7 +423,7 @@ func (c *Conn) ReadKeyMaterial() ([]byte, error) {
 		if c.readErr != nil {
 			return nil, c.readErr
 		}
-		rec, err := c.rl.ReadRecord()
+		rec, err := c.readRecord()
 		if err != nil {
 			c.readErr = err
 			return nil, err

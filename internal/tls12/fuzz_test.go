@@ -1,0 +1,87 @@
+package tls12
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// FuzzRecordHeader drives ParseRecordHeader — the first parser every
+// wire byte meets, at endpoints and middlebox relays alike — with
+// arbitrary headers. The invariants: never panic, never accept a
+// header that violates the record grammar, classify every rejection as
+// a typed AlertError (so the failure-path machinery in internal/core
+// can turn it into the right alert), and round-trip every accepted
+// header through RawRecord framing unchanged.
+func FuzzRecordHeader(f *testing.F) {
+	// One valid header per known content type, plus each rejection
+	// class: short, unknown type, bad version, oversized body.
+	for _, typ := range []ContentType{
+		TypeChangeCipherSpec, TypeAlert, TypeHandshake, TypeApplicationData,
+		TypeEncapsulated, TypeKeyMaterial, TypeMiddleboxAnnouncement,
+	} {
+		f.Add([]byte{byte(typ), 0x03, 0x03, 0x01, 0x00})
+	}
+	f.Add([]byte{22, 0x03, 0x03, 0x40, 0x00}) // max plaintext-sized body
+	f.Add([]byte{22, 0x03, 0x03, 0x48, 0x00}) // max ciphertext
+	f.Add([]byte{22, 0x03, 0x03, 0x48, 0x01}) // one past max ciphertext
+	f.Add([]byte{22, 0x03})                   // short header
+	f.Add([]byte{0x00, 0x03, 0x03, 0x00, 0x00})
+	f.Add([]byte{0xff, 0x03, 0x03, 0x00, 0x05})
+	f.Add([]byte{22, 0x03, 0x01, 0x00, 0x00}) // TLS 1.0 version
+	f.Add([]byte{22, 0xfe, 0xfd, 0x00, 0x10}) // DTLS version
+
+	f.Fuzz(func(t *testing.T, hdr []byte) {
+		typ, length, err := ParseRecordHeader(hdr)
+		if err != nil {
+			// Every rejection of a complete header must carry a typed
+			// local AlertError, so a Conn can answer with the right
+			// fatal alert before tearing down.
+			if len(hdr) >= RecordHeaderLen {
+				var ae *AlertError
+				if !errors.As(err, &ae) {
+					t.Fatalf("rejection without AlertError: %v", err)
+				}
+				if ae.Remote {
+					t.Fatalf("local parse failure classified as remote alert: %v", err)
+				}
+				switch ae.Description {
+				case AlertDecodeError, AlertProtocolVersion, AlertRecordOverflow:
+				default:
+					t.Fatalf("unexpected alert class %s for %v", ae.Description, hdr[:RecordHeaderLen])
+				}
+			}
+			return
+		}
+		// Accepted: re-derive every grammar rule independently.
+		if len(hdr) < RecordHeaderLen {
+			t.Fatalf("accepted a %d-byte header", len(hdr))
+		}
+		if !isKnownType(typ) {
+			t.Fatalf("accepted unknown content type %d", typ)
+		}
+		if ContentType(hdr[0]) != typ {
+			t.Fatalf("type %d does not match wire byte %d", typ, hdr[0])
+		}
+		if v := binary.BigEndian.Uint16(hdr[1:3]); v != VersionTLS12 {
+			t.Fatalf("accepted version %#04x", v)
+		}
+		if length < 0 || length > MaxCiphertext {
+			t.Fatalf("accepted body length %d", length)
+		}
+		if length != int(binary.BigEndian.Uint16(hdr[3:5])) {
+			t.Fatalf("length %d does not match wire bytes", length)
+		}
+		// Round trip: a RawRecord built from the parse must frame back
+		// to the same header and reparse identically.
+		wire := RawRecord{Type: typ, Payload: make([]byte, length)}.Marshal()
+		if !bytes.Equal(wire[:RecordHeaderLen], hdr[:RecordHeaderLen]) {
+			t.Fatalf("reframed header %v != original %v", wire[:RecordHeaderLen], hdr[:RecordHeaderLen])
+		}
+		typ2, length2, err := ParseRecordHeader(wire)
+		if err != nil || typ2 != typ || length2 != length {
+			t.Fatalf("reparse: typ=%v length=%d err=%v", typ2, length2, err)
+		}
+	})
+}

@@ -58,7 +58,8 @@ func ParseRecordHeader(hdr []byte) (ContentType, int, error) {
 	}
 	typ := ContentType(hdr[0])
 	if !isKnownType(typ) {
-		return 0, 0, fmt.Errorf("tls12: unknown record type %d", hdr[0])
+		return 0, 0, fmt.Errorf("tls12: unknown record type %d: %w",
+			hdr[0], &AlertError{Description: AlertDecodeError})
 	}
 	if binary.BigEndian.Uint16(hdr[1:3]) != VersionTLS12 {
 		return 0, 0, &AlertError{Description: AlertProtocolVersion}
@@ -124,6 +125,14 @@ type RecordLayer struct {
 	// load them.
 	read  atomic.Pointer[CipherState] // nil until ChangeCipherSpec / key install
 	write atomic.Pointer[CipherState]
+
+	// Record counters, feeding the SessionStats surface. recordsIn
+	// counts records successfully read off the wire (an Unread record
+	// is not recounted when replayed); recordsOut counts records
+	// framed for the wire. Both depend only on the record stream, not
+	// on write coalescing or batch boundaries.
+	recordsIn  atomic.Int64
+	recordsOut atomic.Int64
 }
 
 // NewRecordLayer returns a RecordLayer over the given stream. Both
@@ -192,7 +201,14 @@ func (rl *RecordLayer) readRecordLocked() (Record, error) {
 			return Record{}, err
 		}
 	}
+	rl.recordsIn.Add(1)
 	return Record{Type: typ, Payload: payload}, nil
+}
+
+// Counters reports how many records this layer has read off the wire
+// and framed for it since creation.
+func (rl *RecordLayer) Counters() (in, out int64) {
+	return rl.recordsIn.Load(), rl.recordsOut.Load()
 }
 
 // Unread pushes a record back so the next ReadRecord returns it first.
@@ -236,6 +252,24 @@ func (rl *RecordLayer) WriteRecord(typ ContentType, payload []byte) error {
 		return err
 	}
 	return rl.flushLocked()
+}
+
+// TryWriteRecord is WriteRecord, except it gives up immediately when
+// another writer already holds the layer. Teardown paths use it for
+// best-effort alerts: a goroutine wedged mid-Write on a stalled
+// transport holds the write lock, and a Close that queued behind it
+// would deadlock — the transport close that would unwedge the writer
+// is sequenced after the alert. Reports whether the record was
+// written.
+func (rl *RecordLayer) TryWriteRecord(typ ContentType, payload []byte) bool {
+	if !rl.writeMu.TryLock() {
+		return false
+	}
+	defer rl.writeMu.Unlock()
+	if err := rl.appendRecordLocked(typ, payload); err != nil {
+		return false
+	}
+	return rl.flushLocked() == nil
 }
 
 // WriteRecords frames and protects several payloads of the same content
@@ -292,6 +326,7 @@ func (rl *RecordLayer) appendFragmentLocked(typ ContentType, frag []byte) error 
 		return &AlertError{Description: AlertRecordOverflow}
 	}
 	binary.BigEndian.PutUint16(rl.writeBuf[start+3:start+5], uint16(body))
+	rl.recordsOut.Add(1)
 	return nil
 }
 
