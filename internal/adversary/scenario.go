@@ -158,13 +158,17 @@ func pumpReads(r interface{ Read([]byte) (int, error) }, recv chan<- []byte, err
 	}
 }
 
-// Close tears the scenario down.
+// Close tears the scenario down, wiping the middlebox's vault: probes
+// of what an adversary could read must happen while the session lives.
 func (sc *Scenario) Close() {
 	if sc.Client != nil {
 		sc.Client.Close()
 	}
 	if sc.Server != nil {
 		sc.Server.Close()
+	}
+	if sc.Mbox != nil {
+		sc.Mbox.Vault().Wipe()
 	}
 }
 

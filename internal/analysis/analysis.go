@@ -1,0 +1,111 @@
+// Package analysis is a stdlib-only static-analysis framework (go/ast +
+// go/parser + go/types) that machine-checks the protocol invariants the
+// Go type system cannot see: constant-time comparison of key material,
+// key zeroization on teardown, pooled-buffer ownership (DESIGN.md §6),
+// the enclave secrecy boundary, and crypto-grade randomness. The
+// cmd/mbtls-lint driver runs every analyzer over the module; lint_test.go
+// runs them over golden fixtures and pins the repo itself clean.
+//
+// Findings are suppressed at the use site with a justification comment
+// on the flagged line or the line directly above it:
+//
+//	//lint:ignore <check> <reason>
+//
+// The reason is mandatory: a suppression without one is itself reported
+// (as check "lintdirective"), so every deviation from an invariant stays
+// documented where it happens.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding: a position, the check that produced it,
+// and a human-readable message.
+type Diagnostic struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Check)
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the check identifier used in output and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant the check
+	// enforces.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full analyzer suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		SecretCompare,
+		KeyWipe,
+		BufOwnership,
+		EnclaveBoundary,
+		CryptoRand,
+	}
+}
+
+// Run executes the analyzers over the packages, applies //lint:ignore
+// suppressions, and returns the surviving diagnostics sorted by
+// position. Malformed directives surface as "lintdirective" findings.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			a.Run(pass)
+		}
+	}
+
+	var out []Diagnostic
+	index := newIgnoreIndex(pkgs)
+	out = append(out, index.problems...)
+	for _, d := range raw {
+		if !index.suppressed(d) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive comment.
+const ignorePrefix = "//lint:ignore"
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file   string
+	line   int
+	checks []string // check names, comma-separated in the source
+	reason string
+}
+
+// matches reports whether the directive suppresses the named check.
+func (d *ignoreDirective) matches(check string) bool {
+	for _, c := range d.checks {
+		if c == check {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreIndex resolves diagnostics against the suppression directives
+// of the analyzed packages. A directive applies to findings on its own
+// line or on the line immediately below it (the comment-above-the-code
+// convention).
+type ignoreIndex struct {
+	// byFileLine maps file → line → directives anchored there.
+	byFileLine map[string]map[int][]*ignoreDirective
+	// problems are malformed directives (no check, empty reason),
+	// reported as findings in their own right.
+	problems []Diagnostic
+}
+
+func newIgnoreIndex(pkgs []*Package) *ignoreIndex {
+	idx := &ignoreIndex{byFileLine: make(map[string]map[int][]*ignoreDirective)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx.add(pkg.Fset, c.Slash, c.Text)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// add parses one comment; non-directives are ignored.
+func (idx *ignoreIndex) add(fset *token.FileSet, pos token.Pos, text string) {
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return
+	}
+	position := fset.Position(pos)
+	rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+	checks, reason, _ := strings.Cut(rest, " ")
+	reason = strings.TrimSpace(reason)
+	if checks == "" || reason == "" {
+		idx.problems = append(idx.problems, Diagnostic{
+			Check:   "lintdirective",
+			Pos:     position,
+			Message: "malformed //lint:ignore directive: need \"//lint:ignore <check>[,<check>] <reason>\" with a non-empty reason",
+		})
+		return
+	}
+	d := &ignoreDirective{
+		file:   position.Filename,
+		line:   position.Line,
+		checks: strings.Split(checks, ","),
+		reason: reason,
+	}
+	lines := idx.byFileLine[d.file]
+	if lines == nil {
+		lines = make(map[int][]*ignoreDirective)
+		idx.byFileLine[d.file] = lines
+	}
+	lines[d.line] = append(lines[d.line], d)
+}
+
+// suppressed reports whether a directive covers the diagnostic.
+func (idx *ignoreIndex) suppressed(d Diagnostic) bool {
+	lines := idx.byFileLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, anchor := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range lines[anchor] {
+			if dir.matches(d.Check) {
+				return true
+			}
+		}
+	}
+	return false
+}

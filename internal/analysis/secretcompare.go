@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SecretCompare enforces constant-time comparison of key material
+// (paper §3.1 threat model: on-path and co-resident adversaries can
+// time the endpoints). bytes.Equal, reflect.DeepEqual, and == / != are
+// early-exit comparisons; secrets must go through crypto/hmac.Equal or
+// crypto/subtle.ConstantTimeCompare instead.
+var SecretCompare = &Analyzer{
+	Name: "secretcompare",
+	Doc:  "key material, MACs, and verify_data must be compared in constant time",
+	Run:  runSecretCompare,
+}
+
+func runSecretCompare(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCompareCall(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isNilLiteral(n.X) || isNilLiteral(n.Y) {
+					return true // x == nil presence checks are fine
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					name := exprName(side)
+					if !timingSensitiveName(name) {
+						continue
+					}
+					tv := info.Types[side]
+					if tv.Value != nil || isPublicKeyType(tv.Type) {
+						continue // constants (labels, tags) and public keys are not secrets
+					}
+					if isComparableSecretCarrier(tv.Type) {
+						pass.Reportf(n.OpPos, "variable-time %s comparison of secret %q; use crypto/subtle.ConstantTimeCompare", n.Op, name)
+						return true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCompareCall flags bytes.Equal / bytes.Compare / reflect.DeepEqual
+// calls whose operands carry key material.
+func checkCompareCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeName(call)
+	pkg := calleePkg(pass.Pkg.Info, call)
+	variableTime := (pkg == "bytes" && (fn == "Equal" || fn == "Compare")) ||
+		(pkg == "reflect" && fn == "DeepEqual")
+	if !variableTime {
+		return
+	}
+	for _, arg := range call.Args {
+		name := exprName(arg)
+		if name == "" || !timingSensitiveName(name) {
+			continue
+		}
+		tv := pass.Pkg.Info.Types[arg]
+		if tv.Value != nil || isPublicKeyType(tv.Type) {
+			continue // constants (labels, tags) and public keys are not secrets
+		}
+		if tv.Type != nil && !isByteSlice(tv.Type) && !isComparableSecretCarrier(tv.Type) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "variable-time %s.%s on secret %q; use crypto/hmac.Equal or crypto/subtle.ConstantTimeCompare", pkg, fn, name)
+		return
+	}
+}
+
+// isNilLiteral reports whether the expression is the predeclared nil.
+func isNilLiteral(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

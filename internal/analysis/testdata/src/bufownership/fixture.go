@@ -1,0 +1,51 @@
+// Package fixture exercises the bufownership analyzer against the
+// get/put shapes of DESIGN.md §6.
+package fixture
+
+// GetRecordBuf and PutRecordBuf stand in for the tls12 record pool.
+func GetRecordBuf() []byte { return make([]byte, 0, 512) }
+
+func PutRecordBuf(b []byte) {}
+
+func balanced(n int) {
+	buf := GetRecordBuf()
+	buf = append(buf, byte(n))
+	PutRecordBuf(buf)
+}
+
+func deferredPut() int {
+	buf := GetRecordBuf()
+	defer PutRecordBuf(buf)
+	buf = buf[:0]
+	return len(buf)
+}
+
+func handoff() []byte {
+	buf := GetRecordBuf()
+	return buf // ownership moves to the caller: not a leak
+}
+
+func leaked() {
+	buf := GetRecordBuf() // want "neither returned with PutRecordBuf nor handed off"
+	_ = len(buf)
+}
+
+func doublePut() {
+	buf := GetRecordBuf()
+	PutRecordBuf(buf)
+	PutRecordBuf(buf) // want "returned to the pool twice"
+}
+
+func useAfterPut() byte {
+	buf := GetRecordBuf()
+	buf = append(buf, 1)
+	PutRecordBuf(buf)
+	return buf[0] // want "use of pooled buffer buf after PutRecordBuf"
+}
+
+func reassigned() {
+	buf := GetRecordBuf()
+	PutRecordBuf(buf)
+	buf = make([]byte, 8) // tracking ends: a fresh, unpooled buffer
+	_ = len(buf)
+}

@@ -1,0 +1,12 @@
+// Package fixture exercises the cryptorand analyzer.
+package fixture
+
+import (
+	crand "crypto/rand"
+	"math/rand" // want "import of math/rand"
+)
+
+var (
+	_ = rand.Int
+	_ = crand.Reader
+)

@@ -1,0 +1,8 @@
+package fixture
+
+import (
+	//lint:ignore cryptorand fixture demonstrates a justified seeded source
+	mrand "math/rand"
+)
+
+var _ = mrand.New

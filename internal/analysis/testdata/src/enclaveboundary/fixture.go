@@ -1,0 +1,45 @@
+// Package fixture exercises the enclaveboundary analyzer: callback
+// parameter escapes and DumpHostMemory outside the adversary harness.
+package fixture
+
+// vault stands in for enclave.Vault / enclave.Enclave.
+type vault struct{}
+
+func (vault) UseSecret(name string, f func(secret []byte)) {}
+
+func (vault) Enter(f func(mem []byte)) {}
+
+func (vault) DumpHostMemory() map[string][]byte { return nil }
+
+var hostCopy []byte
+
+func leaks(v vault) {
+	v.UseSecret("hop", func(secret []byte) {
+		hostCopy = secret // want "escapes the UseSecret callback"
+	})
+	ch := make(chan []byte, 1)
+	v.Enter(func(mem []byte) {
+		ch <- mem // want "escapes the Enter callback over a host-side channel"
+	})
+	_ = v.DumpHostMemory() // want "DumpHostMemory"
+}
+
+func copiesOut(v vault) {
+	dst := make([]byte, 32)
+	v.UseSecret("hop", func(secret []byte) {
+		copy(dst, secret) // want "copied out of the UseSecret callback"
+	})
+}
+
+func staysInside(v vault) {
+	v.UseSecret("hop", func(secret []byte) {
+		sum := 0
+		for _, b := range secret {
+			sum += int(b)
+		}
+		local := make([]byte, len(secret))
+		copy(local, secret) // destination lives inside the callback: fine
+		_ = local
+		_ = sum
+	})
+}

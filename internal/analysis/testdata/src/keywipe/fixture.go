@@ -1,0 +1,69 @@
+// Package fixture exercises the keywipe analyzer: complete Wipe
+// methods, a missing method, an incomplete method, nested key-bearing
+// structs, and a suppressed type.
+package fixture
+
+// wipe zeroizes b (the fixture's stand-in for secmem.Wipe).
+func wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// WipedKeys declares a complete Wipe: no finding.
+type WipedKeys struct {
+	SessionKey []byte
+	Label      string
+}
+
+func (k *WipedKeys) Wipe() {
+	wipe(k.SessionKey)
+}
+
+type NakedKeys struct { // want "declares no Wipe method"
+	MasterSecret []byte
+}
+
+type PartialKeys struct {
+	ReadKey  []byte
+	WriteKey []byte
+}
+
+func (p *PartialKeys) Wipe() { // want "does not clear secret field WriteKey"
+	wipe(p.ReadKey)
+}
+
+// Inner/Outer: a value field of a secret-bearing struct counts as a
+// secret field and is cleared by a nested Wipe call.
+type Inner struct {
+	HopKey []byte
+}
+
+func (i *Inner) Wipe() {
+	wipe(i.HopKey)
+}
+
+type Outer struct {
+	Inner Inner
+	Name  string
+}
+
+func (o *Outer) Wipe() {
+	o.Inner.Wipe()
+}
+
+// MappedKeys clears its map with the range idiom.
+type MappedKeys struct {
+	SecretsByName map[string][]byte
+}
+
+func (m *MappedKeys) Wipe() {
+	for _, s := range m.SecretsByName {
+		wipe(s)
+	}
+}
+
+//lint:ignore keywipe fixture demonstrates an accepted, documented exception
+type WaivedKeys struct {
+	PrivateKey []byte
+}

@@ -1,0 +1,9 @@
+// Package fixture holds malformed suppression directives; each is
+// reported as a "lintdirective" finding.
+package fixture
+
+//lint:ignore secretcompare
+var missingReason = 1
+
+//lint:ignore
+var missingEverything = 2

@@ -1,0 +1,38 @@
+// Package fixture exercises the secretcompare analyzer: true
+// positives, true negatives, and a suppressed site.
+package fixture
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"reflect"
+)
+
+// versionKey is a wire label, not key material: constants are exempt.
+const versionKey = "vk1"
+
+func compare(masterSecret, candidate, sessionKeys []byte, macKey, other string) bool {
+	if bytes.Equal(masterSecret, candidate) { // want "variable-time bytes.Equal on secret"
+		return true
+	}
+	if reflect.DeepEqual(sessionKeys, candidate) { // want "variable-time reflect.DeepEqual on secret"
+		return true
+	}
+	if macKey == other { // want "variable-time == comparison of secret"
+		return true
+	}
+	if other == versionKey { // constant label comparison: not flagged
+		return true
+	}
+	if masterSecret == nil { // nil presence check: not flagged
+		return false
+	}
+	if bytes.Equal(candidate, candidate) { // no secret-named operand: not flagged
+		return false
+	}
+	//lint:ignore secretcompare fixture demonstrates a justified suppression
+	if bytes.Equal(candidate, masterSecret) {
+		return true
+	}
+	return subtle.ConstantTimeCompare(masterSecret, candidate) == 1
+}

@@ -32,6 +32,8 @@ import (
 	"errors"
 	"io"
 	"strings"
+
+	"repro/internal/secmem"
 )
 
 // WindowSize is the sliding-window width for tokenization (BlindBox
@@ -66,6 +68,18 @@ func NewSession(secret []byte) (*Session, error) {
 		return nil, err
 	}
 	return &Session{aead: aead, tokenKey: secret[32:64]}, nil
+}
+
+// Wipe zeroizes the token key. The AEAD's expanded schedule is opaque
+// stdlib state; dropping the Session is the only way to retire it.
+// tokenKey aliases the secret passed to NewSession, so the caller's
+// copy of those 32 bytes is cleared too.
+func (s *Session) Wipe() {
+	if s == nil {
+		return
+	}
+	secmem.Wipe(s.tokenKey)
+	s.tokenKey = nil
 }
 
 // NewRandomSession draws a fresh session secret (testing/demo helper);

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/secmem"
 	"repro/internal/tls12"
 )
 
@@ -28,6 +29,16 @@ type CA struct {
 	// serial is incremented per issued certificate; CAs issue
 	// concurrently (the experiment harnesses provision in parallel).
 	serial atomic.Int64
+}
+
+// Wipe zeroizes the CA's signing key, retiring the authority. Issued
+// certificates stay verifiable; no further certificates can be signed.
+func (ca *CA) Wipe() {
+	if ca == nil {
+		return
+	}
+	secmem.Wipe(ca.Key)
+	ca.Key = nil
 }
 
 // Option customizes a CA.

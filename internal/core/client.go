@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/secmem"
 	"repro/internal/tls12"
 )
 
@@ -206,6 +207,7 @@ func clientNeighborKeys(m *mux, pconn *tls12.Conn, secCfg *tls12.Config, haveMbo
 	if err != nil {
 		return err
 	}
+	defer hop.Wipe() // cipher states copy the keys; nothing else needs them
 	writeCS, err := tls12.NewCipherState(hop.Suite, hop.C2SKey, hop.C2SIV, hop.C2SSeq)
 	if err != nil {
 		return err
@@ -231,6 +233,13 @@ func distributeClientKeys(pconn *tls12.Conn, secs []secondaryResult) error {
 	}
 	suite := sk.Suite
 	hops := make([]*HopKeys, len(secs)+1)
+	// Wiping the hops on every exit also clears sk: the bridge hop
+	// aliases the exported session-key slices.
+	defer func() {
+		for _, h := range hops {
+			h.Wipe()
+		}
+	}()
 	for i := 0; i < len(secs); i++ {
 		if hops[i], err = GenerateHopKeys(suite); err != nil {
 			return err
@@ -240,7 +249,10 @@ func distributeClientKeys(pconn *tls12.Conn, secs []secondaryResult) error {
 
 	for i, r := range secs {
 		km := &KeyMaterial{Version: tls12.VersionTLS12, Down: *hops[i], Up: *hops[i+1]}
-		if err := r.conn.WriteKeyMaterial(km.marshal()); err != nil {
+		buf := km.marshal()
+		err := r.conn.WriteKeyMaterial(buf)
+		secmem.Wipe(buf)
+		if err != nil {
 			return fmt.Errorf("core: key distribution to %q: %w", r.summary.Name, err)
 		}
 	}

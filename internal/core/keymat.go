@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/secmem"
 	"repro/internal/tls12"
 	"repro/internal/wire"
 )
@@ -66,6 +67,17 @@ func GenerateHopKeys(suite uint16) (*HopKeys, error) {
 	return hk, nil
 }
 
+// Wipe zeroizes the hop's key material. Callers wipe a HopKeys as soon
+// as its cipher states are installed (NewCipherState copies the key
+// into the AES schedule) or its MBTLSKeyMaterial record is sealed;
+// wiping is idempotent, so aliased copies may each be wiped.
+func (hk *HopKeys) Wipe() {
+	if hk == nil {
+		return
+	}
+	secmem.WipeAll(hk.C2SKey, hk.C2SIV, hk.S2CKey, hk.S2CIV)
+}
+
 // BridgeHopKeys converts the primary session's exported keys into the
 // bridge hop K(C-S), preserving the in-progress sequence numbers.
 func BridgeHopKeys(sk *tls12.SessionKeys) *HopKeys {
@@ -103,6 +115,17 @@ type KeyMaterial struct {
 	Version uint16
 	Down    HopKeys
 	Up      HopKeys
+}
+
+// Wipe zeroizes both hops' key material. A middlebox wipes the parsed
+// KeyMaterial right after its data plane installs the cipher states —
+// from then on the keys exist only inside the AES schedules.
+func (km *KeyMaterial) Wipe() {
+	if km == nil {
+		return
+	}
+	km.Down.Wipe()
+	km.Up.Wipe()
 }
 
 func (km *KeyMaterial) marshal() []byte {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/enclave"
+	"repro/internal/secmem"
 	"repro/internal/timing"
 	"repro/internal/tls12"
 )
@@ -894,6 +895,7 @@ func (s *mbSession) runSecondary(serverAddr string) {
 	if sk, err := conn.ExportSessionKeys(); err == nil {
 		s.mb.vault.StoreSecret("secondary/client-write", sk.ClientWriteKey)
 		s.mb.vault.StoreSecret("secondary/server-write", sk.ServerWriteKey)
+		sk.Wipe() // the vault cloned what it stored
 	}
 
 	if s.neighborMode {
@@ -909,10 +911,12 @@ func (s *mbSession) runSecondary(serverAddr string) {
 		return
 	}
 	km, err := parseKeyMaterial(kmBytes)
+	secmem.Wipe(kmBytes) // parseKeyMaterial copied the keys out
 	if err != nil {
 		s.setDataPlane(nil, err)
 		return
 	}
+	defer km.Wipe() // held only until the data plane's cipher states are built
 	s.mb.vault.StoreSecret("hop/down-c2s", km.Down.C2SKey)
 	s.mb.vault.StoreSecret("hop/down-c2s-iv", km.Down.C2SIV)
 	s.mb.vault.StoreSecret("hop/down-s2c", km.Down.S2CKey)
@@ -989,6 +993,9 @@ func (s *mbSession) runNeighborHops() {
 	s.mb.vault.StoreSecret("hop/up-s2c-iv", up.hop.S2CIV)
 
 	km := &KeyMaterial{Version: tls12.VersionTLS12, Down: *down.hop, Up: *up.hop}
+	// Wiping km also clears down.hop and up.hop: the struct copies
+	// alias the same key slices.
+	defer km.Wipe()
 	var proc Processor
 	if s.mb.cfg.NewProcessor != nil {
 		proc = s.mb.cfg.NewProcessor()

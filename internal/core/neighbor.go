@@ -47,6 +47,9 @@ func hopFromSession(conn *tls12.Conn) (*HopKeys, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The neighbor session exists only to produce these keys; its
+	// master secret has no further use.
+	conn.Wipe()
 	return &HopKeys{
 		Suite:  sk.Suite,
 		C2SKey: sk.ClientWriteKey,

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/secmem"
 	"repro/internal/tls12"
 )
 
@@ -129,13 +130,16 @@ func Accept(transport net.Conn, cfg *ServerConfig) (*Session, error) {
 			}
 			readCS, err := tls12.NewCipherState(r.hop.Suite, r.hop.C2SKey, r.hop.C2SIV, r.hop.C2SSeq)
 			if err != nil {
+				r.hop.Wipe()
 				return fail(err)
 			}
 			writeCS, err := tls12.NewCipherState(r.hop.Suite, r.hop.S2CKey, r.hop.S2CIV, r.hop.S2CSeq)
 			if err != nil {
+				r.hop.Wipe()
 				return fail(err)
 			}
 			pconn.InstallDataCiphers(readCS, writeCS)
+			r.hop.Wipe() // keys now live only in the installed cipher states
 		}
 		// Without a neighbor handshake there are no client-side
 		// middleboxes; the primary session keys remain in place.
@@ -187,6 +191,13 @@ func distributeServerKeys(pconn *tls12.Conn, secs []secondaryResult) error {
 	// hops[0] is the bridge; hops[i] for i>0 are fresh server-side
 	// hops; hops[len(secs)] is adjacent to the server.
 	hops := make([]*HopKeys, len(secs)+1)
+	// Wiping the hops on every exit also clears sk: the bridge hop
+	// aliases the exported session-key slices.
+	defer func() {
+		for _, h := range hops {
+			h.Wipe()
+		}
+	}()
 	hops[0] = BridgeHopKeys(sk)
 	for i := 1; i <= len(secs); i++ {
 		if hops[i], err = GenerateHopKeys(suite); err != nil {
@@ -198,7 +209,10 @@ func distributeServerKeys(pconn *tls12.Conn, secs []secondaryResult) error {
 		// Down faces the client side (hops[i]); Up faces the server
 		// side (hops[i+1]).
 		km := &KeyMaterial{Version: tls12.VersionTLS12, Down: *hops[i], Up: *hops[i+1]}
-		if err := r.conn.WriteKeyMaterial(km.marshal()); err != nil {
+		buf := km.marshal()
+		err := r.conn.WriteKeyMaterial(buf)
+		secmem.Wipe(buf)
+		if err != nil {
 			return fmt.Errorf("core: key distribution to %q: %w", r.summary.Name, err)
 		}
 	}

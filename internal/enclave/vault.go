@@ -1,6 +1,10 @@
 package enclave
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/secmem"
+)
 
 // Vault stores a component's secret key material. Two implementations
 // model the paper's two deployment modes: a HostVault keeps secrets in
@@ -19,6 +23,10 @@ type Vault interface {
 	// DumpHostMemory returns every byte of this component's secrets
 	// that is resident in host-visible memory.
 	DumpHostMemory() map[string][]byte
+	// Wipe zeroizes and discards every stored secret. Owners wipe the
+	// vault when the component (or test scenario) it serves is torn
+	// down.
+	Wipe()
 }
 
 // HostVault stores secrets in host memory — the non-SGX deployment.
@@ -58,15 +66,31 @@ func (v *HostVault) DumpHostMemory() map[string][]byte {
 	return out
 }
 
+// Wipe implements Vault: every entry is zeroized before the map is
+// dropped, so the key bytes do not linger in freed host memory.
+func (v *HostVault) Wipe() {
+	v.mu.Lock()
+	for _, s := range v.secrets {
+		secmem.Wipe(s)
+	}
+	v.secrets = make(map[string][]byte)
+	v.mu.Unlock()
+}
+
 // EnclaveVault stores secrets in enclave memory; the host retains only
-// the enclave handle.
+// the enclave handle and the secret names (names are not secret — they
+// are the vault's addressing scheme, needed to enumerate entries for
+// Wipe because enclave memory is not iterable from the host).
 type EnclaveVault struct {
 	enclave *Enclave
+
+	mu    sync.Mutex
+	names map[string]bool
 }
 
 // NewEnclaveVault returns a vault backed by the given enclave.
 func NewEnclaveVault(e *Enclave) *EnclaveVault {
-	return &EnclaveVault{enclave: e}
+	return &EnclaveVault{enclave: e, names: make(map[string]bool)}
 }
 
 // Enclave returns the backing enclave (for attestation plumbing).
@@ -75,6 +99,9 @@ func (v *EnclaveVault) Enclave() *Enclave { return v.enclave }
 // StoreSecret implements Vault, paying one enclave transition.
 func (v *EnclaveVault) StoreSecret(name string, secret []byte) {
 	copied := append([]byte(nil), secret...)
+	v.mu.Lock()
+	v.names[name] = true
+	v.mu.Unlock()
 	v.enclave.Enter(func(mem Memory) {
 		mem.Put("secret:"+name, copied)
 	})
@@ -92,4 +119,24 @@ func (v *EnclaveVault) UseSecret(name string, f func([]byte)) {
 // integrity-protected by the CPU, so the host dump contains nothing.
 func (v *EnclaveVault) DumpHostMemory() map[string][]byte {
 	return map[string][]byte{}
+}
+
+// Wipe implements Vault: one enclave transition zeroizes and deletes
+// every stored secret.
+func (v *EnclaveVault) Wipe() {
+	v.mu.Lock()
+	names := v.names
+	v.names = make(map[string]bool)
+	v.mu.Unlock()
+	if len(names) == 0 {
+		return
+	}
+	v.enclave.Enter(func(mem Memory) {
+		for name := range names {
+			if s, ok := mem.Get("secret:" + name).([]byte); ok {
+				secmem.Wipe(s)
+			}
+			mem.Delete("secret:" + name)
+		}
+	})
 }

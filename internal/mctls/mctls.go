@@ -36,6 +36,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/secmem"
 )
 
 // Access is a middlebox's permission level for one context.
@@ -121,6 +123,17 @@ func DeriveContextKeys(clientShare, serverShare *KeyShare) (*ContextKeys, error)
 		writeKey:    deriveKey("mctls write", ctx, clientShare, serverShare),
 		endpointKey: deriveKey("mctls endpoint", ctx, clientShare, serverShare),
 	}, nil
+}
+
+// Wipe zeroizes the context keys. Grant returns views aliasing these
+// slices, so wiping the endpoint's ContextKeys also revokes every
+// outstanding grant derived from it.
+func (ck *ContextKeys) Wipe() {
+	if ck == nil {
+		return
+	}
+	secmem.WipeAll(ck.readKey, ck.writeKey, ck.endpointKey)
+	ck.readKey, ck.writeKey, ck.endpointKey = nil, nil, nil
 }
 
 // Grant extracts the key material a middlebox with the given access

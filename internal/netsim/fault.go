@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	//lint:ignore cryptorand deterministic fault schedules need a seeded, reproducible source; nothing here protects secrets
 	"math/rand"
 	"net"
 	"sync"

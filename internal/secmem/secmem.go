@@ -1,0 +1,26 @@
+// Package secmem holds the shared key-material hygiene helpers. Every
+// type that retains secret bytes (per-hop keys, master secrets, ticket
+// state, vault contents) zeroizes them through this package on its
+// teardown path, so that a post-teardown memory dump — the adversary
+// capability from the paper's threat model (§3.1) — recovers nothing.
+//
+// The keywipe analyzer in internal/analysis mechanically enforces the
+// convention: any struct with secret-named byte-slice fields must
+// declare a Wipe method that routes every such field through these
+// helpers (or a nested Wipe).
+package secmem
+
+// Wipe zeroizes b in place. It is safe on nil and on already-wiped
+// slices, so teardown paths may run it more than once.
+func Wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// WipeAll zeroizes every given slice in place.
+func WipeAll(bufs ...[]byte) {
+	for _, b := range bufs {
+		Wipe(b)
+	}
+}

@@ -1,0 +1,23 @@
+package secmem
+
+import "testing"
+
+func TestWipe(t *testing.T) {
+	b := []byte{1, 2, 3, 4}
+	Wipe(b)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("byte %d not wiped: %d", i, v)
+		}
+	}
+	Wipe(nil) // must not panic
+}
+
+func TestWipeAll(t *testing.T) {
+	a := []byte{9, 9}
+	b := []byte{7}
+	WipeAll(a, b, nil)
+	if a[0] != 0 || a[1] != 0 || b[0] != 0 {
+		t.Fatalf("WipeAll left residue: %v %v", a, b)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/secmem"
 	"repro/internal/timing"
 )
 
@@ -21,12 +22,34 @@ type Certificate struct {
 	Leaf *x509.Certificate
 }
 
+// Wipe zeroizes the certificate's private key. An application wipes its
+// Certificate when the identity is retired; the chain and leaf are
+// public and stay readable.
+func (cert *Certificate) Wipe() {
+	if cert == nil {
+		return
+	}
+	secmem.Wipe(cert.PrivateKey)
+	cert.PrivateKey = nil
+}
+
 // SessionTicket is the client-side state needed to resume a session
 // (RFC 5077). The server's state travels inside the opaque Ticket.
 type SessionTicket struct {
 	Ticket       []byte
 	CipherSuite  uint16
 	MasterSecret []byte
+}
+
+// Wipe zeroizes the resumption master secret. A client wipes a ticket
+// when it will not be redeemed again (each redemption needs the master,
+// so wiping is the application's retire-this-ticket signal).
+func (st *SessionTicket) Wipe() {
+	if st == nil {
+		return
+	}
+	secmem.Wipe(st.MasterSecret)
+	st.MasterSecret = nil
 }
 
 // Config configures a Conn. A Config may be reused across connections.

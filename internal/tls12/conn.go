@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/secmem"
 	"repro/internal/timing"
 )
 
@@ -45,6 +46,16 @@ type SessionKeys struct {
 	ServerSeq uint64
 }
 
+// Wipe zeroizes the exported key material. Callers wipe a SessionKeys
+// once the bridge hop built from it is installed (BridgeHopKeys aliases
+// these slices, so wiping either view clears both).
+func (sk *SessionKeys) Wipe() {
+	if sk == nil {
+		return
+	}
+	secmem.WipeAll(sk.ClientWriteKey, sk.ClientWriteIV, sk.ServerWriteKey, sk.ServerWriteIV)
+}
+
 // Conn is one endpoint of a TLS 1.2 session over a RecordLayer. It is
 // used both for ordinary two-party TLS and, by internal/core, for the
 // primary and secondary sessions of an mbTLS handshake.
@@ -75,8 +86,13 @@ type Conn struct {
 	readMu     sync.Mutex
 	appBuf     []byte
 	readErr    error
-	keyMatBuf  [][]byte // MBTLSKeyMaterial payloads awaiting ReadKeyMaterial
 	peerClosed bool
+
+	// kmMu guards keyMatBuf and is never held across blocking I/O:
+	// readers park holding readMu indefinitely (Read has no deadline),
+	// and Wipe must not queue behind them at teardown.
+	kmMu      sync.Mutex
+	keyMatBuf [][]byte // MBTLSKeyMaterial payloads awaiting ReadKeyMaterial
 
 	alertMu   sync.Mutex
 	sentAlert bool
@@ -363,7 +379,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 		case TypeKeyMaterial:
 			// Retained across further ReadRecord calls, which reuse the
 			// record layer's buffer — copy out of it.
-			c.keyMatBuf = append(c.keyMatBuf, append([]byte(nil), rec.Payload...))
+			c.pushKeyMat(append([]byte(nil), rec.Payload...))
 		case TypeEncapsulated, TypeMiddleboxAnnouncement:
 			if c.config != nil && c.config.LenientUnknownRecords {
 				continue
@@ -415,9 +431,7 @@ func (c *Conn) ReadKeyMaterial() ([]byte, error) {
 		c.appBuf = append([]byte(nil), c.appBuf...)
 	}
 	for {
-		if len(c.keyMatBuf) > 0 {
-			km := c.keyMatBuf[0]
-			c.keyMatBuf = c.keyMatBuf[1:]
+		if km, ok := c.popKeyMat(); ok {
 			return km, nil
 		}
 		if c.readErr != nil {
@@ -430,7 +444,7 @@ func (c *Conn) ReadKeyMaterial() ([]byte, error) {
 		}
 		switch rec.Type {
 		case TypeKeyMaterial:
-			c.keyMatBuf = append(c.keyMatBuf, append([]byte(nil), rec.Payload...))
+			c.pushKeyMat(append([]byte(nil), rec.Payload...))
 		case TypeApplicationData:
 			c.appBuf = append(c.appBuf, rec.Payload...)
 		case TypeAlert:
@@ -445,14 +459,63 @@ func (c *Conn) ReadKeyMaterial() ([]byte, error) {
 	}
 }
 
-// Close sends a close_notify alert and closes the underlying transport
-// if the Conn owns one.
+// Close sends a close_notify alert, zeroizes the connection's retained
+// key material, and closes the underlying transport if the Conn owns
+// one. After Close, ExportSessionKeys fails: the master secret is gone.
 func (c *Conn) Close() error {
 	c.sendAlert(AlertLevelWarning, AlertCloseNotify)
+	// Close the transport before wiping: a reader parked in readRecord
+	// holds readMu until the transport fails it, and Wipe needs that
+	// lock — teardown must never queue behind a blocked read.
+	var err error
 	if c.closer != nil {
-		return c.closer.Close()
+		err = c.closer.Close()
 	}
-	return nil
+	c.Wipe()
+	return err
+}
+
+// Wipe zeroizes the connection's long-lived secrets: the master secret
+// retained for key export and resumption, and any buffered
+// MBTLSKeyMaterial payloads not yet consumed by ReadKeyMaterial. It is
+// called by Close and may be called early by an endpoint that has
+// finished exporting keys (paper §3.1: secrets must not outlive their
+// session in adversary-readable memory).
+func (c *Conn) Wipe() {
+	// hsMu is safe to take here: handshakes run under phase deadlines
+	// (DESIGN.md §7), so it is never held indefinitely. readMu is NOT —
+	// a reader parked in readRecord holds it until the transport fails,
+	// which is why keyMatBuf lives under kmMu instead.
+	c.hsMu.Lock()
+	secmem.Wipe(c.masterSecret)
+	c.masterSecret = nil
+	c.hsMu.Unlock()
+	c.kmMu.Lock()
+	for _, p := range c.keyMatBuf {
+		secmem.Wipe(p)
+	}
+	c.keyMatBuf = nil
+	c.kmMu.Unlock()
+}
+
+// pushKeyMat and popKeyMat are the only accessors of keyMatBuf; kmMu
+// is never held across blocking I/O so Wipe cannot deadlock against a
+// parked reader.
+func (c *Conn) pushKeyMat(p []byte) {
+	c.kmMu.Lock()
+	c.keyMatBuf = append(c.keyMatBuf, p)
+	c.kmMu.Unlock()
+}
+
+func (c *Conn) popKeyMat() ([]byte, bool) {
+	c.kmMu.Lock()
+	defer c.kmMu.Unlock()
+	if len(c.keyMatBuf) == 0 {
+		return nil, false
+	}
+	km := c.keyMatBuf[0]
+	c.keyMatBuf = c.keyMatBuf[1:]
+	return km, true
 }
 
 // SetDeadline forwards to the underlying net.Conn when one is attached.
@@ -470,6 +533,9 @@ func (c *Conn) ExportSessionKeys() (*SessionKeys, error) {
 	defer c.hsMu.Unlock()
 	if !c.state.HandshakeComplete {
 		return nil, errors.New("tls12: handshake not complete")
+	}
+	if len(c.masterSecret) == 0 {
+		return nil, errors.New("tls12: master secret already wiped")
 	}
 	cwKey, swKey, cwIV, swIV := keysFromMaster(c.state.CipherSuite, c.masterSecret, c.clientRandom[:], c.serverRandom[:])
 	sk := &SessionKeys{

@@ -8,6 +8,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/secmem"
 )
 
 // NewClientHello builds and marshals a ClientHello from the config.
@@ -179,6 +181,7 @@ func (c *Conn) clientHandshake() error {
 		return c.fatal(AlertIllegalParameter, err)
 	}
 	c.masterSecret = computeMasterSecret(sh.CipherSuite, preMaster, c.clientRandom[:], c.serverRandom[:])
+	secmem.Wipe(preMaster) // only the master secret survives key derivation
 
 	// Send ChangeCipherSpec under the old (plaintext) state, then
 	// activate our write cipher and send Finished.
@@ -292,6 +295,11 @@ func (c *Conn) verifyPeerFinished(suite uint16, ts *transcript, peerIsClient boo
 // derived from the master secret, honoring connection role.
 func (c *Conn) activateCiphers(suite uint16, write, read bool) error {
 	cwKey, swKey, cwIV, swIV := keysFromMaster(suite, c.masterSecret, c.clientRandom[:], c.serverRandom[:])
+	// NewCipherState copies the key into its AES schedule, so the
+	// expanded key block can be zeroized as soon as both states are
+	// built (the four slices alias one buffer; wiping all four clears
+	// the whole block).
+	defer secmem.WipeAll(cwKey, swKey, cwIV, swIV)
 	myWriteKey, myWriteIV := cwKey, cwIV
 	myReadKey, myReadIV := swKey, swIV
 	if !c.isClient {

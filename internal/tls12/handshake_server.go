@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/secmem"
 )
 
 func (c *Conn) serverHandshake() error {
@@ -151,6 +153,7 @@ func (c *Conn) serverHandshake() error {
 		return c.fatal(AlertIllegalParameter, err)
 	}
 	c.masterSecret = computeMasterSecret(suite, preMaster, c.clientRandom[:], c.serverRandom[:])
+	secmem.Wipe(preMaster) // only the master secret survives key derivation
 
 	// Client CCS + Finished.
 	if err := c.readChangeCipherSpec(); err != nil {
@@ -187,6 +190,7 @@ func (c *Conn) serverHandshake() error {
 // serverResume completes an abbreviated handshake from a valid ticket.
 func (c *Conn) serverResume(cfg *Config, sh *ServerHello, st *sessionState, ts *transcript) error {
 	c.masterSecret = append([]byte(nil), st.master...)
+	st.wipe() // the conn owns its clone now
 	c.state.Resumed = true
 	suite := st.suite
 
@@ -220,11 +224,15 @@ func (c *Conn) serverResume(cfg *Config, sh *ServerHello, st *sessionState, ts *
 // sendNewTicket seals the current session into a ticket and sends it.
 func (c *Conn) sendNewTicket(cfg *Config, suite uint16, ts *transcript) error {
 	state := &sessionState{
-		suite:     suite,
-		master:    c.masterSecret,
+		suite: suite,
+		// Clone the master so the sealed state owns its copy: the
+		// connection's slice lives on (key export, more tickets) while
+		// this one is wiped once the ticket is sealed.
+		master:    append([]byte(nil), c.masterSecret...),
 		createdAt: uint64(cfg.time().Unix()),
 	}
 	ticket, err := sealTicket(cfg, state)
+	state.wipe()
 	if err != nil {
 		return c.fatal(AlertInternalError, err)
 	}

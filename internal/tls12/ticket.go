@@ -7,6 +7,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/secmem"
 	"repro/internal/wire"
 )
 
@@ -18,6 +19,17 @@ type sessionState struct {
 	suite     uint16
 	master    []byte
 	createdAt uint64 // unix seconds
+}
+
+// wipe zeroizes the sealed-in master secret. Callers wipe a
+// sessionState as soon as the ticket is sealed or the resumed
+// connection has cloned the master.
+func (s *sessionState) wipe() {
+	if s == nil {
+		return
+	}
+	secmem.Wipe(s.master)
+	s.master = nil
 }
 
 func (s *sessionState) marshal() []byte {
@@ -54,7 +66,10 @@ func sealTicket(cfg *Config, state *sessionState) ([]byte, error) {
 	if _, err := io.ReadFull(cfg.rand(), nonce); err != nil {
 		return nil, err
 	}
-	return aead.Seal(nonce, nonce, state.marshal(), nil), nil
+	plain := state.marshal()
+	sealed := aead.Seal(nonce, nonce, plain, nil)
+	secmem.Wipe(plain) // the plaintext holds the master secret
+	return sealed, nil
 }
 
 // openTicket decrypts and validates a session ticket. It returns nil
@@ -77,15 +92,18 @@ func openTicket(cfg *Config, ticket []byte) *sessionState {
 		return nil
 	}
 	state, err := parseSessionState(plain)
+	secmem.Wipe(plain) // parseSessionState cloned the master out
 	if err != nil {
 		return nil
 	}
 	created := time.Unix(int64(state.createdAt), 0)
 	now := cfg.time()
 	if now.Before(created) || now.Sub(created) > ticketLifetime {
+		state.wipe()
 		return nil
 	}
 	if !cfg.supportsSuite(state.suite) {
+		state.wipe()
 		return nil
 	}
 	return state
