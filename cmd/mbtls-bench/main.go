@@ -8,6 +8,7 @@
 //	mbtls-bench fig7              Figure 7: SGX (non-)overhead on throughput
 //	mbtls-bench legacy            §5.1: legacy interoperability breakdown
 //	mbtls-bench design            §2: the design-space matrix, with live probes
+//	mbtls-bench sessions          session-host throughput/latency concurrency sweep
 //	mbtls-bench all               everything above
 //
 // Absolute numbers depend on this machine; the shapes (who wins, by
@@ -28,9 +29,10 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "latency scale for fig6 (1.0 = real inter-DC latencies)")
 	window := flag.Duration("window", 250*time.Millisecond, "measurement window per fig7 cell")
 	boundary := flag.Duration("boundary-cost", time.Microsecond, "simulated SGX transition cost for fig7")
-	jsonOut := flag.Bool("json", false, "for fig7: also write BENCH_fig7.json (buffer size → Gbps, allocs/op)")
+	jsonOut := flag.Bool("json", false, "for fig7/sessions: also write BENCH_fig7.json / BENCH_sessions.json")
+	perWorker := flag.Int("sessions-per-worker", 0, "sessions each worker runs per concurrency level (0 = default)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mbtls-bench [flags] {design|table1|table2|fig5|fig6|fig7|legacy|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: mbtls-bench [flags] {design|table1|table2|fig5|fig6|fig7|legacy|sessions|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -78,6 +80,14 @@ func main() {
 			fmt.Print(experiments.FormatLegacy(r))
 		case "design":
 			fmt.Print(experiments.FormatDesignSpace(experiments.DesignSpace()))
+		case "sessions":
+			rows, err := experiments.RunSessions(experiments.SessionsOptions{SessionsPerWorker: *perWorker})
+			exitOn(err)
+			fmt.Print(experiments.FormatSessions(rows))
+			if *jsonOut {
+				exitOn(experiments.WriteSessionsJSON("BENCH_sessions.json", rows))
+				fmt.Println("wrote BENCH_sessions.json")
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "mbtls-bench: unknown experiment %q\n", name)
 			flag.Usage()
@@ -87,7 +97,7 @@ func main() {
 	}
 
 	if cmd == "all" {
-		for _, name := range []string{"design", "table1", "table2", "fig5", "fig6", "fig7", "legacy"} {
+		for _, name := range []string{"design", "table1", "table2", "fig5", "fig6", "fig7", "legacy", "sessions"} {
 			run(name)
 		}
 		return

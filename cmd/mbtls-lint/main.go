@@ -24,6 +24,8 @@ import (
 
 func main() {
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	ignoreBudget := flag.Int("ignore-budget", analysis.DefaultIgnoreBudget,
+		"max //lint:ignore suppressions allowed module-wide (-1 disables the check)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: mbtls-lint [-checks name,name] [./...]\n\nAnalyzers:\n")
@@ -69,8 +71,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The suppression budget is module-wide by construction, so it runs
+	// regardless of which -checks are selected.
+	diags := analysis.Run(pkgs, analyzers)
+	diags = append(diags, analysis.IgnoreBudget(pkgs, *ignoreBudget)...)
+
 	findings := 0
-	for _, d := range analysis.Run(pkgs, analyzers) {
+	for _, d := range diags {
 		if !filters.match(d.Pos.Filename) {
 			continue
 		}

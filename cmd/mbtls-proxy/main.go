@@ -4,13 +4,23 @@
 // joining mbTLS sessions via in-band discovery. With -sgx it runs its
 // TLS termination and data plane inside a simulated SGX enclave and
 // attests during the secondary handshake.
+//
+// Connections are admitted through a session-host runtime: at most
+// -max-sessions relay concurrently (excess connections are refused
+// with an overloaded alert), and SIGINT/SIGTERM trigger a graceful
+// drain bounded by -drain before the process exits.
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	mbtls "repro"
@@ -26,23 +36,31 @@ func main() {
 	sgx := flag.Bool("sgx", false, "run inside a simulated SGX enclave")
 	header := flag.String("header", "1.1 mbtls-proxy", "Via header value to insert")
 	statsEvery := flag.Duration("stats", 0, "log cumulative session/fault counters at this interval (0 disables)")
+	maxSessions := flag.Int("max-sessions", 0, "max concurrent sessions (0 = default)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	flag.Parse()
+
+	cfg := mbtls.MiddleboxConfig{
+		NewProcessor: func() mbtls.Processor {
+			return mbapps.NewHeaderInserter("Via", *header)
+		},
+	}
+	switch *mode {
+	case "client-side":
+		cfg.Mode = mbtls.ClientSide
+	case "server-side":
+		cfg.Mode = mbtls.ServerSide
+	default:
+		fmt.Fprintf(os.Stderr, "mbtls-proxy: invalid -mode %q (accepted values: client-side, server-side)\n", *mode)
+		os.Exit(2)
+	}
 
 	cert, err := certs.LoadCertPEM(filepath.Join(*pkiDir, "proxy.pem"), filepath.Join(*pkiDir, "proxy.key"))
 	if err != nil {
 		log.Fatalf("mbtls-proxy: load certificate (run mbtls-server once to provision): %v", err)
 	}
+	cfg.Certificate = cert
 
-	cfg := mbtls.MiddleboxConfig{
-		Mode:        mbtls.ClientSide,
-		Certificate: cert,
-		NewProcessor: func() mbtls.Processor {
-			return mbapps.NewHeaderInserter("Via", *header)
-		},
-	}
-	if *mode == "server-side" {
-		cfg.Mode = mbtls.ServerSide
-	}
 	if *sgx {
 		authority, err := mbtls.NewAuthority()
 		if err != nil {
@@ -57,7 +75,29 @@ func main() {
 		log.Printf("mbtls-proxy: enclave measurement %s", encl.Measurement())
 	}
 
+	// The middlebox and host share one bounded buffer pool, so relay
+	// memory is bounded by the pool rather than by session count.
+	sessions := *maxSessions
+	if sessions <= 0 {
+		sessions = 256
+	}
+	pool := mbtls.NewRecordBufPool(2 * sessions)
+	cfg.BufPool = pool
+
 	mb, err := mbtls.NewMiddlebox(cfg)
+	if err != nil {
+		log.Fatalf("mbtls-proxy: %v", err)
+	}
+	host, err := mbtls.NewSessionHost(mbtls.SessionHostConfig{
+		Name:         "mbtls-proxy",
+		MaxSessions:  sessions,
+		DrainTimeout: *drain,
+		BufPool:      pool,
+		Handler: mbtls.NewMiddleboxHandler(mb, func() (net.Conn, error) {
+			return net.Dial("tcp", *next)
+		}),
+		MiddleboxStats: mb.Stats,
+	})
 	if err != nil {
 		log.Fatalf("mbtls-proxy: %v", err)
 	}
@@ -70,15 +110,41 @@ func main() {
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
-				s := mb.Stats()
-				log.Printf("mbtls-proxy: stats sessions=%d mbtls=%d relayed=%d rekeyed=%d bytes=%d announce_skipped=%d faults=%d",
-					s.Sessions, s.MbTLSSessions, s.RecordsRelayed, s.RecordsRekeyed,
-					s.BytesProcessed, s.AnnounceSkipped, s.FaultsObserved)
+				logStats(host.Metrics())
 			}
 		}()
 	}
-	err = mb.Serve(ln, func() (net.Conn, error) {
-		return net.Dial("tcp", *next)
-	})
-	log.Fatalf("mbtls-proxy: %v", err)
+
+	// Shutdown closes the listener, which makes Serve return nil; main
+	// then waits for the drain goroutine's final log line before
+	// exiting.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("mbtls-proxy: draining (deadline %v)", *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		err := host.Shutdown(ctx)
+		m := host.Metrics()
+		log.Printf("mbtls-proxy: drained in %v (forced %d): %v", m.DrainTime, m.ForceClosed, err)
+	}()
+
+	if err := host.Serve(ln); err != nil {
+		log.Fatalf("mbtls-proxy: %v", err)
+	}
+	<-drained
+}
+
+// logStats prints the host's aggregated counters, including the
+// fronted middlebox's data-plane stats.
+func logStats(m mbtls.SessionHostMetrics) {
+	s := m.Middlebox
+	log.Printf("mbtls-proxy: stats active=%d handshaking=%d accepted=%d completed=%d failed=%d overloaded=%d "+
+		"sessions=%d mbtls=%d relayed=%d rekeyed=%d bytes=%d announce_skipped=%d faults=%d",
+		m.ActiveSessions, m.HandshakesInFlight, m.Accepted, m.Completed, m.Failed, m.Overloaded,
+		s.Sessions, s.MbTLSSessions, s.RecordsRelayed, s.RecordsRekeyed,
+		s.BytesProcessed, s.AnnounceSkipped, s.FaultsObserved)
 }

@@ -11,13 +11,17 @@
 package main
 
 import (
+	"context"
 	"crypto/x509"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	mbtls "repro"
 	"repro/internal/certs"
@@ -29,6 +33,9 @@ func main() {
 	pkiDir := flag.String("pki", "./pki", "PKI directory (created if missing)")
 	serverName := flag.String("name", "origin.example", "server certificate name")
 	acceptMboxes := flag.Bool("accept-middleboxes", true, "accept server-side middlebox announcements")
+	statsEvery := flag.Duration("stats", 0, "log cumulative session/fault counters at this interval (0 disables)")
+	maxSessions := flag.Int("max-sessions", 0, "max concurrent sessions (0 = default)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	flag.Parse()
 
 	pool, serverCert, err := loadOrCreatePKI(*pkiDir, *serverName)
@@ -42,43 +49,74 @@ func main() {
 		MiddleboxTLS:      &mbtls.TLSConfig{RootCAs: pool},
 	}
 
+	host, err := mbtls.NewSessionHost(mbtls.SessionHostConfig{
+		Name:         "mbtls-server",
+		MaxSessions:  *maxSessions,
+		DrainTimeout: *drain,
+		Handler:      mbtls.NewServerHandler(cfg, serveSession(*serverName)),
+	})
+	if err != nil {
+		log.Fatalf("mbtls-server: %v", err)
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("mbtls-server: %v", err)
 	}
 	log.Printf("mbtls-server: serving https(mbTLS)://%s on %s (pki: %s)", *serverName, *listen, *pkiDir)
 
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Fatalf("mbtls-server: accept: %v", err)
-		}
-		go handle(conn, cfg, *serverName)
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				m := host.Metrics()
+				log.Printf("mbtls-server: stats active=%d handshaking=%d accepted=%d completed=%d failed=%d "+
+					"overloaded=%d relayed=%d faults=%d",
+					m.ActiveSessions, m.HandshakesInFlight, m.Accepted, m.Completed, m.Failed,
+					m.Overloaded, m.Sessions.RecordsRelayed, m.Sessions.FaultsObserved)
+			}
+		}()
 	}
+
+	// Shutdown closes the listener, which makes Serve return nil; main
+	// then waits for the drain goroutine's final log line before
+	// exiting.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("mbtls-server: draining (deadline %v)", *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		err := host.Shutdown(ctx)
+		m := host.Metrics()
+		log.Printf("mbtls-server: drained in %v (forced %d): %v", m.DrainTime, m.ForceClosed, err)
+	}()
+
+	if err := host.Serve(ln); err != nil {
+		log.Fatalf("mbtls-server: %v", err)
+	}
+	<-drained
 }
 
-func handle(conn net.Conn, cfg *mbtls.ServerConfig, serverName string) {
-	sess, err := mbtls.Accept(conn, cfg)
-	if err != nil {
-		log.Printf("mbtls-server: handshake from %s: %v", conn.RemoteAddr(), err)
-		return
-	}
-	defer sess.Close()
-	for _, mb := range sess.Middleboxes() {
-		log.Printf("mbtls-server: session includes middlebox %q (attested=%v)", mb.Name, mb.Attested)
-	}
-	err = httpx.Serve(sess, func(req *httpx.Request) *httpx.Response {
-		log.Printf("mbtls-server: %s %s (Via: %q)", req.Method, req.Path, req.Header.Get("Via"))
-		body := fmt.Sprintf("hello from %s — you asked for %s\nVia header seen: %q\n",
-			serverName, req.Path, req.Header.Get("Via"))
-		return &httpx.Response{
-			StatusCode: 200,
-			Header:     httpx.Header{"Content-Type": "text/plain"},
-			Body:       []byte(body),
+// serveSession returns the per-session application loop: HTTP over an
+// established mbTLS session.
+func serveSession(serverName string) func(*mbtls.Session) error {
+	return func(sess *mbtls.Session) error {
+		for _, mb := range sess.Middleboxes() {
+			log.Printf("mbtls-server: session includes middlebox %q (attested=%v)", mb.Name, mb.Attested)
 		}
-	})
-	if err != nil {
-		log.Printf("mbtls-server: session from %s: %v", conn.RemoteAddr(), err)
+		return httpx.Serve(sess, func(req *httpx.Request) *httpx.Response {
+			log.Printf("mbtls-server: %s %s (Via: %q)", req.Method, req.Path, req.Header.Get("Via"))
+			body := fmt.Sprintf("hello from %s — you asked for %s\nVia header seen: %q\n",
+				serverName, req.Path, req.Header.Get("Via"))
+			return &httpx.Response{
+				StatusCode: 200,
+				Header:     httpx.Header{"Content-Type": "text/plain"},
+				Body:       []byte(body),
+			}
+		})
 	}
 }
 

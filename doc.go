@@ -54,7 +54,14 @@
 //		Enclave:     encl,
 //		NewProcessor: func() mbtls.Processor { return myProxy() },
 //	})
-//	go mb.Serve(listener, dialNextHop)
+//	host, err := mbtls.NewSessionHost(mbtls.SessionHostConfig{
+//		Handler: mbtls.NewMiddleboxHandler(mb, dialNextHop),
+//	})
+//	go host.Serve(listener)
+//
+// The session host (DESIGN.md §9) owns the accept loop for every
+// long-lived role: it bounds concurrent sessions, refuses overload
+// with a typed error, and drains gracefully on shutdown.
 //
 // See the examples directory for complete programs, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the reproduction of the

@@ -3,6 +3,7 @@ package adversary
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/certs"
@@ -407,7 +408,8 @@ func MemoryForge() Result {
 			return false, err
 		}
 		dump := sc.Mbox.Vault().DumpHostMemory()
-		key, iv := dump["hop/up-c2s"], dump["hop/up-c2s-iv"]
+		key := scrapeSecret(dump, "hop/up-c2s")
+		iv := scrapeSecret(dump, "hop/up-c2s-iv")
 		if key == nil || iv == nil {
 			return false, nil // nothing to scrape
 		}
@@ -450,6 +452,19 @@ func MemoryForge() Result {
 	r.Defended = true
 	r.Detail = "MIP forgery succeeds against host-memory middlebox, impossible with SGX (no keys in dump)"
 	return r
+}
+
+// scrapeSecret finds a vault secret by name suffix. Middleboxes
+// namespace per-session secrets ("session/<id>/hop/up-c2s"); the MIP
+// scraping memory doesn't care which session a key belongs to, only
+// that one is there to steal.
+func scrapeSecret(dump map[string][]byte, suffix string) []byte {
+	for name, v := range dump {
+		if strings.HasSuffix(name, suffix) {
+			return v
+		}
+	}
+	return nil
 }
 
 // ImpersonateServer: P3A — wrong entity terminates the primary

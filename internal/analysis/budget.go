@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultIgnoreBudget is the module-wide ceiling on //lint:ignore
+// suppressions — exactly the number of justified deviations the tree
+// carries today. A new suppression is a reviewed decision: either fix
+// the finding, or raise the ceiling in the same change that argues for
+// the new deviation.
+const DefaultIgnoreBudget = 3
+
+// IgnoreBudget counts the well-formed //lint:ignore directives across
+// the packages and reports one "ignorebudget" diagnostic for each
+// directive beyond the ceiling, anchored at the offending directive
+// (in source order, so the newest additions are the ones flagged).
+// Malformed directives are excluded — those are already findings in
+// their own right (check "lintdirective"). A negative ceiling disables
+// the check.
+func IgnoreBudget(pkgs []*Package, ceiling int) []Diagnostic {
+	if ceiling < 0 {
+		return nil
+	}
+	var dirs []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+					checks, reason, _ := strings.Cut(rest, " ")
+					if checks == "" || strings.TrimSpace(reason) == "" {
+						continue
+					}
+					dirs = append(dirs, Diagnostic{
+						Check: "ignorebudget",
+						Pos:   pkg.Fset.Position(c.Slash),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(dirs, func(i, j int) bool {
+		a, b := dirs[i], dirs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	if len(dirs) <= ceiling {
+		return nil
+	}
+	out := dirs[ceiling:]
+	for i := range out {
+		out[i].Message = fmt.Sprintf(
+			"suppression %d of %d exceeds the module //lint:ignore budget of %d: fix the underlying finding or raise the budget in a reviewed change",
+			ceiling+1+i, len(dirs), ceiling)
+	}
+	return out
+}

@@ -104,6 +104,44 @@ func TestLintDirectiveFixture(t *testing.T) {
 	}
 }
 
+// TestIgnoreBudgetFixture pins the suppression-budget check against a
+// fixture with four well-formed directives and one malformed one: at
+// the ceiling it stays silent, beyond it each extra directive is
+// flagged in source order, and malformed directives do not count
+// toward the budget (they are lintdirective findings instead).
+func TestIgnoreBudgetFixture(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "ignorebudget"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	pkgs := []*Package{pkg}
+
+	if diags := IgnoreBudget(pkgs, 4); len(diags) != 0 {
+		t.Errorf("at the ceiling: got %d findings, want 0:\n%v", len(diags), diags)
+	}
+	if diags := IgnoreBudget(pkgs, -1); len(diags) != 0 {
+		t.Errorf("disabled: got %d findings, want 0", len(diags))
+	}
+
+	diags := IgnoreBudget(pkgs, 3)
+	if len(diags) != 1 {
+		t.Fatalf("one over the ceiling: got %d findings, want 1:\n%v", len(diags), diags)
+	}
+	if diags[0].Check != "ignorebudget" {
+		t.Errorf("check = %q, want ignorebudget", diags[0].Check)
+	}
+	if diags[0].Pos.Line != 15 {
+		t.Errorf("finding anchored at line %d, want 15 (the fourth directive)", diags[0].Pos.Line)
+	}
+	if !strings.Contains(diags[0].Message, "budget of 3") {
+		t.Errorf("message does not state the budget: %s", diags[0])
+	}
+
+	if diags := IgnoreBudget(pkgs, 2); len(diags) != 2 {
+		t.Errorf("two over the ceiling: got %d findings, want 2:\n%v", len(diags), diags)
+	}
+}
+
 // TestSuppressionRequiresMatchingCheck pins that a directive for one
 // check does not silence another.
 func TestSuppressionRequiresMatchingCheck(t *testing.T) {
@@ -146,6 +184,9 @@ func TestRepoClean(t *testing.T) {
 	diags := Run(pkgs, Analyzers())
 	for _, d := range diags {
 		t.Errorf("repository finding: %s", d)
+	}
+	for _, d := range IgnoreBudget(pkgs, DefaultIgnoreBudget) {
+		t.Errorf("suppression budget exceeded: %s", d)
 	}
 }
 

@@ -1,0 +1,19 @@
+// Package fixture carries four well-formed suppression directives and
+// one malformed one; the budget check must count exactly the four
+// well-formed directives, in source order.
+package fixture
+
+//lint:ignore secretcompare first justified deviation
+var one = 1
+
+//lint:ignore keywipe second justified deviation
+var two = 2
+
+//lint:ignore bufownership third justified deviation
+var three = 3
+
+//lint:ignore cryptorand fourth justified deviation
+var four = 4
+
+//lint:ignore secretcompare
+var malformedDoesNotCount = 5

@@ -39,14 +39,15 @@ type batchResult struct {
 // sealing sequence numbers. Batching is what makes the enclave variant
 // cheap: the whole batch crosses the boundary as a single ecall.
 //
-// appendAlert seals a fatal alert under the given direction's sealing
-// state and appends its wire form to dst. A relay uses it to tell the
-// next hop the path died (DESIGN.md §7); it must go through the data
-// plane because a plaintext alert would be a MAC failure for a peer
-// holding hop keys.
+// appendAlert seals an alert under the given direction's sealing
+// state and appends its wire form to dst. A relay uses it fatally to
+// tell the next hop the path died (DESIGN.md §7), and at warning level
+// to seal the close_notify a force-closed session sends at the drain
+// deadline; either way it must go through the data plane because a
+// plaintext alert would be a MAC failure for a peer holding hop keys.
 type dataPlaneHandler interface {
 	handleBatch(dir Direction, recs []tls12.RawRecord, dst []byte) ([]byte, batchResult, error)
-	appendAlert(dir Direction, desc tls12.AlertDescription, dst []byte) ([]byte, error)
+	appendAlert(dir Direction, level tls12.AlertLevel, desc tls12.AlertDescription, dst []byte) ([]byte, error)
 }
 
 // dataPlane is the host-memory implementation.
@@ -154,7 +155,7 @@ func (dp *dataPlane) handleBatch(dir Direction, recs []tls12.RawRecord, dst []by
 }
 
 // appendAlert implements dataPlaneHandler.
-func (dp *dataPlane) appendAlert(dir Direction, desc tls12.AlertDescription, dst []byte) ([]byte, error) {
+func (dp *dataPlane) appendAlert(dir Direction, level tls12.AlertLevel, desc tls12.AlertDescription, dst []byte) ([]byte, error) {
 	mu := dp.dirLock(dir)
 	mu.Lock()
 	defer mu.Unlock()
@@ -162,7 +163,7 @@ func (dp *dataPlane) appendAlert(dir Direction, desc tls12.AlertDescription, dst
 	if dir == DirServerToClient {
 		sealCS = dp.sealS2C
 	}
-	body := [2]byte{byte(tls12.AlertLevelFatal), byte(desc)}
+	body := [2]byte{byte(level), byte(desc)}
 	return appendSealedRecord(dst, sealCS, tls12.TypeAlert, body[:]), nil
 }
 
@@ -212,7 +213,7 @@ func (edp *enclaveDataPlane) handleBatch(dir Direction, recs []tls12.RawRecord, 
 }
 
 // appendAlert implements dataPlaneHandler inside the enclave.
-func (edp *enclaveDataPlane) appendAlert(dir Direction, desc tls12.AlertDescription, dst []byte) (out []byte, err error) {
+func (edp *enclaveDataPlane) appendAlert(dir Direction, level tls12.AlertLevel, desc tls12.AlertDescription, dst []byte) (out []byte, err error) {
 	out = dst
 	edp.e.Enter(func(mem enclave.Memory) {
 		dp, ok := mem.Get(edp.key).(*dataPlane)
@@ -220,7 +221,7 @@ func (edp *enclaveDataPlane) appendAlert(dir Direction, desc tls12.AlertDescript
 			err = fmt.Errorf("core: enclave data plane missing")
 			return
 		}
-		out, err = dp.appendAlert(dir, desc, dst)
+		out, err = dp.appendAlert(dir, level, desc, dst)
 	})
 	return out, err
 }

@@ -10,7 +10,25 @@ import (
 	"repro/internal/core"
 	"repro/internal/httpx"
 	"repro/internal/netsim"
+	"repro/internal/sessionhost"
 )
+
+// serveMiddlebox runs a middlebox behind a session host (the only
+// accept-loop shape the repo supports) and tears it down with the
+// test.
+func serveMiddlebox(t *testing.T, mb *core.Middlebox, ln net.Listener, dial func() (net.Conn, error)) *sessionhost.Host {
+	t.Helper()
+	host, err := sessionhost.New(sessionhost.Config{
+		Name:    mb.Name(),
+		Handler: sessionhost.NewMiddleboxHandler(mb, dial),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go host.Serve(ln)                  //nolint:errcheck
+	t.Cleanup(func() { host.Close() }) //nolint:errcheck
+	return host
+}
 
 // TestDeploymentPreconfiguredMiddlebox reproduces §3.4's pre-configured
 // client-side middlebox flow: the client knows the proxy in advance
@@ -27,24 +45,19 @@ func TestDeploymentPreconfiguredMiddlebox(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer serverLn.Close()
-	go func() {
-		for {
-			conn, err := serverLn.Accept()
-			if err != nil {
-				return
-			}
-			go func() {
-				sess, err := core.Accept(conn, e.serverConfig())
-				if err != nil {
-					return
-				}
-				defer sess.Close()
-				httpx.Serve(sess, func(req *httpx.Request) *httpx.Response { //nolint:errcheck
-					return &httpx.Response{StatusCode: 200, Header: httpx.Header{}, Body: []byte("origin says hi")}
-				})
-			}()
-		}
-	}()
+	originHost, err := sessionhost.New(sessionhost.Config{
+		Name: "origin",
+		Handler: sessionhost.NewServerHandler(e.serverConfig(), func(sess *core.Session) error {
+			return httpx.Serve(sess, func(req *httpx.Request) *httpx.Response {
+				return &httpx.Response{StatusCode: 200, Header: httpx.Header{}, Body: []byte("origin says hi")}
+			})
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go originHost.Serve(serverLn)            //nolint:errcheck
+	t.Cleanup(func() { originHost.Close() }) //nolint:errcheck
 
 	// The configured proxy, serving many clients.
 	proxy := e.middlebox(t, "proxy.example", core.ClientSide)
@@ -53,7 +66,7 @@ func TestDeploymentPreconfiguredMiddlebox(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer proxyLn.Close()
-	go proxy.Serve(proxyLn, func() (net.Conn, error) { //nolint:errcheck
+	proxyHost := serveMiddlebox(t, proxy, proxyLn, func() (net.Conn, error) {
 		return network.Dial("proxy.example", "origin.example:443")
 	})
 
@@ -99,6 +112,9 @@ func TestDeploymentPreconfiguredMiddlebox(t *testing.T) {
 	if got := proxy.Stats().MbTLSSessions; got != 4 {
 		t.Fatalf("proxy served %d mbTLS sessions, want 4", got)
 	}
+	if got := proxyHost.Metrics().Accepted; got != 4 {
+		t.Fatalf("proxy host admitted %d sessions, want 4", got)
+	}
 }
 
 // TestDeploymentChainedProxies runs two middleboxes as independent
@@ -141,10 +157,10 @@ func TestDeploymentChainedProxies(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer innerLn.Close()
-	go outer.Serve(outerLn, func() (net.Conn, error) { //nolint:errcheck
+	serveMiddlebox(t, outer, outerLn, func() (net.Conn, error) {
 		return network.Dial("outer.example", "inner.example:3128")
 	})
-	go inner.Serve(innerLn, func() (net.Conn, error) { //nolint:errcheck
+	serveMiddlebox(t, inner, innerLn, func() (net.Conn, error) {
 		return network.Dial("inner.example", "origin.example:443")
 	})
 

@@ -36,6 +36,11 @@ const (
 	// ClassReset is an abrupt transport death: connection reset, write
 	// on a closed pipe, unexpected EOF mid-record.
 	ClassReset
+	// ClassOverload is admission-control rejection by a session host:
+	// the host is at its max-concurrent-sessions cap, or draining
+	// toward shutdown. Surfaced locally as OverloadError/DrainingError
+	// and remotely as the overloaded/draining alerts.
+	ClassOverload
 	// ClassIntegrity is cryptographic or framing damage: MAC failures,
 	// corrupt headers, oversized records.
 	ClassIntegrity
@@ -60,6 +65,8 @@ func (c ErrorClass) String() string {
 		return "timeout"
 	case ClassReset:
 		return "reset"
+	case ClassOverload:
+		return "overload"
 	case ClassIntegrity:
 		return "integrity"
 	case ClassRemoteAlert:
@@ -74,8 +81,11 @@ func (c ErrorClass) String() string {
 
 // Transient reports whether retrying over a fresh transport could
 // plausibly succeed. Integrity and protocol failures are
-// deterministic; retrying only re-runs them.
-func (c ErrorClass) Transient() bool { return c == ClassTimeout || c == ClassReset }
+// deterministic; retrying only re-runs them. Overload is transient by
+// nature: the host's admission pressure changes as sessions finish.
+func (c ErrorClass) Transient() bool {
+	return c == ClassTimeout || c == ClassReset || c == ClassOverload
+}
 
 // isFault reports whether the class represents a path fault rather
 // than a clean shutdown.
@@ -91,6 +101,14 @@ func ClassifyError(err error) ErrorClass {
 	var hte *HandshakeTimeoutError
 	if errors.As(err, &hte) {
 		return ClassTimeout
+	}
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return ClassOverload
+	}
+	var de *DrainingError
+	if errors.As(err, &de) {
+		return ClassOverload
 	}
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
@@ -108,6 +126,13 @@ func ClassifyError(err error) ErrorClass {
 	}
 	var ae *tls12.AlertError
 	if errors.As(err, &ae) {
+		// Admission-control alerts classify as overload whichever side
+		// reports them: a dialer that receives overloaded/draining from
+		// a host should see the same class the host's Submit returned.
+		switch ae.Description {
+		case tls12.AlertOverloaded, tls12.AlertDraining:
+			return ClassOverload
+		}
 		if ae.Remote {
 			return ClassRemoteAlert
 		}
@@ -146,6 +171,50 @@ func alertForClass(c ErrorClass) tls12.AlertDescription {
 		return tls12.AlertInternalError
 	}
 }
+
+// OverloadError is the typed rejection a session host returns when a
+// new connection would exceed its max-concurrent-sessions cap. It
+// classifies as ClassOverload (transient: sessions finishing relieve
+// the pressure) and implements net.Error so generic handling treats it
+// as temporary, not a timeout.
+type OverloadError struct {
+	// Host names the rejecting host.
+	Host string
+	// Active and Max describe the admission state at rejection.
+	Active, Max int
+}
+
+// Error implements the error interface.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("core: session host %q overloaded (%d/%d sessions)", e.Host, e.Active, e.Max)
+}
+
+// Timeout implements net.Error.
+func (e *OverloadError) Timeout() bool { return false }
+
+// Temporary implements net.Error.
+func (e *OverloadError) Temporary() bool { return true }
+
+// DrainingError is the typed rejection a session host returns for
+// connections arriving after Shutdown began: in-flight sessions are
+// finishing, new admissions are refused. Like OverloadError it
+// classifies as ClassOverload; retrying reaches a restarted instance
+// or another host.
+type DrainingError struct {
+	// Host names the draining host.
+	Host string
+}
+
+// Error implements the error interface.
+func (e *DrainingError) Error() string {
+	return fmt.Sprintf("core: session host %q is draining", e.Host)
+}
+
+// Timeout implements net.Error.
+func (e *DrainingError) Timeout() bool { return false }
+
+// Temporary implements net.Error.
+func (e *DrainingError) Temporary() bool { return true }
 
 // HandshakePhase names the deadline-bounded phases of session
 // establishment.

@@ -69,6 +69,10 @@ type MiddleboxConfig struct {
 	// Nil skips chain verification on that hop, leaning on the
 	// endpoint-side approval that already authenticated the path.
 	NeighborRoots *x509.CertPool
+	// BufPool, when set, supplies the relay's record buffers from a
+	// bounded host-scoped pool, so relay memory is bounded by the pool
+	// rather than by session count. Nil uses the process-wide pool.
+	BufPool *tls12.RecordBufPool
 }
 
 // MiddleboxStats are cumulative data-plane counters.
@@ -88,6 +92,12 @@ type MiddleboxStats struct {
 type Middlebox struct {
 	cfg   MiddleboxConfig
 	vault enclave.Vault
+	bufs  *tls12.RecordBufPool
+
+	// sessionSeq allocates monotonic per-session IDs; each session's
+	// vault secrets are namespaced under "session/<id>/" so concurrent
+	// sessions sharing one enclave keep per-session key isolation.
+	sessionSeq atomic.Uint64
 
 	annMu    sync.Mutex
 	annCache map[string]bool // server address -> do not announce again
@@ -115,6 +125,10 @@ func NewMiddlebox(cfg MiddleboxConfig) (*Middlebox, error) {
 		cfg.DataPlaneTimeout = 30 * time.Second
 	}
 	mb := &Middlebox{cfg: cfg, annCache: make(map[string]bool)}
+	mb.bufs = cfg.BufPool
+	if mb.bufs == nil {
+		mb.bufs = tls12.SharedRecordBufPool()
+	}
 	if cfg.Enclave != nil {
 		mb.vault = enclave.NewEnclaveVault(cfg.Enclave)
 	} else {
@@ -162,37 +176,71 @@ func (mb *Middlebox) markNoAnnounce(serverAddr string) {
 	mb.annMu.Unlock()
 }
 
-// Serve accepts connections and relays each toward the next hop
-// returned by dial. It returns the first Accept error.
-func (mb *Middlebox) Serve(ln net.Listener, dial func() (net.Conn, error)) error {
-	for {
-		down, err := ln.Accept()
-		if err != nil {
-			return err
-		}
-		go func() {
-			up, err := dial()
-			if err != nil {
-				down.Close()
-				return
-			}
-			_ = mb.Handle(down, up)
-		}()
-	}
+// HostHooks is implemented by a hosting runtime (internal/sessionhost)
+// to observe a hosted session's lifecycle. Accept loops live in the
+// runtime, not here: a middlebox only ever handles connections it is
+// handed.
+type HostHooks interface {
+	// SessionEstablished is called at most once, when the session has
+	// decided its participation: data plane installed, or settled into
+	// a transparent/degraded relay.
+	SessionEstablished()
+	// RegisterForceClose hands the runtime a function that force-closes
+	// the session at the drain deadline. The function seals a
+	// close_notify toward both neighbors when per-hop keys exist, then
+	// drops the transports; it is safe to call at any point in the
+	// session's life, and more than once.
+	RegisterForceClose(func())
 }
 
 // Handle relays one connection pair until either side closes. down
-// faces the client, up faces the server.
+// faces the client, up faces the server. Per-session vault secrets are
+// retained after the session for post-mortem inspection (the adversary
+// harness depends on this); hosted sessions use HandleHosted, which
+// wipes them.
 func (mb *Middlebox) Handle(down, up net.Conn) error {
+	return mb.handle(down, up, nil)
+}
+
+// HandleHosted is Handle for sessions owned by a hosting runtime: the
+// session registers its force-closer and establishment signal with
+// hooks, and its namespaced vault secrets are wiped at teardown (a
+// long-lived host must not accrete key material for every session it
+// ever served).
+func (mb *Middlebox) HandleHosted(down, up net.Conn, hooks HostHooks) error {
+	return mb.handle(down, up, hooks)
+}
+
+func (mb *Middlebox) handle(down, up net.Conn, hooks HostHooks) error {
 	mb.sessions.Add(1)
-	s := &mbSession{mb: mb, down: down, downR: down, up: up}
+	s := &mbSession{
+		mb:          mb,
+		down:        down,
+		downR:       down,
+		up:          up,
+		hooks:       hooks,
+		vaultPrefix: fmt.Sprintf("session/%d/", mb.sessionSeq.Add(1)),
+	}
 	s.dpCond = sync.NewCond(&s.dpMu)
+	if hooks != nil {
+		hooks.RegisterForceClose(s.forceClose)
+		defer mb.vault.WipePrefix(s.vaultPrefix)
+	}
 	return s.run()
 }
 
 // mbSession is the per-connection relay state.
 type mbSession struct {
-	mb   *Middlebox
+	mb *Middlebox
+	// hooks is the hosting runtime's lifecycle surface (nil when the
+	// session is driven directly, e.g. by tests and examples).
+	hooks HostHooks
+	// vaultPrefix namespaces this session's vault secrets
+	// ("session/<id>/"), isolating concurrent sessions that share one
+	// enclave.
+	vaultPrefix string
+	estOnce     sync.Once
+
 	down net.Conn
 	// downR is the downstream read side: s.down, possibly preceded by
 	// bytes already consumed while sniffing the ClientHello.
@@ -232,6 +280,43 @@ type mbSession struct {
 	dpErr  error
 
 	closeOnce sync.Once
+}
+
+// storeSecret namespaces a session secret into the vault.
+func (s *mbSession) storeSecret(name string, v []byte) {
+	s.mb.vault.StoreSecret(s.vaultPrefix+name, v)
+}
+
+// notifyEstablished tells the hosting runtime (if any) that the
+// session has decided its shape: data plane up, or transparent relay.
+func (s *mbSession) notifyEstablished() {
+	s.estOnce.Do(func() {
+		if s.hooks != nil {
+			s.hooks.SessionEstablished()
+		}
+	})
+}
+
+// forceClose ends an in-flight session from the hosting runtime's
+// drain deadline. When per-hop keys are installed, both neighbors get
+// a sealed close_notify first, so endpoints observe an orderly close
+// instead of a bare transport reset; then the transports drop, which
+// unwinds the relay goroutines.
+func (s *mbSession) forceClose() {
+	if s.mbtls && !s.degraded.Load() {
+		if dp := s.dataPlaneIfReady(); dp != nil {
+			var buf [64]byte
+			for _, dir := range []Direction{DirClientToServer, DirServerToClient} {
+				wire, err := dp.appendAlert(dir, tls12.AlertLevelWarning, tls12.AlertCloseNotify, buf[:0])
+				if err != nil {
+					continue
+				}
+				conn, mu := s.outbound(dir)
+				s.writeWire(conn, mu, wire) //nolint:errcheck
+			}
+		}
+	}
+	s.closeAll()
 }
 
 func (s *mbSession) closeAll() {
@@ -440,7 +525,7 @@ func (s *mbSession) propagateFault(desc tls12.AlertDescription) {
 	if dp := s.dataPlaneIfReady(); dp != nil {
 		var buf [64]byte
 		for _, dir := range []Direction{DirClientToServer, DirServerToClient} {
-			wire, err := dp.appendAlert(dir, desc, buf[:0])
+			wire, err := dp.appendAlert(dir, tls12.AlertLevelFatal, desc, buf[:0])
 			if err != nil {
 				continue
 			}
@@ -547,6 +632,7 @@ func (s *mbSession) setDownLeftover(leftover []byte) {
 // already-read bytes (non-TLS traffic, legacy clients, or servers on
 // the announcement negative-cache).
 func (s *mbSession) transparentRaw(initial []byte) error {
+	s.notifyEstablished()
 	if len(initial) > 0 {
 		s.upW.Lock()
 		_, err := s.up.Write(initial)
@@ -570,6 +656,7 @@ func (s *mbSession) transparentRaw(initial []byte) error {
 // transparent splices the two sides without interpreting records
 // (legacy traffic, or a server on the announcement negative-cache).
 func (s *mbSession) transparent(buffered []tls12.RawRecord) error {
+	s.notifyEstablished()
 	for _, rec := range buffered {
 		if err := s.forward(DirClientToServer, rec); err != nil {
 			return err
@@ -634,8 +721,8 @@ func (s *mbSession) relay(dir Direction) error {
 	// Reused per-direction batch state; each direction is driven by
 	// exactly one goroutine, so no locking here.
 	batch := make([]tls12.RawRecord, 0, maxRelayBatch)
-	out := tls12.GetRecordBuf()
-	defer tls12.PutRecordBuf(out)
+	out := s.mb.bufs.GetRecordBuf()
+	defer s.mb.bufs.PutRecordBuf(out)
 	for {
 		rec, wire, err := rr.next()
 		if err != nil {
@@ -766,6 +853,7 @@ func (s *mbSession) handleRecordWire(dir Direction, rec tls12.RawRecord, wire []
 			// (paper §3.4). Degrade to a transparent relay and
 			// remember not to announce to this server again.
 			s.degraded.Store(true)
+			s.notifyEstablished()
 			s.mb.markNoAnnounce(s.up.RemoteAddr().String())
 			return s.forwardWire(dir, wire)
 		}
@@ -893,8 +981,8 @@ func (s *mbSession) runSecondary(serverAddr string) {
 	// harness can probe what a malicious infrastructure provider
 	// would find in host memory.
 	if sk, err := conn.ExportSessionKeys(); err == nil {
-		s.mb.vault.StoreSecret("secondary/client-write", sk.ClientWriteKey)
-		s.mb.vault.StoreSecret("secondary/server-write", sk.ServerWriteKey)
+		s.storeSecret("secondary/client-write", sk.ClientWriteKey)
+		s.storeSecret("secondary/server-write", sk.ServerWriteKey)
 		sk.Wipe() // the vault cloned what it stored
 	}
 
@@ -917,14 +1005,14 @@ func (s *mbSession) runSecondary(serverAddr string) {
 		return
 	}
 	defer km.Wipe() // held only until the data plane's cipher states are built
-	s.mb.vault.StoreSecret("hop/down-c2s", km.Down.C2SKey)
-	s.mb.vault.StoreSecret("hop/down-c2s-iv", km.Down.C2SIV)
-	s.mb.vault.StoreSecret("hop/down-s2c", km.Down.S2CKey)
-	s.mb.vault.StoreSecret("hop/down-s2c-iv", km.Down.S2CIV)
-	s.mb.vault.StoreSecret("hop/up-c2s", km.Up.C2SKey)
-	s.mb.vault.StoreSecret("hop/up-c2s-iv", km.Up.C2SIV)
-	s.mb.vault.StoreSecret("hop/up-s2c", km.Up.S2CKey)
-	s.mb.vault.StoreSecret("hop/up-s2c-iv", km.Up.S2CIV)
+	s.storeSecret("hop/down-c2s", km.Down.C2SKey)
+	s.storeSecret("hop/down-c2s-iv", km.Down.C2SIV)
+	s.storeSecret("hop/down-s2c", km.Down.S2CKey)
+	s.storeSecret("hop/down-s2c-iv", km.Down.S2CIV)
+	s.storeSecret("hop/up-c2s", km.Up.C2SKey)
+	s.storeSecret("hop/up-c2s-iv", km.Up.C2SIV)
+	s.storeSecret("hop/up-s2c", km.Up.S2CKey)
+	s.storeSecret("hop/up-s2c-iv", km.Up.S2CIV)
 
 	var proc Processor
 	if s.mb.cfg.NewProcessor != nil {
@@ -983,14 +1071,14 @@ func (s *mbSession) runNeighborHops() {
 		return
 	}
 
-	s.mb.vault.StoreSecret("hop/down-c2s", down.hop.C2SKey)
-	s.mb.vault.StoreSecret("hop/down-c2s-iv", down.hop.C2SIV)
-	s.mb.vault.StoreSecret("hop/down-s2c", down.hop.S2CKey)
-	s.mb.vault.StoreSecret("hop/down-s2c-iv", down.hop.S2CIV)
-	s.mb.vault.StoreSecret("hop/up-c2s", up.hop.C2SKey)
-	s.mb.vault.StoreSecret("hop/up-c2s-iv", up.hop.C2SIV)
-	s.mb.vault.StoreSecret("hop/up-s2c", up.hop.S2CKey)
-	s.mb.vault.StoreSecret("hop/up-s2c-iv", up.hop.S2CIV)
+	s.storeSecret("hop/down-c2s", down.hop.C2SKey)
+	s.storeSecret("hop/down-c2s-iv", down.hop.C2SIV)
+	s.storeSecret("hop/down-s2c", down.hop.S2CKey)
+	s.storeSecret("hop/down-s2c-iv", down.hop.S2CIV)
+	s.storeSecret("hop/up-c2s", up.hop.C2SKey)
+	s.storeSecret("hop/up-c2s-iv", up.hop.C2SIV)
+	s.storeSecret("hop/up-s2c", up.hop.S2CKey)
+	s.storeSecret("hop/up-s2c-iv", up.hop.S2CIV)
 
 	km := &KeyMaterial{Version: tls12.VersionTLS12, Down: *down.hop, Up: *up.hop}
 	// Wiping km also clears down.hop and up.hop: the struct copies
@@ -1019,8 +1107,12 @@ func (s *mbSession) setDataPlane(dp dataPlaneHandler, err error) {
 			s.dpErr = errors.New("core: data plane unavailable")
 		}
 	}
+	installed := s.dp != nil
 	s.dpCond.Broadcast()
 	s.dpMu.Unlock()
+	if installed {
+		s.notifyEstablished()
+	}
 }
 
 // dataPlaneIfReady returns the data plane if installed, without
@@ -1062,8 +1154,8 @@ func (s *mbSession) waitDataPlane() (dataPlaneHandler, error) {
 // companion of flushBatch, used for alerts and the False-Start window;
 // the record's payload is decrypted in place and destroyed.
 func (s *mbSession) processForward(dir Direction, dp dataPlaneHandler, rec tls12.RawRecord) error {
-	out := tls12.GetRecordBuf()
-	defer tls12.PutRecordBuf(out)
+	out := s.mb.bufs.GetRecordBuf()
+	defer s.mb.bufs.PutRecordBuf(out)
 	var err error
 	batch := [1]tls12.RawRecord{rec}
 	out, err = s.flushBatch(dir, dp, batch[:], out)

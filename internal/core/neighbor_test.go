@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -91,15 +92,24 @@ func TestNeighborKeysEndpointsLackHopKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Vault names are namespaced per session ("session/<id>/hop/...");
+	// this test runs one session, so suffix lookup is unambiguous.
 	dump := mb.Vault().DumpHostMemory()
-	upC2S := dump["hop/up-c2s"]
+	var upC2S, downC2S []byte
+	for name, v := range dump {
+		if strings.HasSuffix(name, "/hop/up-c2s") {
+			upC2S = v
+		}
+		if strings.HasSuffix(name, "/hop/down-c2s") {
+			downC2S = v
+		}
+	}
 	if upC2S == nil {
 		t.Fatal("middlebox vault lacks upstream hop key")
 	}
 	if string(upC2S) == string(clientKeys.ClientWriteKey) || string(upC2S) == string(clientKeys.ServerWriteKey) {
 		t.Fatal("upstream hop key equals a primary session key: the client could still forge")
 	}
-	downC2S := dump["hop/down-c2s"]
 	if string(downC2S) == string(upC2S) {
 		t.Fatal("hops share keys in neighbor mode")
 	}

@@ -1,6 +1,7 @@
 package enclave
 
 import (
+	"strings"
 	"sync"
 
 	"repro/internal/secmem"
@@ -27,6 +28,11 @@ type Vault interface {
 	// vault when the component (or test scenario) it serves is torn
 	// down.
 	Wipe()
+	// WipePrefix zeroizes and discards the secrets whose names start
+	// with prefix. Session hosts use it to retire one session's
+	// namespaced secrets ("session/<id>/...") from a vault shared by
+	// many concurrent sessions.
+	WipePrefix(prefix string)
 }
 
 // HostVault stores secrets in host memory — the non-SGX deployment.
@@ -74,6 +80,18 @@ func (v *HostVault) Wipe() {
 		secmem.Wipe(s)
 	}
 	v.secrets = make(map[string][]byte)
+	v.mu.Unlock()
+}
+
+// WipePrefix implements Vault.
+func (v *HostVault) WipePrefix(prefix string) {
+	v.mu.Lock()
+	for name, s := range v.secrets {
+		if strings.HasPrefix(name, prefix) {
+			secmem.Wipe(s)
+			delete(v.secrets, name)
+		}
+	}
 	v.mu.Unlock()
 }
 
@@ -133,6 +151,31 @@ func (v *EnclaveVault) Wipe() {
 	}
 	v.enclave.Enter(func(mem Memory) {
 		for name := range names {
+			if s, ok := mem.Get("secret:" + name).([]byte); ok {
+				secmem.Wipe(s)
+			}
+			mem.Delete("secret:" + name)
+		}
+	})
+}
+
+// WipePrefix implements Vault: the host-side name index selects the
+// entries, one enclave transition retires them.
+func (v *EnclaveVault) WipePrefix(prefix string) {
+	var names []string
+	v.mu.Lock()
+	for name := range v.names {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+			delete(v.names, name)
+		}
+	}
+	v.mu.Unlock()
+	if len(names) == 0 {
+		return
+	}
+	v.enclave.Enter(func(mem Memory) {
+		for _, name := range names {
 			if s, ok := mem.Get("secret:" + name).([]byte); ok {
 				secmem.Wipe(s)
 			}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/certs"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sessionhost"
+	"repro/internal/tls12"
+)
+
+// SessionsLevels is the default concurrency sweep for the session-host
+// bench: how many clients establish-and-use full mbTLS sessions at
+// once through one shared middlebox host.
+var SessionsLevels = []int{4, 16, 64}
+
+// SessionsRow is one concurrency level's measurement.
+type SessionsRow struct {
+	// Concurrency is how many workers ran sessions at once.
+	Concurrency int `json:"concurrency"`
+	// Sessions is the total number of completed sessions at this level.
+	Sessions int `json:"sessions"`
+	// SessionsPerSec is the sustained full-session throughput
+	// (handshake + echo round-trip + teardown).
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	// HandshakeP50Ms / HandshakeP99Ms are client-observed handshake
+	// latency percentiles in milliseconds.
+	HandshakeP50Ms float64 `json:"handshake_p50_ms"`
+	HandshakeP99Ms float64 `json:"handshake_p99_ms"`
+	// PoolHitRate is the fraction of relay buffer requests served from
+	// the host-scoped pool rather than freshly allocated.
+	PoolHitRate float64 `json:"pool_hit_rate"`
+}
+
+// SessionsOptions tunes the run.
+type SessionsOptions struct {
+	// Levels overrides the concurrency sweep.
+	Levels []int
+	// SessionsPerWorker is how many sequential sessions each worker
+	// runs per level (default 8).
+	SessionsPerWorker int
+	// PayloadBytes is the echo payload per session (default 4096).
+	PayloadBytes int
+}
+
+// RunSessions measures the sessionhost runtime under concurrent
+// session churn: for each concurrency level, that many workers each
+// run full mbTLS sessions back to back — dial, handshake (timed),
+// one echo round trip, close — through one shared middlebox host and
+// one shared origin host, both fronted by the bounded session pool and
+// the host-scoped record-buffer pool. The row reports session
+// throughput and handshake latency percentiles, the two numbers that
+// move when the runtime's admission or registry serializes badly.
+func RunSessions(opts SessionsOptions) ([]SessionsRow, error) {
+	levels := opts.Levels
+	if len(levels) == 0 {
+		levels = SessionsLevels
+	}
+	perWorker := opts.SessionsPerWorker
+	if perWorker <= 0 {
+		perWorker = 8
+	}
+	payloadBytes := opts.PayloadBytes
+	if payloadBytes <= 0 {
+		payloadBytes = 4096
+	}
+	maxLevel := 0
+	for _, l := range levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+
+	ca, err := certs.NewCA("sessions root")
+	if err != nil {
+		return nil, err
+	}
+	serverCert, err := ca.Issue("origin.example", []string{"origin.example"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	mbCert, err := ca.Issue("mb.example", []string{"mb.example"}, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	n := netsim.NewNetwork()
+	srvLn, err := n.Listen("server")
+	if err != nil {
+		return nil, err
+	}
+	mbLn, err := n.Listen("mb")
+	if err != nil {
+		return nil, err
+	}
+
+	scfg := &core.ServerConfig{
+		TLS:               &tls12.Config{Certificate: serverCert},
+		AcceptMiddleboxes: true,
+		MiddleboxTLS:      &tls12.Config{RootCAs: ca.Pool()},
+		HandshakeTimeout:  30 * time.Second,
+	}
+	srvHost, err := sessionhost.New(sessionhost.Config{
+		Name:        "sessions-server",
+		MaxSessions: 2 * maxLevel,
+		Handler: sessionhost.NewServerHandler(scfg, func(s *core.Session) error {
+			buf := make([]byte, 64<<10)
+			for {
+				nr, err := s.Read(buf)
+				if err != nil {
+					return err
+				}
+				if _, err := s.Write(buf[:nr]); err != nil {
+					return err
+				}
+			}
+		}),
+	})
+	if err != nil {
+		return nil, err
+	}
+	go srvHost.Serve(srvLn) //nolint:errcheck
+	defer srvHost.Close()   //nolint:errcheck
+
+	pool := tls12.NewRecordBufPool(2 * maxLevel)
+	mb, err := core.NewMiddlebox(core.MiddleboxConfig{
+		Name: "mb.example", Mode: core.ClientSide, Certificate: mbCert, BufPool: pool,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mbHost, err := sessionhost.New(sessionhost.Config{
+		Name:        "sessions-mb",
+		MaxSessions: 2 * maxLevel,
+		BufPool:     pool,
+		Handler: sessionhost.NewMiddleboxHandler(mb, func() (net.Conn, error) {
+			return n.Dial("mb", "server")
+		}),
+		MiddleboxStats: mb.Stats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	go mbHost.Serve(mbLn) //nolint:errcheck
+	defer mbHost.Close()  //nolint:errcheck
+
+	payload := core.RandomPlaintext(payloadBytes)
+	var rows []SessionsRow
+	for _, level := range levels {
+		row, err := sessionsLevel(n, ca, pool, level, perWorker, payload)
+		if err != nil {
+			return nil, fmt.Errorf("sessions level %d: %w", level, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// sessionsLevel drives one concurrency level and reduces its timings.
+func sessionsLevel(n *netsim.Network, ca *certs.CA, pool *tls12.RecordBufPool,
+	level, perWorker int, payload []byte) (SessionsRow, error) {
+
+	row := SessionsRow{Concurrency: level}
+	handshakes := make([]time.Duration, 0, level*perWorker)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, level)
+
+	poolBefore := pool.Stats()
+	start := time.Now()
+	for w := 0; w < level; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				hs, err := oneSession(n, ca, fmt.Sprintf("worker-%d-%d", w, i), payload)
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("worker %d session %d: %w", w, i, err):
+					default:
+					}
+					return
+				}
+				local = append(local, hs)
+			}
+			mu.Lock()
+			handshakes = append(handshakes, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return row, err
+	default:
+	}
+	poolAfter := pool.Stats()
+
+	sort.Slice(handshakes, func(i, j int) bool { return handshakes[i] < handshakes[j] })
+	row.Sessions = len(handshakes)
+	row.SessionsPerSec = float64(row.Sessions) / elapsed.Seconds()
+	row.HandshakeP50Ms = float64(percentileDuration(handshakes, 0.50)) / float64(time.Millisecond)
+	row.HandshakeP99Ms = float64(percentileDuration(handshakes, 0.99)) / float64(time.Millisecond)
+	if gets := poolAfter.Gets - poolBefore.Gets; gets > 0 {
+		row.PoolHitRate = float64(poolAfter.Hits-poolBefore.Hits) / float64(gets)
+	}
+	return row, nil
+}
+
+// oneSession runs a complete client session through the middlebox host
+// and returns the handshake latency.
+func oneSession(n *netsim.Network, ca *certs.CA, clientName string, payload []byte) (time.Duration, error) {
+	conn, err := n.Dial(clientName, "mb")
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	sess, err := core.Dial(conn, &core.ClientConfig{
+		TLS:              &tls12.Config{RootCAs: ca.Pool(), ServerName: "origin.example"},
+		HandshakeTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		return 0, err
+	}
+	hs := time.Since(start)
+	defer sess.Close()
+	if _, err := sess.Write(payload); err != nil {
+		return 0, err
+	}
+	buf := make([]byte, len(payload))
+	for total := 0; total < len(buf); {
+		nr, err := sess.Read(buf[total:])
+		total += nr
+		if err != nil {
+			return 0, err
+		}
+	}
+	return hs, nil
+}
+
+// percentileDuration returns the p-quantile of an already-sorted
+// slice (nearest-rank).
+func percentileDuration(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted)) * p)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// WriteSessionsJSON writes the rows as a machine-readable baseline
+// (BENCH_sessions.json) so future runtime changes can track the
+// concurrency trajectory.
+func WriteSessionsJSON(path string, rows []SessionsRow) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatSessions renders the sweep.
+func FormatSessions(rows []SessionsRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Session host: concurrent full-session throughput\n")
+	fmt.Fprintf(&b, "%-12s | %9s | %13s | %9s | %9s | %9s\n",
+		"Concurrency", "Sessions", "Sessions/sec", "HS p50", "HS p99", "Pool hit")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 76))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12d | %9d | %13.1f | %7.2fms | %7.2fms | %8.0f%%\n",
+			r.Concurrency, r.Sessions, r.SessionsPerSec,
+			r.HandshakeP50Ms, r.HandshakeP99Ms, 100*r.PoolHitRate)
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSessionsBenchSmoke runs the session-host sweep at a tiny
+// configuration and checks the rows are well formed: every worker's
+// sessions completed, throughput and percentiles are populated, and
+// the percentiles are ordered.
+func TestSessionsBenchSmoke(t *testing.T) {
+	rows, err := RunSessions(SessionsOptions{
+		Levels:            []int{2, 4},
+		SessionsPerWorker: 2,
+		PayloadBytes:      512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Sessions != r.Concurrency*2 {
+			t.Errorf("level %d completed %d sessions, want %d", r.Concurrency, r.Sessions, r.Concurrency*2)
+		}
+		if r.SessionsPerSec <= 0 {
+			t.Errorf("level %d throughput not measured", r.Concurrency)
+		}
+		if r.HandshakeP50Ms <= 0 || r.HandshakeP99Ms < r.HandshakeP50Ms {
+			t.Errorf("level %d percentiles p50=%f p99=%f malformed", r.Concurrency, r.HandshakeP50Ms, r.HandshakeP99Ms)
+		}
+	}
+}
+
+// TestPercentileDuration pins the nearest-rank convention.
+func TestPercentileDuration(t *testing.T) {
+	if got := percentileDuration(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	var sorted []time.Duration
+	for i := 1; i <= 10; i++ {
+		sorted = append(sorted, time.Duration(i)*10*time.Millisecond)
+	}
+	if got := percentileDuration(sorted, 0.50); got != 60*time.Millisecond {
+		t.Errorf("p50 of 10..100ms = %v, want 60ms", got)
+	}
+	if got := percentileDuration(sorted, 0.99); got != 100*time.Millisecond {
+		t.Errorf("p99 of 10..100ms = %v, want 100ms", got)
+	}
+}

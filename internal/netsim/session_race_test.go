@@ -1,23 +1,33 @@
 package netsim_test
 
 import (
+	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/certs"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/sessionhost"
 	"repro/internal/tls12"
 )
 
-// TestConcurrentSessionsThroughFaultyNetwork runs two complete mbTLS
-// sessions at once through one shared Network — one over a clean path,
-// one over a path whose client→middlebox link carries a seeded reset —
-// and requires the clean session to stay fully functional while the
-// faulty one fails. Run under -race (tier-1 does), this exercises the
-// fault state machine, the mux, and the relay goroutines concurrently:
-// a fault on one session must never bleed into another.
+// raceSessions is how many clean concurrent sessions the test drives
+// through one shared middlebox host (the acceptance floor is 64).
+const raceSessions = 64
+
+// TestConcurrentSessionsThroughFaultyNetwork runs a fleet of complete
+// mbTLS sessions at once through one shared Network and one shared
+// session-host pair — 64 over clean paths, one over a path whose
+// client→middlebox link carries a seeded reset — and requires every
+// clean session to stay fully functional while the faulty one fails.
+// Run under -race (tier-1 does), this exercises the fault state
+// machine, the mux, the relay goroutines, the host registry, and the
+// shared bounded buffer pool concurrently: a fault on one session must
+// never bleed into another, and sessions sharing a host must not share
+// fate.
 func TestConcurrentSessionsThroughFaultyNetwork(t *testing.T) {
 	ca, err := certs.NewCA("netsim race root")
 	if err != nil {
@@ -28,12 +38,6 @@ func TestConcurrentSessionsThroughFaultyNetwork(t *testing.T) {
 		t.Fatal(err)
 	}
 	mbCert, err := ca.Issue("mb.example", []string{"mb.example"}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	mb, err := core.NewMiddlebox(core.MiddleboxConfig{
-		Name: "mb.example", Mode: core.ClientSide, Certificate: mbCert,
-	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,79 +66,93 @@ func TestConcurrentSessionsThroughFaultyNetwork(t *testing.T) {
 		TLS:               &tls12.Config{Certificate: serverCert},
 		AcceptMiddleboxes: true,
 		MiddleboxTLS:      &tls12.Config{RootCAs: ca.Pool()},
-		HandshakeTimeout:  5 * time.Second,
+		HandshakeTimeout:  30 * time.Second,
 	}
-	go func() {
-		for {
-			c, err := srvLn.Accept()
+	srvHost, err := sessionhost.New(sessionhost.Config{
+		Name:        "server",
+		MaxSessions: 2 * raceSessions,
+		Handler: sessionhost.NewServerHandler(scfg, func(s *core.Session) error {
+			buf := make([]byte, 256)
+			nr, err := s.Read(buf)
 			if err != nil {
-				return
+				return err
 			}
-			go func(c net.Conn) {
-				s, err := core.Accept(c, scfg)
-				if err != nil {
-					c.Close()
-					return
-				}
-				defer s.Close()
-				buf := make([]byte, 256)
-				nr, err := s.Read(buf)
-				if err != nil {
-					return
-				}
-				s.Write(buf[:nr]) //nolint:errcheck
-			}(c)
-		}
-	}()
-	go func() {
-		for {
-			c, err := mbLn.Accept()
-			if err != nil {
-				return
-			}
-			up, err := n.Dial("mb", "server")
-			if err != nil {
-				c.Close()
-				return
-			}
-			go mb.Handle(c, up) //nolint:errcheck
-		}
-	}()
+			_, err = s.Write(buf[:nr])
+			return err
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srvHost.Serve(srvLn) //nolint:errcheck
+	defer srvHost.Close()   //nolint:errcheck
+
+	pool := tls12.NewRecordBufPool(2 * raceSessions)
+	mb, err := core.NewMiddlebox(core.MiddleboxConfig{
+		Name: "mb.example", Mode: core.ClientSide, Certificate: mbCert,
+		BufPool: pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbHost, err := sessionhost.New(sessionhost.Config{
+		Name:        "mb",
+		MaxSessions: 2 * raceSessions,
+		BufPool:     pool,
+		Handler: sessionhost.NewMiddleboxHandler(mb, func() (net.Conn, error) {
+			return n.Dial("mb", "server")
+		}),
+		MiddleboxStats: mb.Stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go mbHost.Serve(mbLn) //nolint:errcheck
+	defer mbHost.Close()  //nolint:errcheck
 
 	ccfg := func() *core.ClientConfig {
 		return &core.ClientConfig{
 			TLS:              &tls12.Config{RootCAs: ca.Pool(), ServerName: "origin.example"},
-			HandshakeTimeout: 5 * time.Second,
+			HandshakeTimeout: 30 * time.Second,
 		}
 	}
 
-	okDone := make(chan error, 1)
+	var wg sync.WaitGroup
+	okErrs := make(chan error, raceSessions)
+	for i := 0; i < raceSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("client-ok-%d", i)
+			conn, err := n.Dial(name, "mb")
+			if err != nil {
+				okErrs <- fmt.Errorf("%s dial: %w", name, err)
+				return
+			}
+			sess, err := core.Dial(conn, ccfg())
+			if err != nil {
+				okErrs <- fmt.Errorf("%s handshake: %w", name, err)
+				return
+			}
+			defer sess.Close()
+			msg := []byte(fmt.Sprintf("through clean path %d", i))
+			if _, err := sess.Write(msg); err != nil {
+				okErrs <- fmt.Errorf("%s write: %w", name, err)
+				return
+			}
+			sess.SetReadDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+			buf := make([]byte, len(msg))
+			if _, err := readFull(sess, buf); err != nil {
+				okErrs <- fmt.Errorf("%s read: %w", name, err)
+				return
+			}
+			if string(buf) != string(msg) {
+				okErrs <- fmt.Errorf("%s echo = %q, want %q", name, buf, msg)
+			}
+		}(i)
+	}
+
 	badDone := make(chan error, 1)
-	go func() {
-		conn, err := n.Dial("client-ok", "mb")
-		if err != nil {
-			okDone <- err
-			return
-		}
-		sess, err := core.Dial(conn, ccfg())
-		if err != nil {
-			okDone <- err
-			return
-		}
-		defer sess.Close()
-		msg := []byte("through the clean path")
-		if _, err := sess.Write(msg); err != nil {
-			okDone <- err
-			return
-		}
-		sess.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
-		buf := make([]byte, len(msg))
-		if _, err := readFull(sess, buf); err != nil {
-			okDone <- err
-			return
-		}
-		okDone <- nil
-	}()
 	go func() {
 		conn, err := n.Dial("client-bad", "mb")
 		if err != nil {
@@ -148,14 +166,18 @@ func TestConcurrentSessionsThroughFaultyNetwork(t *testing.T) {
 		badDone <- err
 	}()
 
+	fleetDone := make(chan struct{})
+	go func() { wg.Wait(); close(fleetDone) }()
 	select {
-	case err := <-okDone:
-		if err != nil {
-			t.Errorf("clean-path session failed beside a faulty one: %v", err)
-		}
-	case <-time.After(15 * time.Second):
-		t.Fatal("clean-path session wedged")
+	case <-fleetDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("clean-path fleet wedged")
 	}
+	close(okErrs)
+	for err := range okErrs {
+		t.Errorf("clean-path session failed beside a faulty one: %v", err)
+	}
+
 	select {
 	case err := <-badDone:
 		if err == nil {
@@ -163,8 +185,15 @@ func TestConcurrentSessionsThroughFaultyNetwork(t *testing.T) {
 		} else if cls := core.ClassifyError(err); !cls.Transient() && cls != core.ClassCleanClose {
 			t.Errorf("faulty path surfaced class %s (%v), want a transport-failure class", cls, err)
 		}
-	case <-time.After(15 * time.Second):
+	case <-time.After(30 * time.Second):
 		t.Fatal("faulty-path session wedged")
+	}
+
+	if got := mbHost.Metrics().Accepted; got < raceSessions+1 {
+		t.Errorf("middlebox host admitted %d sessions, want >= %d", got, raceSessions+1)
+	}
+	if st := pool.Stats(); st.Gets == 0 {
+		t.Error("host-scoped buffer pool was never used by the relay")
 	}
 }
 

@@ -1,0 +1,89 @@
+package sessionhost
+
+import (
+	"net"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// session is one registered connection's lifecycle record.
+type session struct {
+	id   uint64
+	host *Host
+	conn net.Conn
+
+	state  atomic.Int32 // State
+	closer atomic.Value // func(): handler-registered force-closer
+}
+
+// markDraining moves a live session into StateDraining.
+func (s *session) markDraining() {
+	for {
+		cur := s.state.Load()
+		if State(cur) == StateClosed || State(cur) == StateDraining {
+			return
+		}
+		if s.state.CompareAndSwap(cur, int32(StateDraining)) {
+			return
+		}
+	}
+}
+
+// forceClose ends the session at the drain deadline: the handler's
+// registered closer runs first (sealing a close_notify when the
+// session has hop or session keys to seal under), then the transport
+// drops, which unwinds the handler goroutine either way.
+func (s *session) forceClose() {
+	if f, ok := s.closer.Load().(func()); ok && f != nil {
+		f()
+	}
+	s.conn.Close()
+}
+
+// Control is a handler's interface back to the hosting runtime. It
+// implements core.HostHooks, so a middlebox handler can pass it
+// straight to Middlebox.HandleHosted.
+type Control struct {
+	s *session
+}
+
+var _ core.HostHooks = (*Control)(nil)
+
+// ID returns the session's monotonic registry ID.
+func (c *Control) ID() uint64 { return c.s.id }
+
+// State returns the session's current lifecycle state.
+func (c *Control) State() State { return State(c.s.state.Load()) }
+
+// SessionEstablished implements core.HostHooks: the session finished
+// establishing (handshaking → established). A session already marked
+// draining or closed keeps that state.
+func (c *Control) SessionEstablished() {
+	c.s.state.CompareAndSwap(int32(StateHandshaking), int32(StateEstablished))
+}
+
+// RegisterForceClose implements core.HostHooks: f is invoked if the
+// session is still alive at a drain deadline. Later registrations
+// replace earlier ones.
+func (c *Control) RegisterForceClose(f func()) {
+	if f != nil {
+		c.s.closer.Store(f)
+	}
+}
+
+// Draining returns a channel closed when the host begins draining;
+// long-running handlers select on it to stop accepting new work.
+func (c *Control) Draining() <-chan struct{} { return c.s.host.drainCh }
+
+// ReportStats folds a finished session's endpoint counters into the
+// host's aggregate (TeardownReason, a per-session string, is not
+// aggregated).
+func (c *Control) ReportStats(st core.SessionStats) {
+	h := c.s.host
+	h.mu.Lock()
+	h.agg.RecordsRelayed += st.RecordsRelayed
+	h.agg.Reseals += st.Reseals
+	h.agg.FaultsObserved += st.FaultsObserved
+	h.mu.Unlock()
+}

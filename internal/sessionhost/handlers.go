@@ -1,0 +1,44 @@
+package sessionhost
+
+import (
+	"net"
+
+	"repro/internal/core"
+)
+
+// NewMiddleboxHandler returns a Handler that relays each admitted
+// connection through mb toward the next hop from dial. The Control is
+// passed to the middlebox as its lifecycle hooks, so establishment and
+// drain force-close flow through the registry, and the middlebox
+// should be built with MiddleboxConfig.BufPool set to the host's
+// BufPool so relay memory stays host-bounded.
+func NewMiddleboxHandler(mb *core.Middlebox, dial func() (net.Conn, error)) Handler {
+	return HandlerFunc(func(ctl *Control, down net.Conn) error {
+		up, err := dial()
+		if err != nil {
+			return err
+		}
+		defer up.Close()
+		return mb.HandleHosted(down, up, ctl)
+	})
+}
+
+// NewServerHandler returns a Handler that establishes an mbTLS server
+// session on each admitted connection and hands it to serve. The
+// session registers Close as its force-closer (Close sends a sealed
+// close_notify), and its stats are folded into the host aggregate at
+// teardown.
+func NewServerHandler(cfg *core.ServerConfig, serve func(*core.Session) error) Handler {
+	return HandlerFunc(func(ctl *Control, conn net.Conn) error {
+		sess, err := core.Accept(conn, cfg)
+		if err != nil {
+			return err
+		}
+		ctl.SessionEstablished()
+		ctl.RegisterForceClose(func() { sess.Close() }) //nolint:errcheck
+		err = serve(sess)
+		sess.Close()
+		ctl.ReportStats(sess.Stats())
+		return err
+	})
+}

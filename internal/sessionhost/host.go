@@ -1,0 +1,432 @@
+// Package sessionhost is the shared per-connection lifecycle runtime
+// for every mbTLS network role. The paper's evaluation (§5) treats a
+// middlebox as a long-lived service relaying many sessions at once;
+// this package is where that service shape lives, so that
+// cmd/mbtls-proxy, cmd/mbtls-server, and the netsim-driven tests stop
+// duplicating accept loops and instead share one implementation of:
+//
+//   - a bounded accept loop: at most MaxSessions sessions run
+//     concurrently, and connections beyond the cap are refused with a
+//     typed OverloadError (and an overloaded alert on the wire) rather
+//     than queued without bound;
+//   - a session registry: monotonic session IDs with per-session state
+//     (handshaking → established → draining → closed);
+//   - graceful drain: Shutdown lets in-flight sessions finish while
+//     refusing new ones with a typed DrainingError, and force-closes
+//     survivors at the deadline (sealed close_notify when hop keys
+//     exist, so endpoints see an orderly close instead of a reset);
+//   - one aggregation point for SessionStats/MiddleboxStats plus the
+//     host gauges (active sessions, handshakes in flight, drain time);
+//   - a host-scoped record-buffer pool, bounding relay memory by the
+//     pool rather than by session count.
+package sessionhost
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tls12"
+)
+
+// State is a registered session's lifecycle state.
+type State int32
+
+// Session lifecycle states, in order.
+const (
+	// StateHandshaking covers admission through session establishment.
+	StateHandshaking State = iota
+	// StateEstablished is the steady state: data plane installed (or
+	// the session settled into a transparent relay).
+	StateEstablished
+	// StateDraining marks a session that was in flight when Shutdown
+	// began; it runs to completion or to the drain deadline.
+	StateDraining
+	// StateClosed is terminal.
+	StateClosed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateHandshaking:
+		return "handshaking"
+	case StateEstablished:
+		return "established"
+	case StateDraining:
+		return "draining"
+	case StateClosed:
+		return "closed"
+	}
+	return "state(?)"
+}
+
+// Handler runs one admitted connection to completion. The connection
+// is closed by the host when Serve returns; Serve should use ctl to
+// report establishment and register a force-closer so graceful drain
+// can end the session cleanly at the deadline.
+type Handler interface {
+	Serve(ctl *Control, conn net.Conn) error
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctl *Control, conn net.Conn) error
+
+// Serve implements Handler.
+func (f HandlerFunc) Serve(ctl *Control, conn net.Conn) error { return f(ctl, conn) }
+
+// Defaults for Config fields left zero.
+const (
+	DefaultMaxSessions  = 256
+	DefaultDrainTimeout = 10 * time.Second
+)
+
+// Config configures a Host.
+type Config struct {
+	// Name identifies the host in typed rejection errors and metrics.
+	Name string
+	// MaxSessions caps concurrent sessions; connections beyond the cap
+	// are refused with OverloadError. Zero means DefaultMaxSessions.
+	MaxSessions int
+	// DrainTimeout bounds Close's implicit drain. Zero means
+	// DefaultDrainTimeout. (Shutdown takes its deadline from its
+	// context instead.)
+	DrainTimeout time.Duration
+	// Handler runs each admitted connection. Required.
+	Handler Handler
+	// BufPool is the host-scoped record-buffer pool handed to relay
+	// code (see Host.BufPool). Nil allocates a bounded pool sized to
+	// MaxSessions.
+	BufPool *tls12.RecordBufPool
+	// MiddleboxStats, when set, is snapshotted into Metrics so a host
+	// fronting a Middlebox aggregates both stats surfaces in one
+	// place.
+	MiddleboxStats func() core.MiddleboxStats
+	// Logf, when set, receives one line per session teardown and per
+	// refused connection.
+	Logf func(format string, args ...any)
+}
+
+// Host is the per-connection lifecycle runtime. Create with New, feed
+// with Serve (own the accept loop) or Submit (bring your own), stop
+// with Shutdown or Close.
+type Host struct {
+	cfg  Config
+	sem  chan struct{}
+	bufs *tls12.RecordBufPool
+
+	// drainCh closes when drain begins; handlers can select on it.
+	drainCh chan struct{}
+
+	nextID atomic.Uint64
+
+	mu        sync.Mutex
+	sessions  map[uint64]*session
+	listeners map[net.Listener]struct{}
+	draining  bool
+	closed    bool
+	wg        sync.WaitGroup
+
+	accepted        uint64
+	completed       uint64
+	failed          uint64
+	overloaded      uint64
+	refusedDraining uint64
+	forceClosed     uint64
+	agg             core.SessionStats
+	drainTime       time.Duration
+}
+
+// New builds a Host.
+func New(cfg Config) (*Host, error) {
+	if cfg.Handler == nil {
+		return nil, errors.New("sessionhost: config requires a Handler")
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	bufs := cfg.BufPool
+	if bufs == nil {
+		// Two directions' worth of relay buffers per concurrent
+		// session is the steady-state working set; everything beyond
+		// that is allocation the GC reclaims.
+		bufs = tls12.NewRecordBufPool(2 * cfg.MaxSessions)
+	}
+	return &Host{
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxSessions),
+		bufs:      bufs,
+		drainCh:   make(chan struct{}),
+		sessions:  make(map[uint64]*session),
+		listeners: make(map[net.Listener]struct{}),
+	}, nil
+}
+
+// Name returns the configured host name.
+func (h *Host) Name() string { return h.cfg.Name }
+
+// BufPool returns the host-scoped record-buffer pool. Middleboxes
+// served by this host should be built with MiddleboxConfig.BufPool set
+// to it so relay memory is bounded by the pool, not by session count.
+func (h *Host) BufPool() *tls12.RecordBufPool { return h.bufs }
+
+// Draining returns a channel closed when drain begins.
+func (h *Host) Draining() <-chan struct{} { return h.drainCh }
+
+func (h *Host) logf(format string, args ...any) {
+	if h.cfg.Logf != nil {
+		h.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections from ln and submits each to the session
+// pool until ln fails or the host shuts down. Refused connections
+// (overload, draining) are answered with a plaintext fatal alert
+// before closing, so a dialing mbTLS client observes a typed
+// ClassOverload failure instead of a bare reset. Serve returns nil
+// when the listener was closed by Shutdown/Close.
+func (h *Host) Serve(ln net.Listener) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		ln.Close()
+		return errors.New("sessionhost: host is closed")
+	}
+	h.listeners[ln] = struct{}{}
+	h.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			h.mu.Lock()
+			closed := h.closed
+			h.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if err := h.Submit(conn); err != nil {
+			h.reject(conn, err)
+		}
+	}
+}
+
+// Submit admits one connection into the session pool, spawning its
+// handler on a tracked goroutine. It returns a typed DrainingError or
+// OverloadError (both ClassOverload) when the connection is refused,
+// in which case the caller keeps ownership of conn.
+func (h *Host) Submit(conn net.Conn) error {
+	if err := h.admit(); err != nil {
+		return err
+	}
+	s := &session{id: h.nextID.Add(1), host: h, conn: conn}
+	h.mu.Lock()
+	if h.draining {
+		// Raced with Shutdown between admit and registration.
+		h.refusedDraining++
+		h.mu.Unlock()
+		<-h.sem
+		return &core.DrainingError{Host: h.cfg.Name}
+	}
+	h.sessions[s.id] = s
+	h.accepted++
+	h.wg.Add(1)
+	h.mu.Unlock()
+	go h.runSession(s)
+	return nil
+}
+
+// admit claims a session slot or returns the typed refusal.
+func (h *Host) admit() error {
+	h.mu.Lock()
+	if h.draining {
+		h.refusedDraining++
+		h.mu.Unlock()
+		return &core.DrainingError{Host: h.cfg.Name}
+	}
+	h.mu.Unlock()
+	select {
+	case h.sem <- struct{}{}:
+		return nil
+	default:
+		h.mu.Lock()
+		h.overloaded++
+		h.mu.Unlock()
+		return &core.OverloadError{Host: h.cfg.Name, Active: cap(h.sem), Max: cap(h.sem)}
+	}
+}
+
+// reject answers a refused connection with the matching plaintext
+// fatal alert, then closes it. Best-effort: the alert races the
+// client's own view of the connection by design.
+func (h *Host) reject(conn net.Conn, err error) {
+	desc := tls12.AlertOverloaded
+	var de *core.DrainingError
+	if errors.As(err, &de) {
+		desc = tls12.AlertDraining
+	}
+	rec := tls12.RawRecord{
+		Type:    tls12.TypeAlert,
+		Payload: []byte{byte(tls12.AlertLevelFatal), byte(desc)},
+	}
+	conn.SetWriteDeadline(time.Now().Add(time.Second)) //nolint:errcheck
+	conn.Write(rec.Marshal())                          //nolint:errcheck
+	conn.Close()
+	h.logf("sessionhost %s: refused connection: %v", h.cfg.Name, err)
+}
+
+// runSession drives one admitted session to completion.
+func (h *Host) runSession(s *session) {
+	defer h.wg.Done()
+	err := h.cfg.Handler.Serve(&Control{s: s}, s.conn)
+	s.conn.Close()
+	s.state.Store(int32(StateClosed))
+	cls := core.ClassifyError(err)
+	h.mu.Lock()
+	delete(h.sessions, s.id)
+	if cls == core.ClassOK || cls == core.ClassCleanClose {
+		h.completed++
+	} else {
+		h.failed++
+	}
+	h.mu.Unlock()
+	<-h.sem
+	if cls != core.ClassOK {
+		h.logf("sessionhost %s: session %d closed: %s (%v)", h.cfg.Name, s.id, cls, err)
+	}
+}
+
+// Shutdown gracefully drains the host: new admissions are refused with
+// DrainingError, in-flight sessions run to completion, and sessions
+// still alive when ctx expires are force-closed (a hosted middlebox
+// seals a close_notify toward both neighbors first). Listeners
+// registered via Serve are closed once the pool is empty. Shutdown
+// returns ctx.Err() if the deadline forced any closes, nil after a
+// clean drain.
+func (h *Host) Shutdown(ctx context.Context) error {
+	h.mu.Lock()
+	alreadyDraining := h.draining
+	h.draining = true
+	for _, s := range h.sessions {
+		s.markDraining()
+	}
+	h.mu.Unlock()
+	if !alreadyDraining {
+		close(h.drainCh)
+	}
+
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		h.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		h.mu.Lock()
+		forced := make([]*session, 0, len(h.sessions))
+		for _, s := range h.sessions {
+			forced = append(forced, s)
+		}
+		h.forceClosed += uint64(len(forced))
+		h.mu.Unlock()
+		for _, s := range forced {
+			s.forceClose()
+		}
+		// Force-closing killed the transports, which unwinds the
+		// handler goroutines; wait for them so no session outlives
+		// Shutdown.
+		<-done
+	}
+
+	h.mu.Lock()
+	h.drainTime = time.Since(start)
+	firstClose := !h.closed
+	h.closed = true
+	lns := make([]net.Listener, 0, len(h.listeners))
+	for ln := range h.listeners {
+		lns = append(lns, ln)
+	}
+	h.listeners = make(map[net.Listener]struct{})
+	h.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	if firstClose {
+		h.logf("sessionhost %s: drained in %v (forced %d)", h.cfg.Name, time.Since(start), h.forceClosed)
+	}
+	return err
+}
+
+// Close drains with the configured DrainTimeout.
+func (h *Host) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.DrainTimeout)
+	defer cancel()
+	return h.Shutdown(ctx)
+}
+
+// Metrics is a point-in-time snapshot of a Host.
+type Metrics struct {
+	Name string
+	// Admission counters.
+	Accepted        uint64 // sessions admitted
+	Completed       uint64 // sessions ended clean (ok / clean close)
+	Failed          uint64 // sessions ended by a fault-classified error
+	Overloaded      uint64 // connections refused at the session cap
+	RefusedDraining uint64 // connections refused during drain
+	ForceClosed     uint64 // sessions force-closed at a drain deadline
+	// Gauges.
+	ActiveSessions     int
+	HandshakesInFlight int
+	Draining           bool
+	// DrainTime is how long the last Shutdown took (zero before one).
+	DrainTime time.Duration
+	// Sessions aggregates the SessionStats handlers reported via
+	// Control.ReportStats.
+	Sessions core.SessionStats
+	// Middlebox is the fronted middlebox's counters when the Config
+	// wires a MiddleboxStats source.
+	Middlebox *core.MiddleboxStats
+	// BufPool snapshots the host-scoped record-buffer pool.
+	BufPool tls12.RecordBufPoolStats
+}
+
+// Metrics snapshots the host.
+func (h *Host) Metrics() Metrics {
+	h.mu.Lock()
+	m := Metrics{
+		Name:            h.cfg.Name,
+		Accepted:        h.accepted,
+		Completed:       h.completed,
+		Failed:          h.failed,
+		Overloaded:      h.overloaded,
+		RefusedDraining: h.refusedDraining,
+		ForceClosed:     h.forceClosed,
+		ActiveSessions:  len(h.sessions),
+		Draining:        h.draining,
+		DrainTime:       h.drainTime,
+		Sessions:        h.agg,
+	}
+	for _, s := range h.sessions {
+		if State(s.state.Load()) == StateHandshaking {
+			m.HandshakesInFlight++
+		}
+	}
+	h.mu.Unlock()
+	if h.cfg.MiddleboxStats != nil {
+		st := h.cfg.MiddleboxStats()
+		m.Middlebox = &st
+	}
+	m.BufPool = h.bufs.Stats()
+	return m
+}

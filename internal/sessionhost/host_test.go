@@ -1,0 +1,459 @@
+package sessionhost_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/certs"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sessionhost"
+	"repro/internal/tls12"
+)
+
+// hostEnv is the shared fixture: a simulated network and a PKI with a
+// server and a middlebox certificate.
+type hostEnv struct {
+	net        *netsim.Network
+	ca         *certs.CA
+	serverCert *tls12.Certificate
+	mbCert     *tls12.Certificate
+}
+
+func newHostEnv(t *testing.T) *hostEnv {
+	t.Helper()
+	ca, err := certs.NewCA("sessionhost test root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCert, err := ca.Issue("origin.example", []string{"origin.example"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbCert, err := ca.Issue("mb.example", []string{"mb.example"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &hostEnv{net: netsim.NewNetwork(), ca: ca, serverCert: serverCert, mbCert: mbCert}
+}
+
+func (e *hostEnv) clientConfig() *core.ClientConfig {
+	return &core.ClientConfig{
+		TLS:              &tls12.Config{RootCAs: e.ca.Pool(), ServerName: "origin.example"},
+		HandshakeTimeout: 10 * time.Second,
+	}
+}
+
+func (e *hostEnv) serverConfig() *core.ServerConfig {
+	return &core.ServerConfig{
+		TLS:               &tls12.Config{Certificate: e.serverCert},
+		AcceptMiddleboxes: true,
+		MiddleboxTLS:      &tls12.Config{RootCAs: e.ca.Pool()},
+		HandshakeTimeout:  10 * time.Second,
+	}
+}
+
+// echoHandler serves echo sessions until the peer closes.
+func (e *hostEnv) echoHandler() sessionhost.Handler {
+	return sessionhost.NewServerHandler(e.serverConfig(), func(s *core.Session) error {
+		buf := make([]byte, 256)
+		for {
+			n, err := s.Read(buf)
+			if err != nil {
+				return err
+			}
+			if _, err := s.Write(buf[:n]); err != nil {
+				return err
+			}
+		}
+	})
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// waitGoroutines is the repo's goroutine-accounting helper (the same
+// pattern pins the no-leak property in internal/core's fault tests):
+// poll until the goroutine count returns to base, dumping all stacks on
+// timeout.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d running, want <= %d\n%s",
+		runtime.NumGoroutine(), base, buf[:n])
+}
+
+// TestShutdownDrainsInFlightAndRefusesNew is the graceful half of the
+// drain contract: a session mid-transfer when Shutdown begins runs to
+// completion (Shutdown returns nil, nothing force-closed), while a new
+// dial during the drain is refused with the typed draining rejection —
+// ClassOverload both for the local Submit caller and for a remote
+// mbTLS client, which sees the plaintext draining alert.
+func TestShutdownDrainsInFlightAndRefusesNew(t *testing.T) {
+	base := runtime.NumGoroutine()
+	e := newHostEnv(t)
+	ln, err := e.net.Listen("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := sessionhost.New(sessionhost.Config{Name: "drain-test", Handler: e.echoHandler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go host.Serve(ln) //nolint:errcheck
+
+	// Establish a session and leave it mid-transfer.
+	conn, err := e.net.Dial("client", "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.Dial(conn, e.clientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Write([]byte("first half")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if _, err := readFull(sess, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Begin the drain with a generous deadline; it must not need it.
+	shutdownErr := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() { shutdownErr <- host.Shutdown(ctx) }()
+	<-host.Draining()
+
+	// A new remote dial during drain is refused with the draining
+	// alert, which the client's classifier maps to ClassOverload.
+	conn2, err := e.net.Dial("latecomer", "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Dial(conn2, e.clientConfig()); err == nil {
+		t.Error("dial during drain produced a session, want refusal")
+	} else {
+		if cls := core.ClassifyError(err); cls != core.ClassOverload {
+			t.Errorf("drain refusal classified %s (%v), want %s", cls, err, core.ClassOverload)
+		}
+		if !tls12.IsRemoteAlert(err, tls12.AlertDraining) {
+			t.Errorf("drain refusal = %v, want remote draining alert", err)
+		}
+	}
+
+	// A local Submit during drain returns the typed DrainingError.
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	err = host.Submit(c1)
+	var de *core.DrainingError
+	if !errors.As(err, &de) {
+		t.Fatalf("Submit during drain = %v, want DrainingError", err)
+	}
+	if de.Host != "drain-test" {
+		t.Errorf("DrainingError.Host = %q", de.Host)
+	}
+	if cls := core.ClassifyError(err); cls != core.ClassOverload {
+		t.Errorf("DrainingError classified %s, want %s", cls, core.ClassOverload)
+	}
+	c1.Close()
+
+	// The in-flight session keeps working through the drain, then
+	// finishes cleanly — and only then does Shutdown return.
+	if _, err := sess.Write([]byte("second half")); err != nil {
+		t.Fatalf("mid-transfer write during drain: %v", err)
+	}
+	buf = make([]byte, 11)
+	if _, err := readFull(sess, buf); err != nil {
+		t.Fatalf("mid-transfer read during drain: %v", err)
+	}
+	if string(buf) != "second half" {
+		t.Fatalf("echo during drain = %q", buf)
+	}
+	sess.Close()
+
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown = %v, want clean drain", err)
+	}
+	m := host.Metrics()
+	if m.Completed != 1 || m.ForceClosed != 0 {
+		t.Errorf("completed=%d forceClosed=%d, want 1/0", m.Completed, m.ForceClosed)
+	}
+	if m.RefusedDraining < 2 {
+		t.Errorf("refusedDraining = %d, want >= 2", m.RefusedDraining)
+	}
+	if m.DrainTime <= 0 {
+		t.Error("drain time not recorded")
+	}
+	waitGoroutines(t, base)
+}
+
+// TestOverloadRefusal: at MaxSessions the host refuses admission with
+// the typed OverloadError locally and the overloaded alert remotely,
+// both feeding ClassOverload, and counts each refusal.
+func TestOverloadRefusal(t *testing.T) {
+	e := newHostEnv(t)
+	release := make(chan struct{})
+	host, err := sessionhost.New(sessionhost.Config{
+		Name:        "tiny",
+		MaxSessions: 1,
+		Handler: sessionhost.HandlerFunc(func(ctl *sessionhost.Control, conn net.Conn) error {
+			<-release
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the only slot.
+	c1, c1peer := net.Pipe()
+	defer c1peer.Close()
+	if err := host.Submit(c1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "slot occupied", func() bool { return host.Metrics().ActiveSessions == 1 })
+
+	// Local Submit beyond the cap.
+	c2, c2peer := net.Pipe()
+	defer c2peer.Close()
+	err = host.Submit(c2)
+	var oe *core.OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("Submit over cap = %v, want OverloadError", err)
+	}
+	if oe.Host != "tiny" || oe.Max != 1 {
+		t.Errorf("OverloadError = %+v", oe)
+	}
+	if cls := core.ClassifyError(err); cls != core.ClassOverload {
+		t.Errorf("OverloadError classified %s, want %s", cls, core.ClassOverload)
+	}
+	if !core.ClassOverload.Transient() {
+		t.Error("ClassOverload must be transient: the client may retry elsewhere")
+	}
+	c2.Close()
+
+	// Remote dial beyond the cap sees the overloaded alert.
+	ln, err := e.net.Listen("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go host.Serve(ln) //nolint:errcheck
+	conn, err := e.net.Dial("client", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Dial(conn, e.clientConfig()); err == nil {
+		t.Error("dial over cap produced a session, want refusal")
+	} else {
+		if cls := core.ClassifyError(err); cls != core.ClassOverload {
+			t.Errorf("overload refusal classified %s (%v), want %s", cls, err, core.ClassOverload)
+		}
+		if !tls12.IsRemoteAlert(err, tls12.AlertOverloaded) {
+			t.Errorf("overload refusal = %v, want remote overloaded alert", err)
+		}
+	}
+
+	m := host.Metrics()
+	if m.Overloaded < 2 {
+		t.Errorf("overloaded = %d, want >= 2", m.Overloaded)
+	}
+	if m.Accepted != 1 || m.HandshakesInFlight != 1 {
+		t.Errorf("accepted=%d handshaking=%d, want 1/1", m.Accepted, m.HandshakesInFlight)
+	}
+
+	close(release)
+	if err := host.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+}
+
+// TestForceClosePastDeadlineLeaksNoGoroutines is the forced half of
+// the drain contract: a full client → middlebox → server chain whose
+// session never ends on its own is force-closed when the Shutdown
+// deadline expires — the middlebox seals a close_notify toward both
+// neighbors, the transports drop, every relay and handler goroutine
+// unwinds, and nothing leaks.
+func TestForceClosePastDeadlineLeaksNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	e := newHostEnv(t)
+
+	srvLn, err := e.net.Listen("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvHost, err := sessionhost.New(sessionhost.Config{Name: "server", Handler: e.echoHandler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srvHost.Serve(srvLn) //nolint:errcheck
+
+	pool := tls12.NewRecordBufPool(4)
+	mb, err := core.NewMiddlebox(core.MiddleboxConfig{
+		Name: "mb.example", Mode: core.ClientSide, Certificate: e.mbCert, BufPool: pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbLn, err := e.net.Listen("mb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbHost, err := sessionhost.New(sessionhost.Config{
+		Name:    "mb",
+		BufPool: pool,
+		Handler: sessionhost.NewMiddleboxHandler(mb, func() (net.Conn, error) {
+			return e.net.Dial("mb", "server")
+		}),
+		MiddleboxStats: mb.Stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go mbHost.Serve(mbLn) //nolint:errcheck
+
+	// A client that establishes a session and then idles forever: the
+	// session will never drain on its own.
+	clientDone := make(chan error, 1)
+	established := make(chan struct{})
+	go func() {
+		conn, err := e.net.Dial("client", "mb")
+		if err != nil {
+			clientDone <- err
+			return
+		}
+		sess, err := core.Dial(conn, e.clientConfig())
+		if err != nil {
+			clientDone <- err
+			return
+		}
+		close(established)
+		sess.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+		buf := make([]byte, 16)
+		_, err = sess.Read(buf) // blocks until the force-close reaches us
+		sess.Close()
+		clientDone <- fmt.Errorf("read after force-close: %w", err)
+	}()
+	<-established
+	waitFor(t, "session registered on both hosts", func() bool {
+		return mbHost.Metrics().ActiveSessions == 1 && srvHost.Metrics().ActiveSessions == 1
+	})
+
+	// Drain the middlebox host with a deadline the idle session cannot
+	// meet: Shutdown must force-close it and report the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := mbHost.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Shutdown past deadline = %v, want deadline exceeded", err)
+	}
+	if got := mbHost.Metrics().ForceClosed; got != 1 {
+		t.Errorf("forceClosed = %d, want 1", got)
+	}
+
+	// The force-close unwound the chain: the client's blocked read
+	// returns, and the server host (whose transport the middlebox
+	// dropped) now drains cleanly within its deadline.
+	select {
+	case err := <-clientDone:
+		if cls := core.ClassifyError(err); !cls.Transient() && cls != core.ClassCleanClose {
+			t.Errorf("client saw class %s (%v) after force-close", cls, err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client still blocked after force-close")
+	}
+	srvCtx, srvCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer srvCancel()
+	if err := srvHost.Shutdown(srvCtx); err != nil {
+		t.Errorf("server host Shutdown after middlebox force-close = %v", err)
+	}
+
+	waitGoroutines(t, base)
+}
+
+// TestControlLifecycle pins the registry semantics handlers observe:
+// monotonic session IDs, the handshaking → established transition, and
+// the draining channel.
+func TestControlLifecycle(t *testing.T) {
+	type obs struct {
+		id            uint64
+		before, after sessionhost.State
+	}
+	seen := make(chan obs, 2)
+	host, err := sessionhost.New(sessionhost.Config{
+		Name: "ctl",
+		Handler: sessionhost.HandlerFunc(func(ctl *sessionhost.Control, conn net.Conn) error {
+			o := obs{id: ctl.ID(), before: ctl.State()}
+			ctl.SessionEstablished()
+			o.after = ctl.State()
+			seen <- o
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []uint64
+	for i := 0; i < 2; i++ {
+		c, peer := net.Pipe()
+		defer peer.Close()
+		if err := host.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+		o := <-seen
+		if o.before != sessionhost.StateHandshaking || o.after != sessionhost.StateEstablished {
+			t.Errorf("session %d states = %s → %s, want handshaking → established", o.id, o.before, o.after)
+		}
+		ids = append(ids, o.id)
+	}
+	if ids[1] <= ids[0] {
+		t.Errorf("session IDs not monotonic: %v", ids)
+	}
+	if err := host.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m := host.Metrics(); m.Completed != 2 || m.ActiveSessions != 0 {
+		t.Errorf("completed=%d active=%d, want 2/0", m.Completed, m.ActiveSessions)
+	}
+	select {
+	case <-host.Draining():
+	default:
+		t.Error("Draining channel not closed after Close")
+	}
+}
+
+// readFull reads exactly len(buf) bytes from an mbTLS session.
+func readFull(r interface{ Read([]byte) (int, error) }, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

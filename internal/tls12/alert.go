@@ -36,6 +36,14 @@ const (
 	// AlertAttestationFailure is an mbTLS-specific alert raised when a
 	// required SGX attestation is missing or fails verification.
 	AlertAttestationFailure AlertDescription = 113
+	// AlertOverloaded is an mbTLS-specific alert a session host sends
+	// before closing a connection it refuses because it is at its
+	// max-concurrent-sessions cap.
+	AlertOverloaded AlertDescription = 114
+	// AlertDraining is an mbTLS-specific alert a session host sends
+	// before closing a connection it refuses because it is draining
+	// toward shutdown.
+	AlertDraining AlertDescription = 115
 )
 
 func (d AlertDescription) String() string {
@@ -76,6 +84,10 @@ func (d AlertDescription) String() string {
 		return "unsupported_extension"
 	case AlertAttestationFailure:
 		return "attestation_failure"
+	case AlertOverloaded:
+		return "overloaded"
+	case AlertDraining:
+		return "draining"
 	}
 	return fmt.Sprintf("alert(%d)", uint8(d))
 }

@@ -50,6 +50,95 @@ func PutRecordBuf(b []byte) {
 	recordBufPool.Put(&b)
 }
 
+// RecordBufPoolStats is a point-in-time snapshot of a RecordBufPool.
+type RecordBufPoolStats struct {
+	// Gets counts GetRecordBuf calls; Hits counts the subset served
+	// from the bounded free list rather than a fresh allocation.
+	Gets, Hits uint64
+	// Retained is the number of buffers currently parked in the free
+	// list; Capacity is the retention bound (0 for the shared pool,
+	// whose retention the runtime manages).
+	Retained, Capacity int
+}
+
+// RecordBufPool is a bounded record-buffer pool: at most the configured
+// number of max-record-size buffers are retained, so a host serving N
+// sessions bounds relay memory by the pool, not by session count.
+// Excess Puts drop their buffer for the GC; Gets past the retained set
+// allocate. The zero value (and SharedRecordBufPool) delegates to the
+// process-wide unbounded pool — same call shape, no bound.
+//
+// The ownership discipline is the same as the package-level
+// GetRecordBuf/PutRecordBuf (and is checked by the same mbtls-lint
+// bufownership analyzer, which matches these methods by name).
+type RecordBufPool struct {
+	free chan *[]byte
+	gets atomic.Uint64
+	hits atomic.Uint64
+}
+
+// sharedRecordBufPool adapts the process-wide sync.Pool to the
+// RecordBufPool shape for callers configured without their own pool.
+var sharedRecordBufPool RecordBufPool
+
+// SharedRecordBufPool returns a *RecordBufPool backed by the unbounded
+// process-wide pool.
+func SharedRecordBufPool() *RecordBufPool { return &sharedRecordBufPool }
+
+// NewRecordBufPool returns a pool retaining at most maxRetained
+// buffers (at least 1).
+func NewRecordBufPool(maxRetained int) *RecordBufPool {
+	if maxRetained < 1 {
+		maxRetained = 1
+	}
+	return &RecordBufPool{free: make(chan *[]byte, maxRetained)}
+}
+
+// GetRecordBuf returns a zero-length buffer with capacity for one
+// maximum-size wire record, reusing a retained buffer when one is free.
+func (p *RecordBufPool) GetRecordBuf() []byte {
+	p.gets.Add(1)
+	if p.free == nil {
+		p.hits.Add(1) // the shared pool recycles internally
+		return GetRecordBuf()
+	}
+	select {
+	case b := <-p.free:
+		p.hits.Add(1)
+		return (*b)[:0]
+	default:
+		return make([]byte, 0, MaxRecordWireSize)
+	}
+}
+
+// PutRecordBuf returns a buffer obtained from GetRecordBuf. When the
+// retention bound is reached the buffer is dropped for the GC. The
+// caller must not use b afterwards.
+func (p *RecordBufPool) PutRecordBuf(b []byte) {
+	if cap(b) < MaxRecordWireSize {
+		return // never pool undersized buffers
+	}
+	if p.free == nil {
+		PutRecordBuf(b)
+		return
+	}
+	b = b[:0]
+	select {
+	case p.free <- &b:
+	default:
+	}
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *RecordBufPool) Stats() RecordBufPoolStats {
+	return RecordBufPoolStats{
+		Gets:     p.gets.Load(),
+		Hits:     p.hits.Load(),
+		Retained: len(p.free),
+		Capacity: cap(p.free),
+	}
+}
+
 // ParseRecordHeader validates a 5-byte record header and returns the
 // content type and body length. The errors match ReadRawRecord's.
 func ParseRecordHeader(hdr []byte) (ContentType, int, error) {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/certs"
 	"repro/internal/core"
 	"repro/internal/enclave"
+	"repro/internal/sessionhost"
 	"repro/internal/tls12"
 )
 
@@ -37,6 +38,27 @@ type (
 	Direction = core.Direction
 	// Mode selects client-side or server-side middlebox behavior.
 	Mode = core.Mode
+	// OverloadError is a session host's typed at-capacity rejection.
+	OverloadError = core.OverloadError
+	// DrainingError is a session host's typed shutting-down rejection.
+	DrainingError = core.DrainingError
+
+	// SessionHost is the shared per-connection lifecycle runtime:
+	// bounded accept loop, session registry, graceful drain,
+	// backpressure, and stats aggregation.
+	SessionHost = sessionhost.Host
+	// SessionHostConfig configures NewSessionHost.
+	SessionHostConfig = sessionhost.Config
+	// SessionHostMetrics snapshots a SessionHost.
+	SessionHostMetrics = sessionhost.Metrics
+	// SessionHandler runs one admitted connection.
+	SessionHandler = sessionhost.Handler
+	// SessionControl is a handler's interface back to the runtime.
+	SessionControl = sessionhost.Control
+
+	// RecordBufPool is a bounded record-buffer pool, shared between a
+	// SessionHost and the middlebox it fronts.
+	RecordBufPool = tls12.RecordBufPool
 
 	// TLSConfig configures the underlying TLS 1.2 engine.
 	TLSConfig = tls12.Config
@@ -107,6 +129,31 @@ func Accept(transport net.Conn, cfg *ServerConfig) (*Session, error) {
 // NewMiddlebox builds an mbTLS middlebox.
 func NewMiddlebox(cfg MiddleboxConfig) (*Middlebox, error) {
 	return core.NewMiddlebox(cfg)
+}
+
+// NewSessionHost builds a session-host runtime. Every accept loop in
+// the repo — the proxy and server binaries, the bench harness, the
+// concurrent-session tests — admits connections through one of these.
+func NewSessionHost(cfg SessionHostConfig) (*SessionHost, error) {
+	return sessionhost.New(cfg)
+}
+
+// NewRecordBufPool builds a bounded record-buffer pool retaining at
+// most maxRetained buffers.
+func NewRecordBufPool(maxRetained int) *RecordBufPool {
+	return tls12.NewRecordBufPool(maxRetained)
+}
+
+// NewMiddleboxHandler adapts a Middlebox to a SessionHost handler:
+// each admitted connection is relayed toward the next hop from dial.
+func NewMiddleboxHandler(mb *Middlebox, dial func() (net.Conn, error)) SessionHandler {
+	return sessionhost.NewMiddleboxHandler(mb, dial)
+}
+
+// NewServerHandler adapts an mbTLS server to a SessionHost handler:
+// each admitted connection is accepted and handed to serve.
+func NewServerHandler(cfg *ServerConfig, serve func(*Session) error) SessionHandler {
+	return sessionhost.NewServerHandler(cfg, serve)
 }
 
 // NewCA creates a self-signed certificate authority, typically one per

@@ -1,0 +1,37 @@
+#!/bin/sh
+# verify.sh — the tier-1 verify recipe (ROADMAP.md), one command.
+# Every gate runs even when an earlier one fails, so a single pass
+# reports everything; the exit status is non-zero if any gate failed.
+set -u
+
+fail=0
+gate() {
+	echo "== $*"
+	if ! "$@"; then
+		echo "== FAILED: $*" >&2
+		fail=1
+	fi
+}
+
+cd "$(dirname "$0")"
+
+gate go build ./...
+gate go test ./...
+gate go vet ./...
+gate go test -race ./internal/core/ ./internal/tls12/ ./internal/netsim/
+gate go run ./cmd/mbtls-lint ./...
+
+echo "== gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "== FAILED: gofmt -l . (unformatted files):" >&2
+	echo "$unformatted" >&2
+	fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+	echo "verify: all tier-1 gates passed"
+else
+	echo "verify: FAILED" >&2
+fi
+exit "$fail"
