@@ -9,6 +9,7 @@
 //	mbtls-bench legacy            §5.1: legacy interoperability breakdown
 //	mbtls-bench design            §2: the design-space matrix, with live probes
 //	mbtls-bench sessions          session-host throughput/latency concurrency sweep
+//	mbtls-bench handshake         handshake fast path: full vs chain-ticket-resumed
 //	mbtls-bench all               everything above
 //
 // Absolute numbers depend on this machine; the shapes (who wins, by
@@ -19,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -31,8 +34,11 @@ func main() {
 	boundary := flag.Duration("boundary-cost", time.Microsecond, "simulated SGX transition cost for fig7")
 	jsonOut := flag.Bool("json", false, "for fig7/sessions: also write BENCH_fig7.json / BENCH_sessions.json")
 	perWorker := flag.Int("sessions-per-worker", 0, "sessions each worker runs per concurrency level (0 = default)")
+	quick := flag.Bool("quick", false, "for handshake: shrink to a smoke-test run (CI gate)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mbtls-bench [flags] {design|table1|table2|fig5|fig6|fig7|legacy|sessions|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: mbtls-bench [flags] {design|table1|table2|fig5|fig6|fig7|legacy|sessions|handshake|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,6 +52,25 @@ func main() {
 		if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
 			os.Exit(2)
 		}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		exitOn(err)
+		exitOn(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			exitOn(err)
+			defer f.Close()
+			runtime.GC()
+			exitOn(pprof.WriteHeapProfile(f))
+		}()
 	}
 
 	run := func(name string) {
@@ -88,6 +113,17 @@ func main() {
 				exitOn(experiments.WriteSessionsJSON("BENCH_sessions.json", rows))
 				fmt.Println("wrote BENCH_sessions.json")
 			}
+		case "handshake":
+			rows, err := experiments.RunHandshake(experiments.HandshakeOptions{
+				SessionsPerWorker: *perWorker,
+				Quick:             *quick,
+			})
+			exitOn(err)
+			fmt.Print(experiments.FormatHandshake(rows))
+			if *jsonOut {
+				exitOn(experiments.WriteHandshakeJSON("BENCH_handshake.json", rows))
+				fmt.Println("wrote BENCH_handshake.json")
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "mbtls-bench: unknown experiment %q\n", name)
 			flag.Usage()
@@ -97,7 +133,7 @@ func main() {
 	}
 
 	if cmd == "all" {
-		for _, name := range []string{"design", "table1", "table2", "fig5", "fig6", "fig7", "legacy", "sessions"} {
+		for _, name := range []string{"design", "table1", "table2", "fig5", "fig6", "fig7", "legacy", "sessions", "handshake"} {
 			run(name)
 		}
 		return

@@ -38,6 +38,8 @@ func main() {
 	statsEvery := flag.Duration("stats", 0, "log cumulative session/fault counters at this interval (0 disables)")
 	maxSessions := flag.Int("max-sessions", 0, "max concurrent sessions (0 = default)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
+	stekRotate := flag.Duration("stek-rotate", time.Hour, "session-ticket key rotation interval (0 disables resumption)")
+	keyshares := flag.Int("keyshares", 64, "precomputed X25519 keyshare pool size (0 disables)")
 	flag.Parse()
 
 	cfg := mbtls.MiddleboxConfig{
@@ -84,6 +86,22 @@ func main() {
 	pool := mbtls.NewRecordBufPool(2 * sessions)
 	cfg.BufPool = pool
 
+	// Handshake fast path: hop tickets under a rotating STEK, plus a
+	// precomputed keyshare pool for the full handshakes that remain.
+	var stek *mbtls.STEK
+	if *stekRotate > 0 {
+		if stek, err = mbtls.NewSTEK(*stekRotate); err != nil {
+			log.Fatalf("mbtls-proxy: %v", err)
+		}
+		cfg.TicketKeys = stek
+	}
+	var ksPool *mbtls.KeySharePool
+	if *keyshares > 0 {
+		ksPool = mbtls.NewKeySharePool(*keyshares, 0)
+		defer ksPool.Close()
+		cfg.KeyShares = ksPool
+	}
+
 	mb, err := mbtls.NewMiddlebox(cfg)
 	if err != nil {
 		log.Fatalf("mbtls-proxy: %v", err)
@@ -97,6 +115,8 @@ func main() {
 			return net.Dial("tcp", *next)
 		}),
 		MiddleboxStats: mb.Stats,
+		KeySharePool:   ksPool,
+		TicketKeys:     stek,
 	})
 	if err != nil {
 		log.Fatalf("mbtls-proxy: %v", err)
@@ -139,12 +159,17 @@ func main() {
 }
 
 // logStats prints the host's aggregated counters, including the
-// fronted middlebox's data-plane stats.
+// fronted middlebox's data-plane stats and the handshake fast-path
+// surfaces (resumptions, keyshare pool hit rate, STEK rotations).
 func logStats(m mbtls.SessionHostMetrics) {
 	s := m.Middlebox
 	log.Printf("mbtls-proxy: stats active=%d handshaking=%d accepted=%d completed=%d failed=%d overloaded=%d "+
-		"sessions=%d mbtls=%d relayed=%d rekeyed=%d bytes=%d announce_skipped=%d faults=%d",
+		"sessions=%d mbtls=%d relayed=%d rekeyed=%d bytes=%d announce_skipped=%d faults=%d resumed=%d",
 		m.ActiveSessions, m.HandshakesInFlight, m.Accepted, m.Completed, m.Failed, m.Overloaded,
 		s.Sessions, s.MbTLSSessions, s.RecordsRelayed, s.RecordsRekeyed,
-		s.BytesProcessed, s.AnnounceSkipped, s.FaultsObserved)
+		s.BytesProcessed, s.AnnounceSkipped, s.FaultsObserved, s.SessionsResumed)
+	if p := m.KeySharePool; p != nil {
+		log.Printf("mbtls-proxy: fastpath keyshares hit=%d miss=%d hit_rate=%.2f wiped=%d stek_rotations=%d",
+			p.Hits, p.Misses, p.HitRate(), p.Wiped, m.TicketKeyRotations)
+	}
 }

@@ -140,6 +140,20 @@ func isByteSlice(t types.Type) bool {
 	return ok && b.Kind() == types.Byte
 }
 
+// isByteArray reports whether a type's underlying type is a
+// fixed-size byte array ([32]byte and friends).
+func isByteArray(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	a, ok := t.Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	b, ok := a.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
 // isByteSliceMap reports whether a type's underlying type is a map
 // with []byte values.
 func isByteSliceMap(t types.Type) bool {

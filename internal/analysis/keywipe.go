@@ -17,11 +17,14 @@ import (
 // guarantees the methods exist and stay complete as fields are added.
 //
 // Scope: slice and map fields (heap-referenced bytes that survive
-// copies of the struct) and value fields of secret-bearing struct
-// types. Pointer fields are ownership boundaries — wiping shared state
-// from one owner's teardown would corrupt the others — and byte arrays
-// are value types whose copies proliferate; both stay call-site
-// discipline.
+// copies of the struct), confidential fixed-size byte arrays (the
+// hsfast STEK generations, tls12.Config's ticket key — wiping clears
+// the canonical copy; any struct a copy lands in is flagged on its own
+// terms), and value fields of secret-bearing struct types. Pointer
+// fields are ownership boundaries — wiping shared state from one
+// owner's teardown would corrupt the others — and stay call-site
+// discipline. Array fields are typically cleared through the
+// secmem.Wipe(x.field[:]) idiom, which counts as clearing the field.
 var KeyWipe = &Analyzer{
 	Name: "keywipe",
 	Doc:  "structs holding key material must declare a complete Wipe method",
@@ -82,9 +85,9 @@ func checkWipeType(pass *Pass, ts *ast.TypeSpec) {
 }
 
 // secretFields lists the struct's fields that must be wiped:
-// confidential-named []byte / map[...][]byte fields, plus value fields
-// whose struct type itself carries secrets. Recursion is through value
-// struct fields only, which Go guarantees are acyclic.
+// confidential-named []byte / [N]byte / map[...][]byte fields, plus
+// value fields whose struct type itself carries secrets. Recursion is
+// through value struct fields only, which Go guarantees are acyclic.
 func secretFields(st *types.Struct) []string {
 	var out []string
 	for i := 0; i < st.NumFields(); i++ {
@@ -93,7 +96,7 @@ func secretFields(st *types.Struct) []string {
 		if isPublicKeyType(t) {
 			continue
 		}
-		if confidentialName(f.Name()) && (isByteSlice(t) || isByteSliceMap(t)) {
+		if confidentialName(f.Name()) && (isByteSlice(t) || isByteArray(t) || isByteSliceMap(t)) {
 			out = append(out, f.Name())
 			continue
 		}
@@ -143,7 +146,13 @@ func clearedFields(fd *ast.FuncDecl) map[string]bool {
 		return cleared
 	}
 	mark := func(e ast.Expr) {
-		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		// Unwrap the array-wiping idiom secmem.Wipe(x.field[:]) down
+		// to the field selector before matching.
+		e = ast.Unparen(e)
+		if sl, ok := e.(*ast.SliceExpr); ok {
+			e = ast.Unparen(sl.X)
+		}
+		if sel, ok := e.(*ast.SelectorExpr); ok {
 			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == recv {
 				cleared[sel.Sel.Name] = true
 			}

@@ -63,6 +63,38 @@ func (m *MappedKeys) Wipe() {
 	}
 }
 
+// ArrayKeys holds key material in fixed-size arrays (the STEK shape)
+// and clears them through the field[:] slicing idiom: no finding.
+type ArrayKeys struct {
+	CurrentKey  [32]byte
+	PreviousKey [32]byte
+	Generation  int
+}
+
+func (a *ArrayKeys) Wipe() {
+	wipe(a.CurrentKey[:])
+	wipe(a.PreviousKey[:])
+}
+
+type NakedArrayKeys struct { // want "declares no Wipe method"
+	TicketKey [32]byte
+}
+
+type PartialArrayKeys struct {
+	SealKey [32]byte
+	OpenKey [32]byte
+}
+
+func (p *PartialArrayKeys) Wipe() { // want "does not clear secret field OpenKey"
+	wipe(p.SealKey[:])
+}
+
+// HashIndex names a lookup digest "hash", not "key": arrays of public
+// material stay out of scope by naming convention.
+type HashIndex struct {
+	ChainHash [32]byte
+}
+
 //lint:ignore keywipe fixture demonstrates an accepted, documented exception
 type WaivedKeys struct {
 	PrivateKey []byte

@@ -17,6 +17,9 @@ type secondaryResult struct {
 	conn    *tls12.Conn
 	summary MiddleboxSummary
 	err     error
+	// ticket is the NewSessionTicket the middlebox issued on this
+	// secondary session, when chain-ticket collection is on.
+	ticket *tls12.SessionTicket
 	// skip marks subchannels intentionally ignored (announcements at a
 	// server configured not to accept middleboxes).
 	skip bool
@@ -79,11 +82,32 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 		return nil, errors.New("core: ClientConfig.TLS is required")
 	}
 	tcfg := *cfg.TLS
+	ct := cfg.ChainTicket
+	if ct != nil && tcfg.SessionTicket == nil {
+		tcfg.SessionTicket = ct.Primary
+	}
 	tcfg.MiddleboxSupport = &tls12.MiddleboxSupport{
 		Middleboxes:  cfg.KnownMiddleboxes,
 		NeighborKeys: cfg.NeighborKeys,
+		HopTickets:   ct.offeredHopTickets(),
 	}
 	tcfg.OfferAttestation = true
+
+	// Chain-ticket collection: capture the primary's NewSessionTicket
+	// here and each hop's on its secondary (below), then assemble them
+	// in path order once the chain is approved.
+	var primaryTicket *tls12.SessionTicket
+	collect := cfg.OnNewChainTicket != nil
+	if collect {
+		tcfg.EnableTickets = true
+		userOnNew := tcfg.OnNewTicket
+		tcfg.OnNewTicket = func(st *tls12.SessionTicket) {
+			primaryTicket = st // handshake goroutine; read after primaryDone
+			if userOnNew != nil {
+				userOnNew(st)
+			}
+		}
+	}
 
 	hello, helloRaw, err := tls12.NewClientHello(&tcfg)
 	if err != nil {
@@ -115,10 +139,11 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 	// ServerHello, so every subchannel exists at the mux before the
 	// primary handshake can complete.
 	secCfg := secondaryClientConfig(cfg.TLS, cfg.MiddleboxTLS, cfg.RequireMiddleboxAttestation, cfg.MiddleboxVerifier)
+	secCfg.HopTickets = ct.hopTicketMap()
 	results := make(chan secondaryResult, maxSubchannels)
 	stop := make(chan struct{})
 	go watchSubchannels(m, stop, results, func(sub uint8) secondaryResult {
-		return runClientSecondary(m, sub, secCfg, hello, helloRaw)
+		return runClientSecondary(m, sub, secCfg, hello, helloRaw, collect)
 	})
 
 	fail := func(err error) (*Session, error) {
@@ -154,6 +179,26 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 	// path order from the client outward.
 	sort.Slice(secs, func(i, j int) bool { return secs[i].sub > secs[j].sub })
 
+	// A resumed secondary handshake carries no certificates or quote;
+	// possession of the hop ticket's master secret proves the peer is
+	// the middlebox verified on the original session, so the approval
+	// facts come from the chain ticket that was redeemed.
+	resumedHops := 0
+	for i := range secs {
+		hop := secs[i].conn.ConnectionState().ResumedHop
+		if hop == "" {
+			continue
+		}
+		h := ct.Hop(hop)
+		if h == nil {
+			return fail(fmt.Errorf("core: middlebox resumed unknown hop %q", hop))
+		}
+		resumedHops++
+		secs[i].summary.Name = h.Name
+		secs[i].summary.Attested = h.Attested
+		secs[i].summary.Measurement = h.Measurement
+	}
+
 	for i := range secs {
 		if cfg.RequireMiddleboxAttestation && !secs[i].summary.Attested {
 			return fail(fmt.Errorf("core: middlebox %q did not attest", secs[i].summary.Name))
@@ -173,9 +218,35 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 	}
 	hw.stop()
 
-	sess := &Session{conn: pconn, m: m, transport: transport}
+	sess := &Session{
+		conn:           pconn,
+		m:              m,
+		transport:      transport,
+		resumedPrimary: pconn.ConnectionState().Resumed,
+		resumedHops:    resumedHops,
+	}
 	for _, r := range secs {
 		sess.mboxes = append(sess.mboxes, r.summary)
+	}
+
+	if collect {
+		nct := &ChainTicket{Primary: primaryTicket}
+		for _, r := range secs {
+			if r.ticket == nil {
+				continue
+			}
+			nct.Hops = append(nct.Hops, ChainHop{
+				Name:         r.summary.Name,
+				Ticket:       r.ticket.Ticket,
+				CipherSuite:  r.ticket.CipherSuite,
+				MasterSecret: r.ticket.MasterSecret,
+				Attested:     r.summary.Attested,
+				Measurement:  r.summary.Measurement,
+			})
+		}
+		if nct.Primary != nil || len(nct.Hops) > 0 {
+			cfg.OnNewChainTicket(nct)
+		}
 	}
 	return sess, nil
 }
@@ -183,14 +254,23 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 // runClientSecondary completes one secondary handshake in which the
 // discovered middlebox plays the server role against the (already
 // sent) primary ClientHello.
-func runClientSecondary(m *mux, sub uint8, cfg *tls12.Config, hello *tls12.ClientHello, helloRaw []byte) secondaryResult {
+func runClientSecondary(m *mux, sub uint8, cfg *tls12.Config, hello *tls12.ClientHello, helloRaw []byte, collectTicket bool) secondaryResult {
 	pipe := m.subchannel(sub, false)
 	rl := tls12.NewRecordLayer(pipe)
+	r := secondaryResult{sub: sub}
+	if collectTicket {
+		c := *cfg
+		c.EnableTickets = true
+		c.OnNewTicket = func(st *tls12.SessionTicket) { r.ticket = st }
+		cfg = &c
+	}
 	conn := tls12.ClientWithSentHello(rl, cfg, hello, helloRaw)
 	if err := conn.Handshake(); err != nil {
 		return secondaryResult{sub: sub, err: err}
 	}
-	return secondaryResult{sub: sub, conn: conn, summary: summarize(sub, conn.ConnectionState())}
+	r.conn = conn
+	r.summary = summarize(sub, conn.ConnectionState())
+	return r
 }
 
 // clientNeighborKeys establishes the client's adjacent hop key by a

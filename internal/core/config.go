@@ -89,6 +89,20 @@ type ClientConfig struct {
 	// see internal/core/neighbor.go). Requires an mbTLS server and
 	// client-side middleboxes only.
 	NeighborKeys bool
+	// ChainTicket resumes a previously established session chain: the
+	// primary session and every client-side middlebox hop the ticket
+	// covers skip ECDHE, signatures, and verification. Hops whose
+	// tickets have gone stale fall back to full handshakes
+	// individually. TLS.SessionTicket, when also set, takes precedence
+	// for the primary.
+	ChainTicket *ChainTicket
+	// OnNewChainTicket receives the chain ticket assembled from this
+	// session's NewSessionTicket messages (primary plus per-hop), for
+	// resuming the whole chain later. Setting it implies
+	// TLS.EnableTickets. The callback runs before Dial returns; the
+	// ticket's master secrets are live key material — hold them
+	// accordingly and Wipe retired tickets.
+	OnNewChainTicket func(*ChainTicket)
 	// HandshakeTimeout bounds each phase of session establishment
 	// (primary handshake, secondary handshakes, key distribution).
 	// Zero applies DefaultHandshakeTimeout; negative disables the
@@ -134,6 +148,10 @@ func secondaryClientConfig(primary, template *tls12.Config, requireAttestation b
 	}
 	cfg.MiddleboxSupport = nil
 	cfg.SessionTicket = nil
+	// Hop resumption state is injected per-chain by the caller; the
+	// primary's ticket callback must not fire for hop tickets.
+	cfg.HopTickets = nil
+	cfg.OnNewTicket = nil
 	if requireAttestation {
 		cfg.RequestAttestation = true
 		if verifier != nil {

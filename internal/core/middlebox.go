@@ -73,6 +73,16 @@ type MiddleboxConfig struct {
 	// bounded host-scoped pool, so relay memory is bounded by the pool
 	// rather than by session count. Nil uses the process-wide pool.
 	BufPool *tls12.RecordBufPool
+	// TicketKeys, when set, enables chain-ticket resumption for the
+	// middlebox's secondary sessions: it issues STEK-sealed hop tickets
+	// named after the middlebox, and resumes returning clients that
+	// present one (skipping ECDHE, signing, and attestation on that
+	// hop). Host-scoped; share one rotating source (hsfast.STEK)
+	// across the host's middleboxes to share its rotation schedule.
+	TicketKeys tls12.TicketKeySource
+	// KeyShares, when set, supplies precomputed X25519 keyshares for
+	// full secondary handshakes (hsfast.KeySharePool). Host-scoped.
+	KeyShares tls12.KeyShareSource
 }
 
 // MiddleboxStats are cumulative data-plane counters.
@@ -84,6 +94,7 @@ type MiddleboxStats struct {
 	BytesProcessed  int64 // plaintext bytes through the Processor
 	AnnounceSkipped int64 // announcements suppressed by the negative cache
 	FaultsObserved  int64 // sessions torn down by a fault-classified error
+	SessionsResumed int64 // secondary handshakes resumed from hop tickets
 }
 
 // Middlebox is an mbTLS application-layer middlebox: it relays a TCP
@@ -102,13 +113,14 @@ type Middlebox struct {
 	annMu    sync.Mutex
 	annCache map[string]bool // server address -> do not announce again
 
-	sessions       atomic.Int64
-	mbtlsSessions  atomic.Int64
-	recordsRelayed atomic.Int64
-	recordsRekeyed atomic.Int64
-	bytesProcessed atomic.Int64
-	annSkipped     atomic.Int64
-	faultsObserved atomic.Int64
+	sessions        atomic.Int64
+	mbtlsSessions   atomic.Int64
+	recordsRelayed  atomic.Int64
+	recordsRekeyed  atomic.Int64
+	bytesProcessed  atomic.Int64
+	annSkipped      atomic.Int64
+	faultsObserved  atomic.Int64
+	sessionsResumed atomic.Int64
 }
 
 // NewMiddlebox builds a middlebox. Key material is stored in an
@@ -154,6 +166,7 @@ func (mb *Middlebox) Stats() MiddleboxStats {
 		BytesProcessed:  mb.bytesProcessed.Load(),
 		AnnounceSkipped: mb.annSkipped.Load(),
 		FaultsObserved:  mb.faultsObserved.Load(),
+		SessionsResumed: mb.sessionsResumed.Load(),
 	}
 }
 
@@ -946,6 +959,15 @@ func (s *mbSession) runSecondary(serverAddr string) {
 		Certificate:  s.mb.cfg.Certificate,
 		CipherSuites: s.mb.cfg.CipherSuites,
 		Stopwatch:    s.mb.cfg.Stopwatch,
+		KeyShares:    s.mb.cfg.KeyShares,
+	}
+	if s.mb.cfg.TicketKeys != nil && s.mb.cfg.Mode == ClientSide {
+		// Issue and redeem hop tickets under this middlebox's name.
+		// Server-side chains are built from anonymous announcements, so
+		// the client has no hop ticket to offer them.
+		cfg.EnableTickets = true
+		cfg.TicketKeys = s.mb.cfg.TicketKeys
+		cfg.HopTicketName = s.mb.cfg.Name
 	}
 	if e := s.mb.cfg.Enclave; e != nil {
 		cfg.Quoter = func(reportData []byte) (quote []byte, err error) {
@@ -975,6 +997,10 @@ func (s *mbSession) runSecondary(serverAddr string) {
 		}
 		s.setDataPlane(nil, fmt.Errorf("core: secondary handshake: %w", err))
 		return
+	}
+
+	if conn.ConnectionState().Resumed {
+		s.mb.sessionsResumed.Add(1)
 	}
 
 	// Retain the secondary session keys in the vault so the adversary

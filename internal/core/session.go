@@ -31,6 +31,12 @@ type SessionStats struct {
 	// (ClassifyError vocabulary, e.g. "clean_close",
 	// "remote_alert:bad_record_mac"); empty while the session lives.
 	TeardownReason string
+	// ResumedPrimary counts primary handshakes resumed from a session
+	// ticket (0 or 1 at an endpoint).
+	ResumedPrimary int64
+	// ResumedHops counts secondary handshakes resumed from chain-ticket
+	// hop tickets.
+	ResumedHops int64
 }
 
 // Session is an established mbTLS session from an endpoint's
@@ -43,6 +49,10 @@ type Session struct {
 	m         *mux
 	transport net.Conn
 	mboxes    []MiddleboxSummary
+
+	// Fast-path provenance, fixed at establishment time.
+	resumedPrimary bool
+	resumedHops    int
 
 	faults   atomic.Int64
 	teardown atomic.Pointer[string]
@@ -116,6 +126,10 @@ func (s *Session) Stats() SessionStats {
 	st := SessionStats{
 		RecordsRelayed: in + out,
 		FaultsObserved: s.faults.Load(),
+		ResumedHops:    int64(s.resumedHops),
+	}
+	if s.resumedPrimary {
+		st.ResumedPrimary = 1
 	}
 	if r := s.teardown.Load(); r != nil {
 		st.TeardownReason = *r

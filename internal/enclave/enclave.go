@@ -26,6 +26,7 @@ import (
 	"crypto/ed25519"
 	"crypto/rand"
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -282,12 +283,30 @@ func ParseQuote(data []byte) (*Quote, error) {
 // Verify checks the quote's signature chain against the authority key
 // and that it binds the expected report data.
 func (q *Quote) Verify(authority ed25519.PublicKey, reportData []byte) error {
+	if err := q.verifyEndorsement(authority); err != nil {
+		return err
+	}
+	return q.verifyBinding(reportData)
+}
+
+// verifyEndorsement checks the platform link of the chain: the
+// authority endorsed this platform key. The verdict depends only on
+// (authority, platform key, endorsement), so it is safe to memoize
+// across handshakes.
+func (q *Quote) verifyEndorsement(authority ed25519.PublicKey) error {
 	if len(q.PlatformKey) != ed25519.PublicKeySize {
 		return errors.New("enclave: bad platform key length")
 	}
 	if !ed25519.Verify(authority, q.PlatformKey, q.Endorsement) {
 		return errors.New("enclave: platform key not endorsed by authority")
 	}
+	return nil
+}
+
+// verifyBinding checks the per-handshake half: the platform signed this
+// quote body, and the body binds this handshake's report data. Never
+// cached — it is what makes a quote fresh rather than replayed.
+func (q *Quote) verifyBinding(reportData []byte) error {
 	if !ed25519.Verify(q.PlatformKey, quoteBody(q.Measurement, q.ReportData), q.Signature) {
 		return errors.New("enclave: invalid quote signature")
 	}
@@ -308,6 +327,13 @@ func constantTimeEqual(a, b []byte) bool {
 	return v == 0
 }
 
+// QuoteCache memoizes endorsement-verification verdicts across
+// handshakes (hsfast.VerifyCache satisfies it). Do runs verify on a
+// miss and returns the memoized error on a hit.
+type QuoteCache interface {
+	Do(key [32]byte, verify func() error) (cached bool, err error)
+}
+
 // Verifier is an attestation policy: an authority trust anchor plus a
 // set of acceptable code measurements. It plugs into
 // tls12.Config.VerifyQuote.
@@ -317,6 +343,29 @@ type Verifier struct {
 	// measurement from a genuine platform (identity is then checked by
 	// certificate only, P3A without P3B).
 	Allowed []Measurement
+	// Cache, when set, memoizes the endorsement half of quote
+	// verification, keyed by (authority, platform key, endorsement).
+	// The quote-body signature and report-data binding are still
+	// verified on every handshake — a cache hit never lets a stale or
+	// replayed quote through, it only skips re-verifying that a
+	// platform key the authority already endorsed is endorsed.
+	Cache QuoteCache
+}
+
+// endorsementKey hashes the cached verdict's full input. Each variable
+// field is length-framed so no two (authority, key, endorsement)
+// triples collide.
+func endorsementKey(authority ed25519.PublicKey, q *Quote) [32]byte {
+	h := sha256.New()
+	var frame [4]byte
+	for _, field := range [][]byte{authority, q.PlatformKey, q.Endorsement} {
+		binary.BigEndian.PutUint32(frame[:], uint32(len(field)))
+		h.Write(frame[:])
+		h.Write(field)
+	}
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
 }
 
 // VerifyQuote implements the tls12 attestation hook.
@@ -325,7 +374,17 @@ func (v *Verifier) VerifyQuote(quoteBytes, reportData []byte) error {
 	if err != nil {
 		return err
 	}
-	if err := q.Verify(v.Authority, reportData); err != nil {
+	if v.Cache != nil {
+		_, err = v.Cache.Do(endorsementKey(v.Authority, q), func() error {
+			return q.verifyEndorsement(v.Authority)
+		})
+	} else {
+		err = q.verifyEndorsement(v.Authority)
+	}
+	if err != nil {
+		return err
+	}
+	if err := q.verifyBinding(reportData); err != nil {
 		return err
 	}
 	if len(v.Allowed) == 0 {

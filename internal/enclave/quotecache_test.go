@@ -1,0 +1,109 @@
+package enclave_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/enclave"
+	"repro/internal/hsfast"
+)
+
+// The hsfast cache must satisfy the enclave verification hook.
+var _ enclave.QuoteCache = (*hsfast.VerifyCache)(nil)
+
+// countingCache wraps a QuoteCache and counts how many times verify
+// actually ran (i.e. cache misses).
+type countingCache struct {
+	inner enclave.QuoteCache
+	runs  int
+}
+
+func (c *countingCache) Do(key [32]byte, verify func() error) (bool, error) {
+	return c.inner.Do(key, func() error {
+		c.runs++
+		return verify()
+	})
+}
+
+func quoteFixture(t *testing.T) (*enclave.Authority, []byte, []byte) {
+	t.Helper()
+	a, err := enclave.NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := a.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.CreateEnclave(enclave.CodeImage{Name: "proxy", Version: "1.0"})
+	report := make([]byte, enclave.ReportDataLen)
+	copy(report, "handshake transcript hash")
+	var q *enclave.Quote
+	e.Enter(func(mem enclave.Memory) { q, err = mem.Quote(report) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, q.Marshal(), report
+}
+
+// TestQuoteCacheSkipsEndorsementOnly pins the cache's safety contract:
+// repeat quotes from one platform verify the endorsement once, but the
+// per-handshake freshness binding is still checked every time — a
+// cached endorsement never lets a replayed quote through.
+func TestQuoteCacheSkipsEndorsementOnly(t *testing.T) {
+	a, quote, report := quoteFixture(t)
+	cache := &countingCache{inner: hsfast.NewVerifyCache(16, time.Hour, nil)}
+	v := &enclave.Verifier{Authority: a.PublicKey(), Cache: cache}
+
+	for i := 0; i < 3; i++ {
+		if err := v.VerifyQuote(quote, report); err != nil {
+			t.Fatalf("verify %d: %v", i, err)
+		}
+	}
+	if cache.runs != 1 {
+		t.Fatalf("endorsement verified %d times, want 1", cache.runs)
+	}
+
+	// Freshness: same endorsed platform, wrong report data. The cache
+	// hit on the endorsement must not mask the replay.
+	stale := make([]byte, enclave.ReportDataLen)
+	copy(stale, "a different handshake")
+	if err := v.VerifyQuote(quote, stale); err == nil {
+		t.Fatal("replayed quote accepted on a cached endorsement")
+	}
+
+	// A forged endorsement hashes to a different key: it must be
+	// rejected, and must not disturb the genuine platform's entry.
+	q, err := enclave.ParseQuote(quote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Endorsement[0] ^= 1
+	if err := v.VerifyQuote(q.Marshal(), report); err == nil {
+		t.Fatal("forged endorsement accepted")
+	}
+	if err := v.VerifyQuote(quote, report); err != nil {
+		t.Fatalf("genuine quote rejected after forged attempt: %v", err)
+	}
+}
+
+// TestQuoteCacheMeasurementPolicyUncached: the measurement policy is
+// applied on every verification even when the endorsement is cached,
+// so two verifiers sharing one cache keep their own policies.
+func TestQuoteCacheMeasurementPolicyUncached(t *testing.T) {
+	a, quote, report := quoteFixture(t)
+	shared := hsfast.NewVerifyCache(16, time.Hour, nil)
+
+	open := &enclave.Verifier{Authority: a.PublicKey(), Cache: shared}
+	if err := open.VerifyQuote(quote, report); err != nil {
+		t.Fatalf("open policy: %v", err)
+	}
+	strict := &enclave.Verifier{
+		Authority: a.PublicKey(),
+		Allowed:   []enclave.Measurement{{0xFF}},
+		Cache:     shared,
+	}
+	if err := strict.VerifyQuote(quote, report); err == nil {
+		t.Fatal("strict policy accepted a disallowed measurement via the shared cache")
+	}
+}

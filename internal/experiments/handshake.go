@@ -1,0 +1,437 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/certs"
+	"repro/internal/core"
+	"repro/internal/enclave"
+	"repro/internal/hsfast"
+	"repro/internal/netsim"
+	"repro/internal/sessionhost"
+	"repro/internal/tls12"
+)
+
+// HandshakeLevels is the default concurrency sweep for the handshake
+// fast-path bench. The 16-way level is the acceptance point: resumed
+// chains must sustain at least twice the sessions/sec of full chains
+// at half the p50.
+var HandshakeLevels = []int{4, 16}
+
+// HandshakeRow is one (mode, concurrency) cell of the fast-path bench.
+type HandshakeRow struct {
+	// Mode is "full" (complete chain handshakes) or "resumed"
+	// (chain-ticket resumption of primary and hop).
+	Mode string `json:"mode"`
+	// Concurrency is how many workers ran sessions at once.
+	Concurrency int `json:"concurrency"`
+	// Sessions is the total number of completed sessions.
+	Sessions int `json:"sessions"`
+	// SessionsPerSec is sustained session throughput (handshake + one
+	// echo round trip + teardown).
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	// HandshakeP50Ms / HandshakeP99Ms are client-observed chain
+	// establishment latency percentiles in milliseconds.
+	HandshakeP50Ms float64 `json:"handshake_p50_ms"`
+	HandshakeP99Ms float64 `json:"handshake_p99_ms"`
+	// ResumedPrimary / ResumedHops count how many sessions actually
+	// took the fast path (zero in full mode by construction).
+	ResumedPrimary int64 `json:"resumed_primary"`
+	ResumedHops    int64 `json:"resumed_hops"`
+	// KeyShareHitRate is the middlebox keyshare pool's hit rate over
+	// this cell; VerifyCacheHitRate is the client's chain-verification
+	// cache hit rate.
+	KeyShareHitRate    float64 `json:"keyshare_hit_rate"`
+	VerifyCacheHitRate float64 `json:"verify_cache_hit_rate"`
+	// SpeedupVsFull and P50RatioVsFull compare a resumed row against
+	// the full row at the same concurrency (zero on full rows). The
+	// acceptance gate: Speedup ≥ 2.0 and P50Ratio ≤ 0.5 at 16-way.
+	SpeedupVsFull  float64 `json:"speedup_vs_full,omitempty"`
+	P50RatioVsFull float64 `json:"p50_ratio_vs_full,omitempty"`
+}
+
+// HandshakeOptions tunes the run.
+type HandshakeOptions struct {
+	// Levels overrides the concurrency sweep.
+	Levels []int
+	// SessionsPerWorker is how many sequential sessions each worker
+	// runs per cell (default 16).
+	SessionsPerWorker int
+	// Quick shrinks the run to a smoke test (one small level, few
+	// sessions) for CI gating; ratios are still computed but not
+	// meaningful at that scale.
+	Quick bool
+}
+
+// handshakeEnv is the shared topology: one attested middlebox host
+// (STEK + keyshare pool) in front of one ticket-issuing origin host,
+// plus the client-side caches every worker shares.
+type handshakeEnv struct {
+	n        *netsim.Network
+	ca       *certs.CA
+	verifier *enclave.Verifier
+	ksPool   *hsfast.KeySharePool
+	chainVC  *hsfast.VerifyCache
+	mb       *core.Middlebox
+	hosts    []*sessionhost.Host
+}
+
+func (e *handshakeEnv) Close() {
+	for _, h := range e.hosts {
+		h.Close() //nolint:errcheck
+	}
+	e.ksPool.Close()
+}
+
+func newHandshakeEnv(maxLevel int) (*handshakeEnv, error) {
+	ca, err := certs.NewCA("handshake root")
+	if err != nil {
+		return nil, err
+	}
+	serverCert, err := ca.Issue("origin.example", []string{"origin.example"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	mbCert, err := ca.Issue("mb.example", []string{"mb.example"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	authority, err := enclave.NewAuthority()
+	if err != nil {
+		return nil, err
+	}
+	platform, err := authority.NewPlatform()
+	if err != nil {
+		return nil, err
+	}
+	encl := platform.CreateEnclave(enclave.CodeImage{Name: "mbtls-proxy", Version: "1.0"})
+
+	n := netsim.NewNetwork()
+	srvLn, err := n.Listen("server")
+	if err != nil {
+		return nil, err
+	}
+	mbLn, err := n.Listen("mb")
+	if err != nil {
+		return nil, err
+	}
+
+	// Origin: issues primary tickets under its own rotating STEK.
+	srvSTEK, err := hsfast.NewSTEK(time.Hour, nil)
+	if err != nil {
+		return nil, err
+	}
+	scfg := &core.ServerConfig{
+		TLS:               &tls12.Config{Certificate: serverCert, EnableTickets: true, TicketKeys: srvSTEK},
+		AcceptMiddleboxes: true,
+		MiddleboxTLS:      &tls12.Config{RootCAs: ca.Pool()},
+		HandshakeTimeout:  30 * time.Second,
+	}
+	srvHost, err := sessionhost.New(sessionhost.Config{
+		Name:        "handshake-server",
+		MaxSessions: 2 * maxLevel,
+		Handler: sessionhost.NewServerHandler(scfg, func(s *core.Session) error {
+			buf := make([]byte, 16<<10)
+			for {
+				nr, err := s.Read(buf)
+				if err != nil {
+					return err
+				}
+				if _, err := s.Write(buf[:nr]); err != nil {
+					return err
+				}
+			}
+		}),
+	})
+	if err != nil {
+		return nil, err
+	}
+	go srvHost.Serve(srvLn) //nolint:errcheck
+
+	// Middlebox: enclave-attested, hop tickets under a host STEK,
+	// ephemeral keys from the precompute pool.
+	mbSTEK, err := hsfast.NewSTEK(time.Hour, nil)
+	if err != nil {
+		srvHost.Close() //nolint:errcheck
+		return nil, err
+	}
+	ksPool := hsfast.NewKeySharePool(4*maxLevel, 2)
+	mb, err := core.NewMiddlebox(core.MiddleboxConfig{
+		Name:        "mb.example",
+		Mode:        core.ClientSide,
+		Certificate: mbCert,
+		Enclave:     encl,
+		TicketKeys:  mbSTEK,
+		KeyShares:   ksPool,
+	})
+	if err != nil {
+		srvHost.Close() //nolint:errcheck
+		ksPool.Close()
+		return nil, err
+	}
+	mbHost, err := sessionhost.New(sessionhost.Config{
+		Name:        "handshake-mb",
+		MaxSessions: 2 * maxLevel,
+		Handler: sessionhost.NewMiddleboxHandler(mb, func() (net.Conn, error) {
+			return n.Dial("mb", "server")
+		}),
+		MiddleboxStats: mb.Stats,
+		KeySharePool:   ksPool,
+		TicketKeys:     mbSTEK,
+	})
+	if err != nil {
+		srvHost.Close() //nolint:errcheck
+		ksPool.Close()
+		return nil, err
+	}
+	go mbHost.Serve(mbLn) //nolint:errcheck
+
+	return &handshakeEnv{
+		n:  n,
+		ca: ca,
+		verifier: &enclave.Verifier{
+			Authority: authority.PublicKey(),
+			Cache:     hsfast.NewVerifyCache(64, time.Hour, nil),
+		},
+		ksPool:  ksPool,
+		chainVC: hsfast.NewVerifyCache(64, time.Hour, nil),
+		mb:      mb,
+		hosts:   []*sessionhost.Host{srvHost, mbHost},
+	}, nil
+}
+
+// clientConfig builds one session's client config. ct (optional) is
+// the chain ticket to redeem; onTicket receives the reissued one.
+func (e *handshakeEnv) clientConfig(ct *core.ChainTicket, onTicket func(*core.ChainTicket)) *core.ClientConfig {
+	return &core.ClientConfig{
+		TLS: &tls12.Config{
+			RootCAs:     e.ca.Pool(),
+			ServerName:  "origin.example",
+			VerifyCache: e.chainVC,
+		},
+		RequireMiddleboxAttestation: true,
+		MiddleboxVerifier:           e.verifier,
+		HandshakeTimeout:            30 * time.Second,
+		ChainTicket:                 ct,
+		OnNewChainTicket:            onTicket,
+	}
+}
+
+// RunHandshake measures the handshake fast path: full chain
+// establishment (primary + attested middlebox hop, every signature and
+// verification live) against chain-ticket resumption of the same
+// topology, at each concurrency level. Both modes share the running
+// hosts, so the numbers isolate the handshake work itself.
+func RunHandshake(opts HandshakeOptions) ([]HandshakeRow, error) {
+	levels := opts.Levels
+	if len(levels) == 0 {
+		levels = HandshakeLevels
+	}
+	perWorker := opts.SessionsPerWorker
+	if perWorker <= 0 {
+		perWorker = 16
+	}
+	if opts.Quick {
+		levels = []int{4}
+		perWorker = 2
+	}
+	maxLevel := 0
+	for _, l := range levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+
+	env, err := newHandshakeEnv(maxLevel)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+
+	payload := core.RandomPlaintext(256)
+	var rows []HandshakeRow
+	for _, level := range levels {
+		full, err := handshakeCell(env, "full", level, perWorker, payload)
+		if err != nil {
+			return nil, fmt.Errorf("handshake full@%d: %w", level, err)
+		}
+		resumed, err := handshakeCell(env, "resumed", level, perWorker, payload)
+		if err != nil {
+			return nil, fmt.Errorf("handshake resumed@%d: %w", level, err)
+		}
+		if resumed.ResumedPrimary == 0 || resumed.ResumedHops == 0 {
+			return nil, fmt.Errorf("handshake resumed@%d: no session took the fast path (%+v)", level, resumed)
+		}
+		if full.SessionsPerSec > 0 {
+			resumed.SpeedupVsFull = resumed.SessionsPerSec / full.SessionsPerSec
+		}
+		if full.HandshakeP50Ms > 0 {
+			resumed.P50RatioVsFull = resumed.HandshakeP50Ms / full.HandshakeP50Ms
+		}
+		rows = append(rows, full, resumed)
+	}
+	return rows, nil
+}
+
+// handshakeCell drives one (mode, concurrency) cell.
+func handshakeCell(env *handshakeEnv, mode string, level, perWorker int, payload []byte) (HandshakeRow, error) {
+	row := HandshakeRow{Mode: mode, Concurrency: level}
+	latencies := make([]time.Duration, 0, level*perWorker)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, level)
+
+	// Resumed mode: seed every worker's chain ticket with one full
+	// session before the clock starts, so the measured window holds
+	// only fast-path establishments; each resumed session then redeems
+	// the previous one's reissue.
+	seeds := make([]*core.ChainTicket, level)
+	if mode == "resumed" {
+		for w := 0; w < level; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if _, _, err := oneChainSession(env, fmt.Sprintf("seed-%d", w), nil, &seeds[w], payload); err != nil {
+					select {
+					case errs <- fmt.Errorf("worker %d seed: %w", w, err):
+					default:
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		select {
+		case err := <-errs:
+			return row, err
+		default:
+		}
+	}
+
+	ksBefore := env.ksPool.Stats()
+	vcBefore := env.chainVC.Stats()
+	start := time.Now()
+	for w := 0; w < level; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ct := seeds[w]
+			local := make([]time.Duration, 0, perWorker)
+			var rp, rh int64
+			for i := 0; i < perWorker; i++ {
+				redeem := ct
+				if mode != "resumed" {
+					redeem = nil
+				}
+				hs, st, err := oneChainSession(env, fmt.Sprintf("worker-%s-%d-%d", mode, w, i), redeem, &ct, payload)
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("worker %d session %d: %w", w, i, err):
+					default:
+					}
+					return
+				}
+				local = append(local, hs)
+				rp += st.ResumedPrimary
+				rh += st.ResumedHops
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			row.ResumedPrimary += rp
+			row.ResumedHops += rh
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return row, err
+	default:
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	row.Sessions = len(latencies)
+	row.SessionsPerSec = float64(row.Sessions) / elapsed.Seconds()
+	row.HandshakeP50Ms = float64(percentileDuration(latencies, 0.50)) / float64(time.Millisecond)
+	row.HandshakeP99Ms = float64(percentileDuration(latencies, 0.99)) / float64(time.Millisecond)
+	ksAfter := env.ksPool.Stats()
+	if served := (ksAfter.Hits + ksAfter.Misses) - (ksBefore.Hits + ksBefore.Misses); served > 0 {
+		row.KeyShareHitRate = float64(ksAfter.Hits-ksBefore.Hits) / float64(served)
+	}
+	vcAfter := env.chainVC.Stats()
+	if looked := (vcAfter.Hits + vcAfter.Misses) - (vcBefore.Hits + vcBefore.Misses); looked > 0 {
+		row.VerifyCacheHitRate = float64(vcAfter.Hits-vcBefore.Hits) / float64(looked)
+	}
+	return row, nil
+}
+
+// oneChainSession runs one complete client session, returning the
+// chain establishment latency and the session's resumption counters.
+// *ctOut is updated with the session's reissued chain ticket.
+func oneChainSession(env *handshakeEnv, clientName string, redeem *core.ChainTicket,
+	ctOut **core.ChainTicket, payload []byte) (time.Duration, core.SessionStats, error) {
+
+	conn, err := env.n.Dial(clientName, "mb")
+	if err != nil {
+		return 0, core.SessionStats{}, err
+	}
+	ccfg := env.clientConfig(redeem, func(c *core.ChainTicket) { *ctOut = c })
+	start := time.Now()
+	sess, err := core.Dial(conn, ccfg)
+	if err != nil {
+		conn.Close()
+		return 0, core.SessionStats{}, err
+	}
+	hs := time.Since(start)
+	defer sess.Close()
+	if _, err := sess.Write(payload); err != nil {
+		return 0, core.SessionStats{}, err
+	}
+	buf := make([]byte, len(payload))
+	for total := 0; total < len(buf); {
+		nr, err := sess.Read(buf[total:])
+		total += nr
+		if err != nil {
+			return 0, core.SessionStats{}, err
+		}
+	}
+	return hs, sess.Stats(), nil
+}
+
+// WriteHandshakeJSON writes the rows as the machine-readable baseline
+// (BENCH_handshake.json) gating the fast path's ≥2× throughput and
+// ≤0.5× p50 acceptance at 16-way concurrency.
+func WriteHandshakeJSON(path string, rows []HandshakeRow) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatHandshake renders the sweep.
+func FormatHandshake(rows []HandshakeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Handshake fast path: full vs chain-ticket-resumed establishment\n")
+	fmt.Fprintf(&b, "%-8s | %-11s | %8s | %13s | %9s | %9s | %7s | %7s | %8s\n",
+		"Mode", "Concurrency", "Sessions", "Sessions/sec", "HS p50", "HS p99", "KS hit", "VC hit", "Speedup")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 103))
+	for _, r := range rows {
+		speedup := ""
+		if r.SpeedupVsFull > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.SpeedupVsFull)
+		}
+		fmt.Fprintf(&b, "%-8s | %-11d | %8d | %13.1f | %7.2fms | %7.2fms | %6.0f%% | %6.0f%% | %8s\n",
+			r.Mode, r.Concurrency, r.Sessions, r.SessionsPerSec,
+			r.HandshakeP50Ms, r.HandshakeP99Ms,
+			100*r.KeyShareHitRate, 100*r.VerifyCacheHitRate, speedup)
+	}
+	return b.String()
+}

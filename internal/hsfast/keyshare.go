@@ -1,0 +1,175 @@
+package hsfast
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/secmem"
+)
+
+// KeyShare is one precomputed X25519 keypair. The expensive part of
+// generating a share is deriving the public point (a base-point scalar
+// multiplication); the pool does that on idle workers so the handshake
+// only has to wrap the scalar back into an ecdh.PrivateKey.
+type KeyShare struct {
+	// PrivKey is the 32-byte X25519 scalar.
+	PrivKey []byte
+	// Pub is the matching 32-byte public point.
+	Pub []byte
+}
+
+// Wipe zeroizes the private scalar. The pool wipes shares it hands
+// out (the consumer's ecdh.PrivateKey owns its own copy) and shares
+// left in the pool at Close.
+func (s *KeyShare) Wipe() {
+	if s == nil {
+		return
+	}
+	secmem.Wipe(s.PrivKey)
+	s.PrivKey = nil
+}
+
+// KeySharePoolStats is a point-in-time snapshot of a pool's counters.
+type KeySharePoolStats struct {
+	// Capacity is the configured pool size.
+	Capacity int
+	// Ready is the number of precomputed shares currently waiting.
+	Ready int
+	// Hits counts handshakes served from a precomputed share.
+	Hits int64
+	// Misses counts handshakes that generated inline (pool empty).
+	Misses int64
+	// Wiped counts unused shares destroyed at Close.
+	Wiped int64
+}
+
+// HitRate is Hits/(Hits+Misses), or 0 before any request.
+func (s KeySharePoolStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// KeySharePool pre-generates X25519 keyshares on background workers.
+// It implements the tls12.KeyShareSource interface; one pool is shared
+// by every handshake a host runs, so its capacity bounds precompute
+// memory the way RecordBufPool bounds relay memory.
+type KeySharePool struct {
+	shares chan *KeyShare
+	done   chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+	rand   io.Reader
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	wiped  atomic.Int64
+}
+
+// NewKeySharePool starts a pool holding up to size shares, refilled by
+// workers background goroutines. size and workers default to 64 and 1
+// when non-positive. Close releases the workers and wipes unused
+// shares.
+func NewKeySharePool(size, workers int) *KeySharePool {
+	if size <= 0 {
+		size = 64
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	p := &KeySharePool{
+		shares: make(chan *KeyShare, size),
+		done:   make(chan struct{}),
+		rand:   rand.Reader,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.fill()
+	}
+	return p
+}
+
+// fill generates shares until the pool closes, parking on the channel
+// send whenever the pool is full.
+func (p *KeySharePool) fill() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		default:
+		}
+		priv, err := ecdh.X25519().GenerateKey(p.rand)
+		if err != nil {
+			// Entropy failure: stop precomputing; handshakes fall
+			// back to inline generation and surface the error there.
+			return
+		}
+		share := &KeyShare{PrivKey: priv.Bytes(), Pub: priv.PublicKey().Bytes()}
+		select {
+		case p.shares <- share:
+		case <-p.done:
+			share.Wipe()
+			return
+		}
+	}
+}
+
+// X25519KeyShare returns an ephemeral X25519 key for one handshake:
+// a precomputed share when available (hit), otherwise generated inline
+// (miss). The returned private key owns its own scalar copy; the
+// pool's copy is wiped before returning.
+func (p *KeySharePool) X25519KeyShare() (*ecdh.PrivateKey, []byte, error) {
+	select {
+	case share := <-p.shares:
+		priv, err := ecdh.X25519().NewPrivateKey(share.PrivKey)
+		pub := share.Pub
+		share.Wipe()
+		if err != nil {
+			return nil, nil, err
+		}
+		p.hits.Add(1)
+		return priv, pub, nil
+	default:
+	}
+	p.misses.Add(1)
+	priv, err := ecdh.X25519().GenerateKey(p.rand)
+	if err != nil {
+		return nil, nil, err
+	}
+	return priv, priv.PublicKey().Bytes(), nil
+}
+
+// Stats snapshots the pool's counters.
+func (p *KeySharePool) Stats() KeySharePoolStats {
+	return KeySharePoolStats{
+		Capacity: cap(p.shares),
+		Ready:    len(p.shares),
+		Hits:     p.hits.Load(),
+		Misses:   p.misses.Load(),
+		Wiped:    p.wiped.Load(),
+	}
+}
+
+// Close stops the workers and wipes every unused share. Safe to call
+// more than once; the pool still serves (inline) after Close.
+func (p *KeySharePool) Close() {
+	p.once.Do(func() {
+		close(p.done)
+		p.wg.Wait()
+		for {
+			select {
+			case share := <-p.shares:
+				share.Wipe()
+				p.wiped.Add(1)
+			default:
+				return
+			}
+		}
+	})
+}

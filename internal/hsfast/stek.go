@@ -1,0 +1,144 @@
+package hsfast
+
+import (
+	"crypto/rand"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/secmem"
+)
+
+// STEK is a rotating session-ticket encryption key with a
+// one-generation grace window. It implements the tls12.TicketKeySource
+// interface: tickets are sealed under the current generation and open
+// under the current or the immediately previous one, so resumption
+// survives exactly one rotation. Tickets sealed two or more
+// generations ago fail to open, which the handshake treats as a silent
+// fall back to a full handshake — never an error.
+//
+// Rotation is lazy: SealKey and OpenKeys rotate when the configured
+// interval has elapsed, so no background goroutine is needed and the
+// injected clock keeps tests deterministic.
+type STEK struct {
+	mu       sync.Mutex
+	interval time.Duration
+	now      func() time.Time
+	rand     io.Reader
+
+	rotatedAt   time.Time
+	currentKey  [32]byte
+	previousKey [32]byte
+	hasPrevious bool
+	rotations   int64
+}
+
+// NewSTEK creates a STEK that rotates every interval. interval <= 0
+// disables time-based rotation (Rotate still works). now is the clock;
+// nil means time.Now.
+func NewSTEK(interval time.Duration, now func() time.Time) (*STEK, error) {
+	if now == nil {
+		now = time.Now
+	}
+	s := &STEK{interval: interval, now: now, rand: rand.Reader}
+	if _, err := io.ReadFull(s.rand, s.currentKey[:]); err != nil {
+		return nil, err
+	}
+	s.rotatedAt = now()
+	return s, nil
+}
+
+// SealKey returns the key new tickets are sealed under, rotating first
+// if the interval has elapsed.
+func (s *STEK) SealKey() [32]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked()
+	return s.currentKey
+}
+
+// OpenKeys returns the keys a received ticket may have been sealed
+// under: the current generation and, within the grace window, the
+// previous one.
+func (s *STEK) OpenKeys() [][32]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked()
+	keys := [][32]byte{s.currentKey}
+	if s.hasPrevious {
+		keys = append(keys, s.previousKey)
+	}
+	return keys
+}
+
+// Rotate forces a rotation: the current key becomes the grace-window
+// previous key and a fresh current key is generated.
+func (s *STEK) Rotate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.rotateLocked(); err != nil {
+		return err
+	}
+	s.rotatedAt = s.now()
+	return nil
+}
+
+// Rotations reports how many rotations have happened.
+func (s *STEK) Rotations() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rotations
+}
+
+// advanceLocked applies lazy time-based rotation. One elapsed interval
+// keeps the old key in the grace window; two or more retire both
+// generations (everything outstanding falls back to a full handshake).
+func (s *STEK) advanceLocked() {
+	if s.interval <= 0 {
+		return
+	}
+	elapsed := s.now().Sub(s.rotatedAt)
+	if elapsed < s.interval {
+		return
+	}
+	if elapsed >= 2*s.interval {
+		var fresh [32]byte
+		if _, err := io.ReadFull(s.rand, fresh[:]); err != nil {
+			return // entropy failure: keep serving the old key, retry next call
+		}
+		secmem.Wipe(s.previousKey[:])
+		s.hasPrevious = false
+		s.currentKey = fresh
+		secmem.Wipe(fresh[:])
+		s.rotations++
+		s.rotatedAt = s.now()
+		return
+	}
+	if err := s.rotateLocked(); err == nil {
+		s.rotatedAt = s.rotatedAt.Add(s.interval)
+	}
+}
+
+func (s *STEK) rotateLocked() error {
+	var fresh [32]byte
+	if _, err := io.ReadFull(s.rand, fresh[:]); err != nil {
+		return err
+	}
+	s.previousKey = s.currentKey
+	s.hasPrevious = true
+	s.currentKey = fresh
+	secmem.Wipe(fresh[:])
+	s.rotations++
+	return nil
+}
+
+// Wipe zeroizes both key generations. A host wipes its STEK at
+// shutdown; outstanding tickets become unredeemable, which is the
+// point.
+func (s *STEK) Wipe() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	secmem.Wipe(s.currentKey[:])
+	secmem.Wipe(s.previousKey[:])
+	s.hasPrevious = false
+}

@@ -85,5 +85,7 @@ func (c *Control) ReportStats(st core.SessionStats) {
 	h.agg.RecordsRelayed += st.RecordsRelayed
 	h.agg.Reseals += st.Reseals
 	h.agg.FaultsObserved += st.FaultsObserved
+	h.agg.ResumedPrimary += st.ResumedPrimary
+	h.agg.ResumedHops += st.ResumedHops
 	h.mu.Unlock()
 }

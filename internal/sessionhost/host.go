@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/hsfast"
 	"repro/internal/tls12"
 )
 
@@ -106,6 +107,15 @@ type Config struct {
 	// fronting a Middlebox aggregates both stats surfaces in one
 	// place.
 	MiddleboxStats func() core.MiddleboxStats
+	// KeySharePool, TicketKeys, and VerifyCache are the host-scoped
+	// handshake fast-path resources (see internal/hsfast). The host
+	// does not consume them itself — the caller wires the same
+	// instances into its MiddleboxConfig / tls12.Config — but
+	// registering them here folds their hit rates and rotation counts
+	// into Metrics, one stats surface per host.
+	KeySharePool *hsfast.KeySharePool
+	TicketKeys   *hsfast.STEK
+	VerifyCache  *hsfast.VerifyCache
 	// Logf, when set, receives one line per session teardown and per
 	// refused connection.
 	Logf func(format string, args ...any)
@@ -399,6 +409,11 @@ type Metrics struct {
 	Middlebox *core.MiddleboxStats
 	// BufPool snapshots the host-scoped record-buffer pool.
 	BufPool tls12.RecordBufPoolStats
+	// Handshake fast-path surfaces, present when the Config registered
+	// the corresponding resource.
+	KeySharePool       *hsfast.KeySharePoolStats
+	VerifyCache        *hsfast.VerifyCacheStats
+	TicketKeyRotations int64
 }
 
 // Metrics snapshots the host.
@@ -428,5 +443,16 @@ func (h *Host) Metrics() Metrics {
 		m.Middlebox = &st
 	}
 	m.BufPool = h.bufs.Stats()
+	if p := h.cfg.KeySharePool; p != nil {
+		st := p.Stats()
+		m.KeySharePool = &st
+	}
+	if c := h.cfg.VerifyCache; c != nil {
+		st := c.Stats()
+		m.VerifyCache = &st
+	}
+	if s := h.cfg.TicketKeys; s != nil {
+		m.TicketKeyRotations = s.Rotations()
+	}
 	return m
 }

@@ -1,6 +1,7 @@
 package tls12
 
 import (
+	"crypto/ecdh"
 	"crypto/ed25519"
 	"crypto/rand"
 	"crypto/x509"
@@ -52,6 +53,32 @@ func (st *SessionTicket) Wipe() {
 	st.MasterSecret = nil
 }
 
+// TicketKeySource supplies rotating session-ticket encryption keys
+// (STEKs). SealKey returns the key new tickets are sealed under;
+// OpenKeys returns every key a received ticket may open under
+// (typically the current generation plus a one-generation grace
+// window). internal/hsfast.STEK is the standard implementation.
+type TicketKeySource interface {
+	SealKey() [32]byte
+	OpenKeys() [][32]byte
+}
+
+// KeyShareSource supplies ephemeral X25519 keys for handshakes, so a
+// host can precompute them on idle workers (internal/hsfast
+// .KeySharePool). public must equal priv.PublicKey().Bytes(); it is
+// passed separately so a precomputed public point is not re-derived.
+type KeyShareSource interface {
+	X25519KeyShare() (priv *ecdh.PrivateKey, public []byte, err error)
+}
+
+// ChainCache memoizes certificate-chain verification verdicts. Do
+// returns the cached verdict for key or runs verify (once across
+// concurrent callers for the same key) and caches its success.
+// internal/hsfast.VerifyCache is the standard implementation.
+type ChainCache interface {
+	Do(key [32]byte, verify func() error) (cached bool, err error)
+}
+
 // Config configures a Conn. A Config may be reused across connections.
 // The zero value is not usable; at minimum CipherSuites defaults are
 // applied by the connection.
@@ -87,14 +114,28 @@ type Config struct {
 	// request them.
 	EnableTickets bool
 	// TicketKey encrypts server-issued tickets. Required when
-	// EnableTickets is set on a server.
+	// EnableTickets is set on a server and TicketKeys is nil.
 	TicketKey [32]byte
+	// TicketKeys, when set, supplies rotating ticket keys and takes
+	// precedence over TicketKey.
+	TicketKeys TicketKeySource
 	// SessionTicket, when set on a client, attempts an abbreviated
 	// resumption handshake.
 	SessionTicket *SessionTicket
 	// OnNewTicket, when set on a client, receives tickets issued by
 	// the server.
 	OnNewTicket func(*SessionTicket)
+	// HopTickets, when set on a client, holds resumption state for
+	// named middlebox hops (mbTLS chain resumption): when a secondary
+	// handshake's ServerHello names a resumed hop, the master secret
+	// comes from the matching entry.
+	HopTickets map[string]*SessionTicket
+	// HopTicketName, when set on a server, identifies this party as a
+	// named middlebox hop: ticket resumption reads the hop ticket with
+	// this name from the ClientHello's MiddleboxSupport extension
+	// (instead of the session_ticket extension) and the ServerHello
+	// echoes the name when resuming.
+	HopTicketName string
 
 	// MiddleboxSupport, when set on a client, is attached to the
 	// ClientHello to invite on-path middleboxes (mbTLS, paper §3.4).
@@ -117,6 +158,15 @@ type Config struct {
 	// Quoter, when set on a server, produces an SGX quote over the
 	// given 64-byte report data if the client requests attestation.
 	Quoter func(reportData []byte) ([]byte, error)
+
+	// KeyShares, when set, supplies precomputed ephemeral X25519 keys
+	// for ServerKeyExchange/ClientKeyExchange; nil generates inline.
+	KeyShares KeyShareSource
+	// VerifyCache, when set on a client, memoizes certificate-chain
+	// verification verdicts across connections (keyed by a hash of the
+	// DER chain and the expected name). The VerifyPeerCertificate hook
+	// still runs on every connection.
+	VerifyCache ChainCache
 
 	// Stopwatch, when set, accumulates this connection's handshake
 	// compute time, excluding time blocked on network reads (the
@@ -152,6 +202,45 @@ func (c *Config) cipherSuites() []uint16 {
 		TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384,
 		TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256,
 	}
+}
+
+// sealTicketKey returns the key new tickets are sealed under.
+func (c *Config) sealTicketKey() [32]byte {
+	if c.TicketKeys != nil {
+		return c.TicketKeys.SealKey()
+	}
+	return c.TicketKey
+}
+
+// openTicketKeys returns every key a received ticket may open under.
+func (c *Config) openTicketKeys() [][32]byte {
+	if c.TicketKeys != nil {
+		return c.TicketKeys.OpenKeys()
+	}
+	return [][32]byte{c.TicketKey}
+}
+
+// keyShare returns an ephemeral X25519 key for this handshake, from
+// the precompute pool when one is configured.
+func (c *Config) keyShare() (*ecdh.PrivateKey, []byte, error) {
+	if c.KeyShares != nil {
+		return c.KeyShares.X25519KeyShare()
+	}
+	priv, err := ecdh.X25519().GenerateKey(c.rand())
+	if err != nil {
+		return nil, nil, err
+	}
+	return priv, priv.PublicKey().Bytes(), nil
+}
+
+// Wipe zeroizes the config's static ticket key. An application wipes
+// a server config when retiring it; rotating keys live behind
+// TicketKeys and are wiped by their source.
+func (c *Config) Wipe() {
+	if c == nil {
+		return
+	}
+	secmem.Wipe(c.TicketKey[:])
 }
 
 func (c *Config) supportsSuite(id uint16) bool {

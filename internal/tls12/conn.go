@@ -18,6 +18,12 @@ type ConnectionState struct {
 	HandshakeComplete bool
 	CipherSuite       uint16
 	Resumed           bool
+	// ResumedHop names the middlebox hop ticket this connection
+	// resumed from (mbTLS chain resumption); empty for full handshakes
+	// and primary resumption. Resumed secondary handshakes carry no
+	// certificates, so this is how the endpoint maps the connection
+	// back to the chain-ticket entry (and its cached identity).
+	ResumedHop string
 	// PeerCertificates is the verified (or, with InsecureSkipVerify,
 	// merely parsed) peer chain, leaf first.
 	PeerCertificates []*x509.Certificate

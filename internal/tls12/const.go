@@ -146,6 +146,11 @@ const (
 	// extAttestationRequest asks the peer to include an
 	// SGXAttestation message in its handshake flight.
 	extAttestationRequest uint16 = 0xFFB1
+	// extResumedHop, in a ServerHello, names the middlebox hop whose
+	// ticket (from the MiddleboxSupport hop-ticket list) the server is
+	// resuming. Absent on full handshakes and on primary (RFC 5077)
+	// resumption, which stays signaled by the abbreviated flight.
+	extResumedHop uint16 = 0xFFB2
 )
 
 // Named curve and signature identifiers (RFC 8422 / RFC 8446 registry).

@@ -3,8 +3,10 @@ package tls12
 import (
 	"crypto/ecdh"
 	"crypto/ed25519"
+	"crypto/sha256"
 	"crypto/subtle"
 	"crypto/x509"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -75,18 +77,30 @@ func (c *Conn) clientHandshake() error {
 	ts.add(helloRaw)
 	ts.add(shRaw)
 
-	// If we offered a ticket, the server signals resumption by jumping
-	// straight to [NewSessionTicket +] ChangeCipherSpec.
-	offeredTicket := len(hello.SessionTicket) > 0 && cfg.SessionTicket != nil
-	typ, body, raw, ccs, err := c.readHandshakeMsg(offeredTicket)
+	// Resumption state for this handshake: a named middlebox hop
+	// acknowledges its hop ticket explicitly in the ServerHello (mbTLS
+	// chain resumption); the primary server signals RFC 5077
+	// resumption implicitly by jumping straight to
+	// [NewSessionTicket +] ChangeCipherSpec.
+	var resumeTicket *SessionTicket
+	if sh.ResumedHop != "" {
+		resumeTicket = cfg.HopTickets[sh.ResumedHop]
+		if resumeTicket == nil || hello.MiddleboxSupport.HopTicket(sh.ResumedHop) == nil {
+			return c.fatal(AlertIllegalParameter, fmt.Errorf("tls12: server resumed unoffered hop %q", sh.ResumedHop))
+		}
+	} else if len(hello.SessionTicket) > 0 && cfg.SessionTicket != nil {
+		resumeTicket = cfg.SessionTicket
+	}
+	typ, body, raw, ccs, err := c.readHandshakeMsg(resumeTicket != nil)
 	if err != nil {
 		return err
 	}
-	if offeredTicket && (ccs || typ == TypeNewSessionTicket) {
-		if cfg.SessionTicket.CipherSuite != sh.CipherSuite {
+	if resumeTicket != nil && (ccs || typ == TypeNewSessionTicket) {
+		if resumeTicket.CipherSuite != sh.CipherSuite {
 			return c.fatal(AlertIllegalParameter, errors.New("tls12: resumed session changed cipher suite"))
 		}
-		return c.clientResume(cfg, hello, sh, ts, typ, body, raw, ccs)
+		c.state.ResumedHop = sh.ResumedHop
+		return c.clientResume(cfg, resumeTicket, sh, ts, typ, body, raw, ccs)
 	}
 	if ccs {
 		return c.fatal(AlertUnexpectedMessage, errUnexpectedCCS)
@@ -160,12 +174,13 @@ func (c *Conn) clientHandshake() error {
 	}
 	ts.add(raw)
 
-	// ClientKeyExchange: ephemeral X25519.
-	priv, err := ecdh.X25519().GenerateKey(cfg.rand())
+	// ClientKeyExchange: ephemeral X25519 (precomputed when the config
+	// has a keyshare pool).
+	priv, pub, err := cfg.keyShare()
 	if err != nil {
 		return c.fatal(AlertInternalError, err)
 	}
-	cke := &clientKeyExchange{publicKey: priv.PublicKey().Bytes()}
+	cke := &clientKeyExchange{publicKey: pub}
 	ckeRaw := cke.marshal()
 	if err := c.writeHandshakeMsg(ckeRaw); err != nil {
 		return err
@@ -220,12 +235,13 @@ func (c *Conn) clientHandshake() error {
 	return c.verifyPeerFinished(sh.CipherSuite, ts, false)
 }
 
-// clientResume completes an abbreviated (ticket-resumption) handshake.
+// clientResume completes an abbreviated (ticket-resumption) handshake
+// from the given ticket (the primary session ticket or a hop ticket).
 // The first post-ServerHello event has already been read and is passed
 // in (either a NewSessionTicket message or a ChangeCipherSpec).
-func (c *Conn) clientResume(cfg *Config, hello *ClientHello, sh *ServerHello, ts *transcript,
+func (c *Conn) clientResume(cfg *Config, st *SessionTicket, sh *ServerHello, ts *transcript,
 	typ HandshakeType, body, raw []byte, ccs bool) error {
-	c.masterSecret = append([]byte(nil), cfg.SessionTicket.MasterSecret...)
+	c.masterSecret = append([]byte(nil), st.MasterSecret...)
 	c.state.Resumed = true
 
 	if !ccs {
@@ -338,16 +354,30 @@ func (c *Conn) verifyServerChain(cfg *Config, der [][]byte) ([]*x509.Certificate
 		chain = append(chain, cert)
 	}
 	if !cfg.InsecureSkipVerify {
-		opts := x509.VerifyOptions{
-			Roots:         cfg.RootCAs,
-			DNSName:       cfg.ServerName,
-			CurrentTime:   cfg.time(),
-			Intermediates: x509.NewCertPool(),
+		verify := func() error {
+			opts := x509.VerifyOptions{
+				Roots:         cfg.RootCAs,
+				DNSName:       cfg.ServerName,
+				CurrentTime:   cfg.time(),
+				Intermediates: x509.NewCertPool(),
+			}
+			for _, ic := range chain[1:] {
+				opts.Intermediates.AddCert(ic)
+			}
+			_, err := chain[0].Verify(opts)
+			return err
 		}
-		for _, ic := range chain[1:] {
-			opts.Intermediates.AddCert(ic)
+		var err error
+		if cfg.VerifyCache != nil {
+			// The cache key binds the exact DER chain and the expected
+			// name; the verdict's validity over time is bounded by the
+			// cache's TTL rather than re-checking expiry per
+			// connection.
+			_, err = cfg.VerifyCache.Do(chainCacheKey(der, cfg.ServerName), verify)
+		} else {
+			err = verify()
 		}
-		if _, err := chain[0].Verify(opts); err != nil {
+		if err != nil {
 			desc := AlertBadCertificate
 			var cie x509.CertificateInvalidError
 			if errors.As(err, &cie) && cie.Reason == x509.Expired {
@@ -370,6 +400,26 @@ func (c *Conn) verifyServerChain(cfg *Config, der [][]byte) ([]*x509.Certificate
 		return nil, nil, c.fatal(AlertBadCertificate, errors.New("tls12: leaf certificate key is not Ed25519"))
 	}
 	return chain, pub, nil
+}
+
+// chainCacheKey hashes a certificate chain's verification inputs: the
+// DER chain (length-framed, so concatenation is unambiguous) and the
+// expected DNS name. The trust roots are config state the cache is
+// scoped to; a config swap should come with a cache Flush.
+func chainCacheKey(der [][]byte, serverName string) [32]byte {
+	h := sha256.New()
+	var frame [8]byte
+	binary.BigEndian.PutUint64(frame[:], uint64(len(serverName)))
+	h.Write(frame[:])
+	h.Write([]byte(serverName))
+	for _, d := range der {
+		binary.BigEndian.PutUint64(frame[:], uint64(len(d)))
+		h.Write(frame[:])
+		h.Write(d)
+	}
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
 }
 
 func containsSuite(suites []uint16, id uint16) bool {

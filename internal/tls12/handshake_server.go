@@ -49,20 +49,35 @@ func (c *Conn) serverHandshake() error {
 	}
 	c.state.CipherSuite = suite
 
-	// Ticket resumption attempt.
+	// Ticket resumption attempt. A named middlebox hop reads its
+	// ticket from the ClientHello's MiddleboxSupport hop-ticket list
+	// (mbTLS chain resumption) and acknowledges it by name; everyone
+	// else uses the session_ticket extension (RFC 5077).
 	var resumed *sessionState
-	if cfg.EnableTickets && len(hello.SessionTicket) > 0 {
-		if st := openTicket(cfg, hello.SessionTicket); st != nil && containsSuite(hello.CipherSuites, st.suite) {
-			resumed = st
-			suite = st.suite
-			c.state.CipherSuite = suite
+	var resumedHop string
+	if cfg.EnableTickets {
+		ticket := hello.SessionTicket
+		if cfg.HopTicketName != "" {
+			ticket = hello.MiddleboxSupport.HopTicket(cfg.HopTicketName)
+		}
+		if len(ticket) > 0 {
+			if st := openTicket(cfg, ticket); st != nil && containsSuite(hello.CipherSuites, st.suite) {
+				resumed = st
+				suite = st.suite
+				c.state.CipherSuite = suite
+				if cfg.HopTicketName != "" {
+					resumedHop = cfg.HopTicketName
+				}
+			}
 		}
 	}
 
 	sh := &ServerHello{
 		CipherSuite:    suite,
 		TicketExpected: cfg.EnableTickets && hello.HasSessionTicket,
+		ResumedHop:     resumedHop,
 	}
+	c.state.ResumedHop = resumedHop
 	if _, err := io.ReadFull(cfg.rand(), sh.Random[:]); err != nil {
 		return c.fatal(AlertInternalError, err)
 	}
@@ -92,12 +107,13 @@ func (c *Conn) serverHandshake() error {
 	}
 	ts.add(certRaw)
 
-	// ServerKeyExchange: ephemeral X25519, Ed25519-signed.
-	priv, err := ecdh.X25519().GenerateKey(cfg.rand())
+	// ServerKeyExchange: ephemeral X25519 (precomputed when the config
+	// has a keyshare pool), Ed25519-signed.
+	priv, pub, err := cfg.keyShare()
 	if err != nil {
 		return c.fatal(AlertInternalError, err)
 	}
-	ske := &serverKeyExchange{publicKey: priv.PublicKey().Bytes()}
+	ske := &serverKeyExchange{publicKey: pub}
 	sigInput := make([]byte, 0, 2*randomLen+64)
 	sigInput = append(sigInput, c.clientRandom[:]...)
 	sigInput = append(sigInput, c.serverRandom[:]...)

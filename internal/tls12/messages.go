@@ -51,6 +51,23 @@ type MiddleboxSupport struct {
 	// a trailing flags octet — an extension beyond the Appendix A
 	// format.
 	NeighborKeys bool
+	// HopTickets carries per-middlebox resumption tickets for chain
+	// resumption: client-side middleboxes reuse the primary
+	// ClientHello for their secondary handshakes, so the only place a
+	// reconnecting client can offer each hop its ticket is inside this
+	// extension. Carried after the flags octet — a further extension
+	// beyond the Appendix A format; parsers that stop at the flags
+	// octet ignore it.
+	HopTickets []HopTicket
+}
+
+// HopTicket is one named middlebox's resumption ticket as carried in
+// the MiddleboxSupport extension. Name is the middlebox identity the
+// ticket was issued by (its certificate CN on the original session);
+// Ticket is opaque to everyone but that middlebox.
+type HopTicket struct {
+	Name   string
+	Ticket []byte
 }
 
 // Flag bits of the trailing MiddleboxSupport flags octet.
@@ -74,6 +91,13 @@ func (m *MiddleboxSupport) marshal() []byte {
 		flags |= msFlagNeighborKeys
 	}
 	b.AddUint8(flags)
+	if len(m.HopTickets) > 0 {
+		b.AddUint8(uint8(len(m.HopTickets)))
+		for _, ht := range m.HopTickets {
+			b.AddUint8Prefixed(func(b *wire.Builder) { b.AddBytes([]byte(ht.Name)) })
+			b.AddUint16Prefixed(func(b *wire.Builder) { b.AddBytes(ht.Ticket) })
+		}
+	}
 	return b.Bytes()
 }
 
@@ -116,10 +140,41 @@ func parseMiddleboxSupport(data []byte) (*MiddleboxSupport, error) {
 		}
 		m.NeighborKeys = flags&msFlagNeighborKeys != 0
 	}
+	// Hop tickets (absent unless the client resumes a chain).
+	if p.Len() > 0 {
+		var numTickets uint8
+		if !p.ReadUint8(&numTickets) {
+			return nil, errors.New("tls12: malformed MiddleboxSupport extension")
+		}
+		for i := 0; i < int(numTickets); i++ {
+			var name, ticket []byte
+			if !p.ReadUint8Prefixed(&name) || !p.ReadUint16Prefixed(&ticket) {
+				return nil, errors.New("tls12: malformed MiddleboxSupport extension")
+			}
+			m.HopTickets = append(m.HopTickets, HopTicket{
+				Name:   string(name),
+				Ticket: append([]byte(nil), ticket...),
+			})
+		}
+	}
 	if err := p.Err(); err != nil {
 		return nil, err
 	}
 	return &m, nil
+}
+
+// HopTicket returns the hop ticket offered for the named middlebox, or
+// nil when none was offered.
+func (m *MiddleboxSupport) HopTicket(name string) []byte {
+	if m == nil {
+		return nil
+	}
+	for _, ht := range m.HopTickets {
+		if ht.Name == name {
+			return ht.Ticket
+		}
+	}
+	return nil
 }
 
 // ClientHello is the parsed form of a ClientHello message.
@@ -258,6 +313,9 @@ type ServerHello struct {
 	SessionID      []byte
 	CipherSuite    uint16
 	TicketExpected bool // server acknowledged the session_ticket extension
+	// ResumedHop, when non-empty, names the middlebox hop ticket this
+	// server is resuming from (mbTLS chain resumption).
+	ResumedHop string
 }
 
 func (m *ServerHello) marshal() []byte {
@@ -271,6 +329,10 @@ func (m *ServerHello) marshal() []byte {
 		if m.TicketExpected {
 			b.AddUint16(extSessionTicket)
 			b.AddUint16Prefixed(func(b *wire.Builder) {})
+		}
+		if m.ResumedHop != "" {
+			b.AddUint16(extResumedHop)
+			b.AddUint16Prefixed(func(b *wire.Builder) { b.AddBytes([]byte(m.ResumedHop)) })
 		}
 		b.AddUint16(extRenegotiationInfo)
 		b.AddUint16Prefixed(func(b *wire.Builder) { b.AddUint8(0) })
@@ -305,8 +367,11 @@ func parseServerHello(body []byte) (*ServerHello, error) {
 			if !exts.ReadUint16(&extType) || !exts.ReadUint16Prefixed(&extData) {
 				return nil, errors.New("tls12: malformed extension")
 			}
-			if extType == extSessionTicket {
+			switch extType {
+			case extSessionTicket:
 				m.TicketExpected = true
+			case extResumedHop:
+				m.ResumedHop = string(extData)
 			}
 		}
 	}

@@ -51,14 +51,20 @@ func parseSessionState(data []byte) (*sessionState, error) {
 	return &s, nil
 }
 
-// sealTicket encrypts session state under the config's ticket key using
-// AES-256-GCM with a random nonce prepended.
-func sealTicket(cfg *Config, state *sessionState) ([]byte, error) {
-	block, err := aes.NewCipher(cfg.TicketKey[:])
+// ticketAEAD builds the AES-256-GCM AEAD for one ticket key.
+func ticketAEAD(key [32]byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:])
 	if err != nil {
 		return nil, err
 	}
-	aead, err := cipher.NewGCM(block)
+	return cipher.NewGCM(block)
+}
+
+// sealTicket encrypts session state under the config's current ticket
+// key (the rotating STEK's seal generation when TicketKeys is set)
+// using AES-256-GCM with a random nonce prepended.
+func sealTicket(cfg *Config, state *sessionState) ([]byte, error) {
+	aead, err := ticketAEAD(cfg.sealTicketKey())
 	if err != nil {
 		return nil, err
 	}
@@ -72,23 +78,29 @@ func sealTicket(cfg *Config, state *sessionState) ([]byte, error) {
 	return sealed, nil
 }
 
-// openTicket decrypts and validates a session ticket. It returns nil
-// (no error) for tickets that do not decrypt or have expired, signaling
-// a fallback to a full handshake rather than a protocol failure.
+// openTicket decrypts and validates a session ticket, trying every
+// open-eligible ticket key (the current STEK generation plus the grace
+// window). It returns nil (no error) for tickets that do not decrypt
+// under any key or have expired, signaling a fallback to a full
+// handshake rather than a protocol failure — this is how tickets
+// sealed under a retired STEK generation die quietly.
 func openTicket(cfg *Config, ticket []byte) *sessionState {
-	block, err := aes.NewCipher(cfg.TicketKey[:])
-	if err != nil {
-		return nil
+	var plain []byte
+	for _, key := range cfg.openTicketKeys() {
+		aead, err := ticketAEAD(key)
+		if err != nil {
+			continue
+		}
+		if len(ticket) < aead.NonceSize() {
+			return nil
+		}
+		plain, err = aead.Open(nil, ticket[:aead.NonceSize()], ticket[aead.NonceSize():], nil)
+		if err == nil {
+			break
+		}
+		plain = nil
 	}
-	aead, err := cipher.NewGCM(block)
-	if err != nil {
-		return nil
-	}
-	if len(ticket) < aead.NonceSize() {
-		return nil
-	}
-	plain, err := aead.Open(nil, ticket[:aead.NonceSize()], ticket[aead.NonceSize():], nil)
-	if err != nil {
+	if plain == nil {
 		return nil
 	}
 	state, err := parseSessionState(plain)

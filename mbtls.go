@@ -2,10 +2,12 @@ package mbtls
 
 import (
 	"net"
+	"time"
 
 	"repro/internal/certs"
 	"repro/internal/core"
 	"repro/internal/enclave"
+	"repro/internal/hsfast"
 	"repro/internal/sessionhost"
 	"repro/internal/tls12"
 )
@@ -66,6 +68,21 @@ type (
 	Certificate = tls12.Certificate
 	// SessionTicket is client-side resumption state.
 	SessionTicket = tls12.SessionTicket
+
+	// ChainTicket is a whole session chain's resumption state: the
+	// primary ticket plus one hop ticket per client-side middlebox.
+	ChainTicket = core.ChainTicket
+	// ChainHop is one middlebox's entry in a ChainTicket.
+	ChainHop = core.ChainHop
+
+	// Handshake fast-path resources (host-scoped; see internal/hsfast).
+	// KeySharePool precomputes X25519 keyshares on idle workers; STEK
+	// is a rotating session-ticket encryption key with a one-generation
+	// grace window; VerifyCache memoizes certificate-chain and
+	// quote-endorsement verification verdicts.
+	KeySharePool = hsfast.KeySharePool
+	STEK         = hsfast.STEK
+	VerifyCache  = hsfast.VerifyCache
 
 	// CA is an in-process certificate authority for provisioning
 	// servers and middleboxes.
@@ -142,6 +159,28 @@ func NewSessionHost(cfg SessionHostConfig) (*SessionHost, error) {
 // most maxRetained buffers.
 func NewRecordBufPool(maxRetained int) *RecordBufPool {
 	return tls12.NewRecordBufPool(maxRetained)
+}
+
+// NewKeySharePool builds a host-scoped X25519 precompute pool holding
+// up to size keyshares, refilled by workers background goroutines
+// (0 defaults both). Close it when the host shuts down.
+func NewKeySharePool(size, workers int) *KeySharePool {
+	return hsfast.NewKeySharePool(size, workers)
+}
+
+// NewSTEK builds a rotating session-ticket encryption key. A zero
+// interval disables time-based rotation (rotate manually); otherwise
+// each interval retires the previous generation after one interval of
+// grace, so outstanding tickets survive exactly one rotation.
+func NewSTEK(interval time.Duration) (*STEK, error) {
+	return hsfast.NewSTEK(interval, nil)
+}
+
+// NewVerifyCache builds a verification cache holding up to max
+// verdicts for ttl. Plug it into TLSConfig.VerifyCache (certificate
+// chains) or Verifier.Cache (quote endorsements).
+func NewVerifyCache(max int, ttl time.Duration) *VerifyCache {
+	return hsfast.NewVerifyCache(max, ttl, nil)
 }
 
 // NewMiddleboxHandler adapts a Middlebox to a SessionHost handler:

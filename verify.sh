@@ -20,6 +20,7 @@ gate go test ./...
 gate go vet ./...
 gate go test -race ./internal/core/ ./internal/tls12/ ./internal/netsim/
 gate go run ./cmd/mbtls-lint ./...
+gate go run ./cmd/mbtls-bench handshake -quick
 
 echo "== gofmt -l ."
 unformatted=$(gofmt -l .)
