@@ -34,7 +34,10 @@ func main() {
 	boundary := flag.Duration("boundary-cost", time.Microsecond, "simulated SGX transition cost for fig7")
 	jsonOut := flag.Bool("json", false, "for fig7/sessions: also write BENCH_fig7.json / BENCH_sessions.json")
 	perWorker := flag.Int("sessions-per-worker", 0, "sessions each worker runs per concurrency level (0 = default)")
-	quick := flag.Bool("quick", false, "for handshake: shrink to a smoke-test run (CI gate)")
+	quick := flag.Bool("quick", false, "for handshake/sessions: shrink to a smoke-test run (CI gate)")
+	shards := flag.Int("shards", 0, "for sessions: session-host shard count (0 = GOMAXPROCS)")
+	soak := flag.Bool("soak", false, "for sessions: also run the idle-session soak")
+	soakSessions := flag.Int("soak-sessions", 0, "for sessions -soak: live idle sessions to hold (0 = 20000)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Usage = func() {
@@ -106,11 +109,22 @@ func main() {
 		case "design":
 			fmt.Print(experiments.FormatDesignSpace(experiments.DesignSpace()))
 		case "sessions":
-			rows, err := experiments.RunSessions(experiments.SessionsOptions{SessionsPerWorker: *perWorker})
+			rep, err := experiments.RunSessions(experiments.SessionsOptions{
+				SessionsPerWorker: *perWorker,
+				Shards:            *shards,
+				Quick:             *quick,
+			})
 			exitOn(err)
-			fmt.Print(experiments.FormatSessions(rows))
+			if *soak {
+				rep.Soak, err = experiments.RunSoak(experiments.SoakOptions{
+					Sessions: *soakSessions,
+					Shards:   *shards,
+				})
+				exitOn(err)
+			}
+			fmt.Print(experiments.FormatSessions(rep))
 			if *jsonOut {
-				exitOn(experiments.WriteSessionsJSON("BENCH_sessions.json", rows))
+				exitOn(experiments.WriteSessionsJSON("BENCH_sessions.json", rep))
 				fmt.Println("wrote BENCH_sessions.json")
 			}
 		case "handshake":

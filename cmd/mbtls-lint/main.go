@@ -7,12 +7,17 @@
 //
 // Usage:
 //
-//	mbtls-lint [-checks name,name] [./...]
+//	mbtls-lint [-checks name,name] [-json] [./...]
+//
+// With -json each finding is one JSON object per line (see DESIGN.md
+// §8 for the schema), for editors and CI annotators; the human
+// file:line:col form is the default.
 //
 // Exit status: 0 clean, 1 findings, 2 load or usage errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,8 +27,19 @@ import (
 	"repro/internal/analysis"
 )
 
+// jsonDiagnostic is the -json wire form of one finding, one object per
+// line. Field names are part of the tool's interface; see DESIGN.md §8.
+type jsonDiagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
 func main() {
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per finding instead of file:line:col lines")
 	ignoreBudget := flag.Int("ignore-budget", analysis.DefaultIgnoreBudget,
 		"max //lint:ignore suppressions allowed module-wide (-1 disables the check)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
@@ -85,7 +101,22 @@ func main() {
 		if err == nil {
 			d.Pos.Filename = rel
 		}
-		fmt.Println(d)
+		if *jsonOut {
+			line, err := json.Marshal(jsonDiagnostic{
+				Check:   d.Check,
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Column:  d.Pos.Column,
+				Message: d.Message,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mbtls-lint:", err)
+				os.Exit(2)
+			}
+			fmt.Println(string(line))
+		} else {
+			fmt.Println(d)
+		}
 		findings++
 	}
 	if findings > 0 {

@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -37,9 +38,10 @@ func main() {
 	header := flag.String("header", "1.1 mbtls-proxy", "Via header value to insert")
 	statsEvery := flag.Duration("stats", 0, "log cumulative session/fault counters at this interval (0 disables)")
 	maxSessions := flag.Int("max-sessions", 0, "max concurrent sessions (0 = default)")
+	shards := flag.Int("shards", 0, "session-host shards (0 = one per core)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	stekRotate := flag.Duration("stek-rotate", time.Hour, "session-ticket key rotation interval (0 disables resumption)")
-	keyshares := flag.Int("keyshares", 64, "precomputed X25519 keyshare pool size (0 disables)")
+	keyshares := flag.Int("keyshares", 0, "precomputed X25519 keyshare pool size (0 = sized from shard count, negative disables)")
 	flag.Parse()
 
 	cfg := mbtls.MiddleboxConfig{
@@ -95,9 +97,21 @@ func main() {
 		}
 		cfg.TicketKeys = stek
 	}
+	// The keyshare pool's refill workers and capacity track the host's
+	// shard count by default, so precompute throughput scales with the
+	// admission path instead of sagging at high concurrency.
+	shardCount := *shards
+	if shardCount <= 0 {
+		shardCount = runtime.GOMAXPROCS(0)
+	}
 	var ksPool *mbtls.KeySharePool
-	if *keyshares > 0 {
+	switch {
+	case *keyshares == 0:
+		ksPool = mbtls.NewKeySharePoolForShards(shardCount)
+	case *keyshares > 0:
 		ksPool = mbtls.NewKeySharePool(*keyshares, 0)
+	}
+	if ksPool != nil {
 		defer ksPool.Close()
 		cfg.KeyShares = ksPool
 	}
@@ -109,6 +123,7 @@ func main() {
 	host, err := mbtls.NewSessionHost(mbtls.SessionHostConfig{
 		Name:         "mbtls-proxy",
 		MaxSessions:  sessions,
+		Shards:       *shards,
 		DrainTimeout: *drain,
 		BufPool:      pool,
 		Handler: mbtls.NewMiddleboxHandler(mb, func() (net.Conn, error) {
@@ -126,7 +141,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("mbtls-proxy: %v", err)
 	}
-	log.Printf("mbtls-proxy: %s middlebox on %s → %s (sgx=%v)", *mode, *listen, *next, *sgx)
+	log.Printf("mbtls-proxy: %s middlebox on %s → %s (sgx=%v, shards=%d)", *mode, *listen, *next, *sgx, host.Shards())
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {

@@ -35,6 +35,7 @@ func main() {
 	acceptMboxes := flag.Bool("accept-middleboxes", true, "accept server-side middlebox announcements")
 	statsEvery := flag.Duration("stats", 0, "log cumulative session/fault counters at this interval (0 disables)")
 	maxSessions := flag.Int("max-sessions", 0, "max concurrent sessions (0 = default)")
+	shards := flag.Int("shards", 0, "session-host shards (0 = one per core)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 	host, err := mbtls.NewSessionHost(mbtls.SessionHostConfig{
 		Name:         "mbtls-server",
 		MaxSessions:  *maxSessions,
+		Shards:       *shards,
 		DrainTimeout: *drain,
 		Handler:      mbtls.NewServerHandler(cfg, serveSession(*serverName)),
 	})
@@ -63,7 +65,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("mbtls-server: %v", err)
 	}
-	log.Printf("mbtls-server: serving https(mbTLS)://%s on %s (pki: %s)", *serverName, *listen, *pkiDir)
+	log.Printf("mbtls-server: serving https(mbTLS)://%s on %s (pki: %s, shards=%d)", *serverName, *listen, *pkiDir, host.Shards())
 
 	if *statsEvery > 0 {
 		go func() {

@@ -731,6 +731,7 @@ func (s *mbSession) relay(dir Direction) error {
 		src = io.Reader(s.up)
 	}
 	rr := newRecordReader(src)
+	defer rr.release()
 	// Reused per-direction batch state; each direction is driven by
 	// exactly one goroutine, so no locking here.
 	batch := make([]tls12.RawRecord, 0, maxRelayBatch)

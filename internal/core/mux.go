@@ -112,6 +112,7 @@ func (m *mux) subchannelIDs() []uint8 {
 func (m *mux) readLoop() {
 	var err error
 	rr := newRecordReader(m.rw)
+	defer rr.release()
 	for {
 		var raw tls12.RawRecord
 		var wire []byte

@@ -2,6 +2,7 @@ package core
 
 import (
 	"io"
+	"sync"
 
 	"repro/internal/tls12"
 )
@@ -10,6 +11,20 @@ import (
 // maximum-size records so one transport Read feeds several relay
 // iterations.
 const relayReadBufSize = 4 * tls12.MaxRecordWireSize
+
+// relayReadBufs recycles recordReader buffers across sessions. At
+// relayReadBufSize each, these are the largest per-connection
+// allocations in the process; under session churn, allocating (and
+// zeroing) one per mux and per relay direction dominated the
+// allocator. The buffers hold only transport wire bytes (ciphertext
+// and public handshake framing), so reuse across sessions leaks
+// nothing a transport peer didn't already see.
+var relayReadBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, relayReadBufSize)
+		return &b
+	},
+}
 
 // recordReader incrementally parses TLS records out of a byte stream
 // through one reused buffer, so the relay loop can drain every record
@@ -24,12 +39,27 @@ const relayReadBufSize = 4 * tls12.MaxRecordWireSize
 type recordReader struct {
 	src io.Reader
 	buf []byte
-	r   int // parse position
-	w   int // fill position
+	bp  *[]byte // pool token; nil after release
+	r   int     // parse position
+	w   int     // fill position
 }
 
 func newRecordReader(src io.Reader) *recordReader {
-	return &recordReader{src: src, buf: make([]byte, relayReadBufSize)}
+	bp := relayReadBufs.Get().(*[]byte)
+	return &recordReader{src: src, buf: *bp, bp: bp}
+}
+
+// release returns the buffer to the pool. Call only when every record
+// handed out by next has been consumed (the relay and demux loops call
+// it on exit, when the session direction is done).
+func (rr *recordReader) release() {
+	if rr.bp == nil {
+		return
+	}
+	relayReadBufs.Put(rr.bp)
+	rr.bp = nil
+	rr.buf = nil
+	rr.r, rr.w = 0, 0
 }
 
 // peekHeader parses the header at the current position without

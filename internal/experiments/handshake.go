@@ -137,18 +137,7 @@ func newHandshakeEnv(maxLevel int) (*handshakeEnv, error) {
 	srvHost, err := sessionhost.New(sessionhost.Config{
 		Name:        "handshake-server",
 		MaxSessions: 2 * maxLevel,
-		Handler: sessionhost.NewServerHandler(scfg, func(s *core.Session) error {
-			buf := make([]byte, 16<<10)
-			for {
-				nr, err := s.Read(buf)
-				if err != nil {
-					return err
-				}
-				if _, err := s.Write(buf[:nr]); err != nil {
-					return err
-				}
-			}
-		}),
+		Handler:     sessionhost.NewServerHandler(scfg, echoSession),
 	})
 	if err != nil {
 		return nil, err

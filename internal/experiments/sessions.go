@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/certs"
 	"repro/internal/core"
+	"repro/internal/hsfast"
 	"repro/internal/netsim"
 	"repro/internal/sessionhost"
 	"repro/internal/tls12"
@@ -19,8 +21,11 @@ import (
 
 // SessionsLevels is the default concurrency sweep for the session-host
 // bench: how many clients establish-and-use full mbTLS sessions at
-// once through one shared middlebox host.
-var SessionsLevels = []int{4, 16, 64}
+// once through one shared middlebox host. The high levels (256, 1024)
+// oversubscribe any realistic core count, so they measure how the
+// sharded admission path and the handshake gate behave when the host
+// is the bottleneck, not the clients.
+var SessionsLevels = []int{4, 16, 64, 256, 1024}
 
 // SessionsRow is one concurrency level's measurement.
 type SessionsRow struct {
@@ -29,14 +34,27 @@ type SessionsRow struct {
 	// Sessions is the total number of completed sessions at this level.
 	Sessions int `json:"sessions"`
 	// SessionsPerSec is the sustained full-session throughput
-	// (handshake + echo round-trip + teardown).
+	// (establishment + echo round-trip + teardown).
 	SessionsPerSec float64 `json:"sessions_per_sec"`
-	// HandshakeP50Ms / HandshakeP99Ms are client-observed handshake
-	// latency percentiles in milliseconds.
+	// HandshakeP50Ms / HandshakeP99Ms are client-observed chain
+	// establishment latency percentiles in milliseconds.
 	HandshakeP50Ms float64 `json:"handshake_p50_ms"`
 	HandshakeP99Ms float64 `json:"handshake_p99_ms"`
-	// PoolHitRate is the fraction of relay buffer requests served from
-	// the host-scoped pool rather than freshly allocated.
+	// ResumedPrimary / ResumedHops count sessions that rode the
+	// chain-ticket fast path in the measured window. The sweep runs the
+	// host under its production configuration — STEKs, chain tickets,
+	// keyshare pool, verify cache — so steady-state rows are
+	// resumption-dominated; the counters make that explicit instead of
+	// hiding it.
+	ResumedPrimary int64 `json:"resumed_primary"`
+	ResumedHops    int64 `json:"resumed_hops"`
+	// KeyShareHitRate is the middlebox keyshare pool's hit rate over
+	// this level (seeding burst included); VerifyCacheHitRate is the
+	// client-side chain-verification cache's.
+	KeyShareHitRate    float64 `json:"keyshare_hit_rate"`
+	VerifyCacheHitRate float64 `json:"verify_cache_hit_rate"`
+	// PoolHitRate is the fraction of relay record-buffer requests
+	// served from the host-scoped pool rather than freshly allocated.
 	PoolHitRate float64 `json:"pool_hit_rate"`
 }
 
@@ -49,36 +67,77 @@ type SessionsOptions struct {
 	SessionsPerWorker int
 	// PayloadBytes is the echo payload per session (default 4096).
 	PayloadBytes int
+	// Shards overrides the hosts' shard count (default GOMAXPROCS).
+	Shards int
+	// Quick shrinks the run to a smoke test (one small level, few
+	// sessions) and skips the keyshare hit-rate gate.
+	Quick bool
 }
 
-// RunSessions measures the sessionhost runtime under concurrent
-// session churn: for each concurrency level, that many workers each
-// run full mbTLS sessions back to back — dial, handshake (timed),
-// one echo round trip, close — through one shared middlebox host and
-// one shared origin host, both fronted by the bounded session pool and
-// the host-scoped record-buffer pool. The row reports session
-// throughput and handshake latency percentiles, the two numbers that
-// move when the runtime's admission or registry serializes badly.
-func RunSessions(opts SessionsOptions) ([]SessionsRow, error) {
-	levels := opts.Levels
-	if len(levels) == 0 {
-		levels = SessionsLevels
-	}
-	perWorker := opts.SessionsPerWorker
-	if perWorker <= 0 {
-		perWorker = 8
-	}
-	payloadBytes := opts.PayloadBytes
-	if payloadBytes <= 0 {
-		payloadBytes = 4096
-	}
-	maxLevel := 0
-	for _, l := range levels {
-		if l > maxLevel {
-			maxLevel = l
+// SessionsReport is everything one `mbtls-bench sessions` run
+// measured: the concurrency sweep and, when requested, the idle-soak
+// result. BENCH_sessions.json holds exactly this shape.
+type SessionsReport struct {
+	// Shards is the hosts' shard count for the sweep.
+	Shards int `json:"shards"`
+	// Sweep is one row per concurrency level.
+	Sweep []SessionsRow `json:"sweep"`
+	// Soak is the live-idle-session soak result (nil unless -soak).
+	Soak *SoakRow `json:"soak,omitempty"`
+}
+
+// echoBufs pools the bench origin's echo buffers. The echo handler is
+// per-session; allocating (and zeroing) a fresh 64 KiB buffer for each
+// of tens of thousands of sessions was a measurable slice of bench CPU
+// that said nothing about the protocol under test.
+var echoBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 64<<10)
+		return &b
+	},
+}
+
+// echoSession echoes everything read back to the peer through a pooled
+// buffer until the session ends.
+func echoSession(s *core.Session) error {
+	bp := echoBufs.Get().(*[]byte)
+	defer echoBufs.Put(bp)
+	buf := *bp
+	for {
+		nr, err := s.Read(buf)
+		if err != nil {
+			return err
+		}
+		if _, err := s.Write(buf[:nr]); err != nil {
+			return err
 		}
 	}
+}
 
+// sessionsEnv is the sweep's shared topology, configured the way a
+// production deployment runs: a ticket-issuing origin host behind a
+// middlebox host with a hop STEK and a shard-sized keyshare pool, and
+// the chain-verification cache every client worker shares. (The
+// handshake bench isolates these fast-path pieces one by one; this
+// bench runs the whole host with all of them on, because that is the
+// configuration whose session throughput the runtime has to sustain.)
+type sessionsEnv struct {
+	n       *netsim.Network
+	ca      *certs.CA
+	ksPool  *hsfast.KeySharePool
+	chainVC *hsfast.VerifyCache
+	bufPool *tls12.RecordBufPool
+	hosts   []*sessionhost.Host
+}
+
+func (e *sessionsEnv) Close() {
+	for _, h := range e.hosts {
+		h.Close() //nolint:errcheck
+	}
+	e.ksPool.Close()
+}
+
+func newSessionsEnv(maxLevel, shards int) (*sessionsEnv, error) {
 	ca, err := certs.NewCA("sessions root")
 	if err != nil {
 		return nil, err
@@ -102,8 +161,12 @@ func RunSessions(opts SessionsOptions) ([]SessionsRow, error) {
 		return nil, err
 	}
 
+	srvSTEK, err := hsfast.NewSTEK(time.Hour, nil)
+	if err != nil {
+		return nil, err
+	}
 	scfg := &core.ServerConfig{
-		TLS:               &tls12.Config{Certificate: serverCert},
+		TLS:               &tls12.Config{Certificate: serverCert, EnableTickets: true, TicketKeys: srvSTEK},
 		AcceptMiddleboxes: true,
 		MiddleboxTLS:      &tls12.Config{RootCAs: ca.Pool()},
 		HandshakeTimeout:  30 * time.Second,
@@ -111,78 +174,189 @@ func RunSessions(opts SessionsOptions) ([]SessionsRow, error) {
 	srvHost, err := sessionhost.New(sessionhost.Config{
 		Name:        "sessions-server",
 		MaxSessions: 2 * maxLevel,
-		Handler: sessionhost.NewServerHandler(scfg, func(s *core.Session) error {
-			buf := make([]byte, 64<<10)
-			for {
-				nr, err := s.Read(buf)
-				if err != nil {
-					return err
-				}
-				if _, err := s.Write(buf[:nr]); err != nil {
-					return err
-				}
-			}
-		}),
+		Shards:      shards,
+		Handler:     sessionhost.NewServerHandler(scfg, echoSession),
+		TicketKeys:  srvSTEK,
 	})
 	if err != nil {
 		return nil, err
 	}
 	go srvHost.Serve(srvLn) //nolint:errcheck
-	defer srvHost.Close()   //nolint:errcheck
 
+	mbSTEK, err := hsfast.NewSTEK(time.Hour, nil)
+	if err != nil {
+		srvHost.Close() //nolint:errcheck
+		return nil, err
+	}
+	ksPool := hsfast.NewKeySharePoolForShards(shards)
 	pool := tls12.NewRecordBufPool(2 * maxLevel)
 	mb, err := core.NewMiddlebox(core.MiddleboxConfig{
-		Name: "mb.example", Mode: core.ClientSide, Certificate: mbCert, BufPool: pool,
+		Name:        "mb.example",
+		Mode:        core.ClientSide,
+		Certificate: mbCert,
+		BufPool:     pool,
+		TicketKeys:  mbSTEK,
+		KeyShares:   ksPool,
 	})
 	if err != nil {
+		srvHost.Close() //nolint:errcheck
+		ksPool.Close()
 		return nil, err
 	}
 	mbHost, err := sessionhost.New(sessionhost.Config{
 		Name:        "sessions-mb",
 		MaxSessions: 2 * maxLevel,
+		Shards:      shards,
 		BufPool:     pool,
 		Handler: sessionhost.NewMiddleboxHandler(mb, func() (net.Conn, error) {
 			return n.Dial("mb", "server")
 		}),
 		MiddleboxStats: mb.Stats,
+		KeySharePool:   ksPool,
+		TicketKeys:     mbSTEK,
 	})
 	if err != nil {
+		srvHost.Close() //nolint:errcheck
+		ksPool.Close()
 		return nil, err
 	}
 	go mbHost.Serve(mbLn) //nolint:errcheck
-	defer mbHost.Close()  //nolint:errcheck
+
+	return &sessionsEnv{
+		n:       n,
+		ca:      ca,
+		ksPool:  ksPool,
+		chainVC: hsfast.NewVerifyCache(64, time.Hour, nil),
+		bufPool: pool,
+		hosts:   []*sessionhost.Host{srvHost, mbHost},
+	}, nil
+}
+
+// clientConfig builds one session's client config. ct (optional) is
+// the chain ticket to redeem; onTicket receives the reissued one.
+func (e *sessionsEnv) clientConfig(ct *core.ChainTicket, onTicket func(*core.ChainTicket)) *core.ClientConfig {
+	return &core.ClientConfig{
+		TLS: &tls12.Config{
+			RootCAs:     e.ca.Pool(),
+			ServerName:  "origin.example",
+			VerifyCache: e.chainVC,
+		},
+		HandshakeTimeout: 30 * time.Second,
+		ChainTicket:      ct,
+		OnNewChainTicket: onTicket,
+	}
+}
+
+// RunSessions measures the sessionhost runtime under concurrent
+// session churn: for each concurrency level, that many workers each
+// run full mbTLS sessions back to back — dial, establish (timed), one
+// echo round trip, close — through one shared middlebox host and one
+// shared origin host. Each worker's first session per level is a full
+// handshake run before the clock starts; the measured sessions redeem
+// and re-collect chain tickets the way a production client does, so
+// the rows exercise admission, the handshake gate, resumption, and
+// teardown together. The keyshare pool's whole-run hit rate gates the
+// result: a sag there means the pool is under-provisioned for the
+// shard count.
+func RunSessions(opts SessionsOptions) (*SessionsReport, error) {
+	levels := opts.Levels
+	if len(levels) == 0 {
+		levels = SessionsLevels
+	}
+	perWorker := opts.SessionsPerWorker
+	if perWorker <= 0 {
+		perWorker = 8
+	}
+	payloadBytes := opts.PayloadBytes
+	if payloadBytes <= 0 {
+		payloadBytes = 4096
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.Quick {
+		levels = []int{4}
+		perWorker = 2
+	}
+	maxLevel := 0
+	for _, l := range levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+
+	env, err := newSessionsEnv(maxLevel, shards)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
 
 	payload := core.RandomPlaintext(payloadBytes)
-	var rows []SessionsRow
+	rep := &SessionsReport{Shards: shards}
 	for _, level := range levels {
-		row, err := sessionsLevel(n, ca, pool, level, perWorker, payload)
+		row, err := sessionsLevel(env, level, perWorker, payload)
 		if err != nil {
 			return nil, fmt.Errorf("sessions level %d: %w", level, err)
 		}
-		rows = append(rows, row)
+		rep.Sweep = append(rep.Sweep, row)
 	}
-	return rows, nil
+	if st := env.ksPool.Stats(); !opts.Quick && st.Hits+st.Misses > 0 && st.HitRate() < 0.90 {
+		return nil, fmt.Errorf("sessions: keyshare pool hit rate %.3f below the 0.90 gate "+
+			"(capacity %d, workers %d — pool under-provisioned for %d shard(s))",
+			st.HitRate(), st.Capacity, st.Workers, shards)
+	}
+	return rep, nil
 }
 
 // sessionsLevel drives one concurrency level and reduces its timings.
-func sessionsLevel(n *netsim.Network, ca *certs.CA, pool *tls12.RecordBufPool,
-	level, perWorker int, payload []byte) (SessionsRow, error) {
-
+func sessionsLevel(env *sessionsEnv, level, perWorker int, payload []byte) (SessionsRow, error) {
 	row := SessionsRow{Concurrency: level}
-	handshakes := make([]time.Duration, 0, level*perWorker)
+	latencies := make([]time.Duration, 0, level*perWorker)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	errs := make(chan error, level)
 
-	poolBefore := pool.Stats()
+	// Stats deltas start before seeding: the seed burst is exactly the
+	// load the keyshare pool exists to absorb, so it belongs in the
+	// level's hit rate even though its latency is not measured.
+	ksBefore := env.ksPool.Stats()
+	vcBefore := env.chainVC.Stats()
+	poolBefore := env.bufPool.Stats()
+
+	// Seed every worker's chain ticket with one full session before the
+	// clock starts; each measured session then redeems the previous
+	// one's reissue.
+	seeds := make([]*core.ChainTicket, level)
+	for w := 0; w < level; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if _, _, err := env.oneSession(fmt.Sprintf("seed-%d", w), nil, &seeds[w], payload); err != nil {
+				select {
+				case errs <- fmt.Errorf("worker %d seed: %w", w, err):
+				default:
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return row, err
+	default:
+	}
+
 	start := time.Now()
 	for w := 0; w < level; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			ct := seeds[w]
 			local := make([]time.Duration, 0, perWorker)
+			var rp, rh int64
 			for i := 0; i < perWorker; i++ {
-				hs, err := oneSession(n, ca, fmt.Sprintf("worker-%d-%d", w, i), payload)
+				hs, st, err := env.oneSession(fmt.Sprintf("worker-%d-%d", w, i), ct, &ct, payload)
 				if err != nil {
 					select {
 					case errs <- fmt.Errorf("worker %d session %d: %w", w, i, err):
@@ -191,9 +365,13 @@ func sessionsLevel(n *netsim.Network, ca *certs.CA, pool *tls12.RecordBufPool,
 					return
 				}
 				local = append(local, hs)
+				rp += st.ResumedPrimary
+				rh += st.ResumedHops
 			}
 			mu.Lock()
-			handshakes = append(handshakes, local...)
+			latencies = append(latencies, local...)
+			row.ResumedPrimary += rp
+			row.ResumedHops += rh
 			mu.Unlock()
 		}(w)
 	}
@@ -204,48 +382,58 @@ func sessionsLevel(n *netsim.Network, ca *certs.CA, pool *tls12.RecordBufPool,
 		return row, err
 	default:
 	}
-	poolAfter := pool.Stats()
 
-	sort.Slice(handshakes, func(i, j int) bool { return handshakes[i] < handshakes[j] })
-	row.Sessions = len(handshakes)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	row.Sessions = len(latencies)
 	row.SessionsPerSec = float64(row.Sessions) / elapsed.Seconds()
-	row.HandshakeP50Ms = float64(percentileDuration(handshakes, 0.50)) / float64(time.Millisecond)
-	row.HandshakeP99Ms = float64(percentileDuration(handshakes, 0.99)) / float64(time.Millisecond)
+	row.HandshakeP50Ms = float64(percentileDuration(latencies, 0.50)) / float64(time.Millisecond)
+	row.HandshakeP99Ms = float64(percentileDuration(latencies, 0.99)) / float64(time.Millisecond)
+	ksAfter := env.ksPool.Stats()
+	if served := (ksAfter.Hits + ksAfter.Misses) - (ksBefore.Hits + ksBefore.Misses); served > 0 {
+		row.KeyShareHitRate = float64(ksAfter.Hits-ksBefore.Hits) / float64(served)
+	}
+	vcAfter := env.chainVC.Stats()
+	if looked := (vcAfter.Hits + vcAfter.Misses) - (vcBefore.Hits + vcBefore.Misses); looked > 0 {
+		row.VerifyCacheHitRate = float64(vcAfter.Hits-vcBefore.Hits) / float64(looked)
+	}
+	poolAfter := env.bufPool.Stats()
 	if gets := poolAfter.Gets - poolBefore.Gets; gets > 0 {
 		row.PoolHitRate = float64(poolAfter.Hits-poolBefore.Hits) / float64(gets)
 	}
 	return row, nil
 }
 
-// oneSession runs a complete client session through the middlebox host
-// and returns the handshake latency.
-func oneSession(n *netsim.Network, ca *certs.CA, clientName string, payload []byte) (time.Duration, error) {
-	conn, err := n.Dial(clientName, "mb")
+// oneSession runs a complete client session through the middlebox
+// host: redeem (optional), establish (timed), echo round trip, close.
+// *ctOut receives the session's reissued chain ticket.
+func (e *sessionsEnv) oneSession(clientName string, redeem *core.ChainTicket,
+	ctOut **core.ChainTicket, payload []byte) (time.Duration, core.SessionStats, error) {
+
+	conn, err := e.n.Dial(clientName, "mb")
 	if err != nil {
-		return 0, err
+		return 0, core.SessionStats{}, err
 	}
+	ccfg := e.clientConfig(redeem, func(c *core.ChainTicket) { *ctOut = c })
 	start := time.Now()
-	sess, err := core.Dial(conn, &core.ClientConfig{
-		TLS:              &tls12.Config{RootCAs: ca.Pool(), ServerName: "origin.example"},
-		HandshakeTimeout: 30 * time.Second,
-	})
+	sess, err := core.Dial(conn, ccfg)
 	if err != nil {
-		return 0, err
+		conn.Close()
+		return 0, core.SessionStats{}, err
 	}
 	hs := time.Since(start)
 	defer sess.Close()
 	if _, err := sess.Write(payload); err != nil {
-		return 0, err
+		return 0, core.SessionStats{}, err
 	}
 	buf := make([]byte, len(payload))
 	for total := 0; total < len(buf); {
 		nr, err := sess.Read(buf[total:])
 		total += nr
 		if err != nil {
-			return 0, err
+			return 0, core.SessionStats{}, err
 		}
 	}
-	return hs, nil
+	return hs, sess.Stats(), nil
 }
 
 // percentileDuration returns the p-quantile of an already-sorted
@@ -261,28 +449,33 @@ func percentileDuration(sorted []time.Duration, p float64) time.Duration {
 	return sorted[i]
 }
 
-// WriteSessionsJSON writes the rows as a machine-readable baseline
+// WriteSessionsJSON writes the report as the machine-readable baseline
 // (BENCH_sessions.json) so future runtime changes can track the
-// concurrency trajectory.
-func WriteSessionsJSON(path string, rows []SessionsRow) error {
-	data, err := json.MarshalIndent(rows, "", "  ")
+// concurrency trajectory and the soak envelope.
+func WriteSessionsJSON(path string, rep *SessionsReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// FormatSessions renders the sweep.
-func FormatSessions(rows []SessionsRow) string {
+// FormatSessions renders the report.
+func FormatSessions(rep *SessionsReport) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Session host: concurrent full-session throughput\n")
-	fmt.Fprintf(&b, "%-12s | %9s | %13s | %9s | %9s | %9s\n",
-		"Concurrency", "Sessions", "Sessions/sec", "HS p50", "HS p99", "Pool hit")
-	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 76))
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%-12d | %9d | %13.1f | %7.2fms | %7.2fms | %8.0f%%\n",
+	fmt.Fprintf(&b, "Session host: concurrent full-session throughput (%d shard(s))\n", rep.Shards)
+	fmt.Fprintf(&b, "%-12s | %9s | %13s | %9s | %9s | %8s | %7s | %7s | %9s\n",
+		"Concurrency", "Sessions", "Sessions/sec", "HS p50", "HS p99", "Resumed", "KS hit", "VC hit", "Pool hit")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 110))
+	for _, r := range rep.Sweep {
+		fmt.Fprintf(&b, "%-12d | %9d | %13.1f | %7.2fms | %7.2fms | %8d | %6.0f%% | %6.0f%% | %8.0f%%\n",
 			r.Concurrency, r.Sessions, r.SessionsPerSec,
-			r.HandshakeP50Ms, r.HandshakeP99Ms, 100*r.PoolHitRate)
+			r.HandshakeP50Ms, r.HandshakeP99Ms, r.ResumedPrimary,
+			100*r.KeyShareHitRate, 100*r.VerifyCacheHitRate, 100*r.PoolHitRate)
+	}
+	if rep.Soak != nil {
+		b.WriteString("\n")
+		b.WriteString(FormatSoak(rep.Soak))
 	}
 	return b.String()
 }

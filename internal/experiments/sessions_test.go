@@ -7,21 +7,26 @@ import (
 
 // TestSessionsBenchSmoke runs the session-host sweep at a tiny
 // configuration and checks the rows are well formed: every worker's
-// sessions completed, throughput and percentiles are populated, and
-// the percentiles are ordered.
+// sessions completed, throughput and percentiles are populated, the
+// percentiles are ordered, and the measured window actually rode the
+// chain-ticket fast path.
 func TestSessionsBenchSmoke(t *testing.T) {
-	rows, err := RunSessions(SessionsOptions{
+	rep, err := RunSessions(SessionsOptions{
 		Levels:            []int{2, 4},
 		SessionsPerWorker: 2,
 		PayloadBytes:      512,
+		Quick:             false,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 {
-		t.Fatalf("rows = %d, want 2", len(rows))
+	if len(rep.Sweep) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rep.Sweep))
 	}
-	for _, r := range rows {
+	if rep.Shards < 1 {
+		t.Errorf("shards = %d, want >= 1", rep.Shards)
+	}
+	for _, r := range rep.Sweep {
 		if r.Sessions != r.Concurrency*2 {
 			t.Errorf("level %d completed %d sessions, want %d", r.Concurrency, r.Sessions, r.Concurrency*2)
 		}
@@ -31,6 +36,28 @@ func TestSessionsBenchSmoke(t *testing.T) {
 		if r.HandshakeP50Ms <= 0 || r.HandshakeP99Ms < r.HandshakeP50Ms {
 			t.Errorf("level %d percentiles p50=%f p99=%f malformed", r.Concurrency, r.HandshakeP50Ms, r.HandshakeP99Ms)
 		}
+		if r.ResumedPrimary == 0 || r.ResumedHops == 0 {
+			t.Errorf("level %d took no fast path (resumed primary=%d hops=%d)",
+				r.Concurrency, r.ResumedPrimary, r.ResumedHops)
+		}
+	}
+}
+
+// TestSoakSmoke holds a small registry of idle sessions and checks the
+// envelope numbers come back sane and nothing leaks.
+func TestSoakSmoke(t *testing.T) {
+	row, err := RunSoak(SoakOptions{Sessions: 500, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Sessions != 500 || row.Shards != 4 {
+		t.Fatalf("row = %+v, want 500 sessions on 4 shards", row)
+	}
+	if row.AdmitP99Us <= 0 || row.DrainMs < 0 {
+		t.Errorf("soak envelope malformed: %+v", row)
+	}
+	if row.ForceClosed != 0 {
+		t.Errorf("idle drain force-closed %d sessions, want 0", row.ForceClosed)
 	}
 }
 

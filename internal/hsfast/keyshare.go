@@ -6,36 +6,39 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
-
-	"repro/internal/secmem"
 )
 
-// KeyShare is one precomputed X25519 keypair. The expensive part of
-// generating a share is deriving the public point (a base-point scalar
-// multiplication); the pool does that on idle workers so the handshake
-// only has to wrap the scalar back into an ecdh.PrivateKey.
+// KeyShare is one precomputed X25519 keypair, held ready-to-use: the
+// expensive part of generating a share is deriving the public point (a
+// base-point scalar multiplication), and the pool does that once on an
+// idle worker. The share stores the *ecdh.PrivateKey itself — earlier
+// revisions stored the raw scalar and re-derived the key at hand-out,
+// which repeated the base-point multiplication on every pool hit and
+// made a hit as expensive as inline generation.
 type KeyShare struct {
-	// PrivKey is the 32-byte X25519 scalar.
-	PrivKey []byte
-	// Pub is the matching 32-byte public point.
-	Pub []byte
+	priv *ecdh.PrivateKey
+	pub  []byte
 }
 
-// Wipe zeroizes the private scalar. The pool wipes shares it hands
-// out (the consumer's ecdh.PrivateKey owns its own copy) and shares
-// left in the pool at Close.
+// Wipe drops the share's key references. The scalar lives inside the
+// stdlib ecdh.PrivateKey (which keeps its own copy and offers no
+// zeroization hook), so an unused share's material is released to the
+// GC rather than overwritten — the same lifetime an inline-generated
+// handshake key has.
 func (s *KeyShare) Wipe() {
 	if s == nil {
 		return
 	}
-	secmem.Wipe(s.PrivKey)
-	s.PrivKey = nil
+	s.priv = nil
+	s.pub = nil
 }
 
 // KeySharePoolStats is a point-in-time snapshot of a pool's counters.
 type KeySharePoolStats struct {
 	// Capacity is the configured pool size.
 	Capacity int
+	// Workers is how many refill workers keep the pool full.
+	Workers int
 	// Ready is the number of precomputed shares currently waiting.
 	Ready int
 	// Hits counts handshakes served from a precomputed share.
@@ -60,16 +63,22 @@ func (s KeySharePoolStats) HitRate() float64 {
 // by every handshake a host runs, so its capacity bounds precompute
 // memory the way RecordBufPool bounds relay memory.
 type KeySharePool struct {
-	shares chan *KeyShare
-	done   chan struct{}
-	wg     sync.WaitGroup
-	once   sync.Once
-	rand   io.Reader
+	shares  chan *KeyShare
+	done    chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+	rand    io.Reader
+	workers int
 
 	hits   atomic.Int64
 	misses atomic.Int64
 	wiped  atomic.Int64
 }
+
+// DefaultSharesPerShard sizes NewKeySharePoolForShards: enough stock
+// per shard to absorb an admission burst while that shard's refill
+// worker catches up.
+const DefaultSharesPerShard = 64
 
 // NewKeySharePool starts a pool holding up to size shares, refilled by
 // workers background goroutines. size and workers default to 64 and 1
@@ -83,15 +92,28 @@ func NewKeySharePool(size, workers int) *KeySharePool {
 		workers = 1
 	}
 	p := &KeySharePool{
-		shares: make(chan *KeyShare, size),
-		done:   make(chan struct{}),
-		rand:   rand.Reader,
+		shares:  make(chan *KeyShare, size),
+		done:    make(chan struct{}),
+		rand:    rand.Reader,
+		workers: workers,
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.fill()
 	}
 	return p
+}
+
+// NewKeySharePoolForShards sizes a pool from a session host's shard
+// count: one refill worker and DefaultSharesPerShard of capacity per
+// shard, so refill throughput and burst stock scale with the host
+// instead of a fixed single-worker default (which is what let the hit
+// rate sag at high concurrency).
+func NewKeySharePoolForShards(shards int) *KeySharePool {
+	if shards < 1 {
+		shards = 1
+	}
+	return NewKeySharePool(DefaultSharesPerShard*shards, shards)
 }
 
 // fill generates shares until the pool closes, parking on the channel
@@ -110,7 +132,7 @@ func (p *KeySharePool) fill() {
 			// back to inline generation and surface the error there.
 			return
 		}
-		share := &KeyShare{PrivKey: priv.Bytes(), Pub: priv.PublicKey().Bytes()}
+		share := &KeyShare{priv: priv, pub: priv.PublicKey().Bytes()}
 		select {
 		case p.shares <- share:
 		case <-p.done:
@@ -122,17 +144,13 @@ func (p *KeySharePool) fill() {
 
 // X25519KeyShare returns an ephemeral X25519 key for one handshake:
 // a precomputed share when available (hit), otherwise generated inline
-// (miss). The returned private key owns its own scalar copy; the
-// pool's copy is wiped before returning.
+// (miss). A hit hands over the ready private key — no scalar
+// re-derivation on the handshake path.
 func (p *KeySharePool) X25519KeyShare() (*ecdh.PrivateKey, []byte, error) {
 	select {
 	case share := <-p.shares:
-		priv, err := ecdh.X25519().NewPrivateKey(share.PrivKey)
-		pub := share.Pub
+		priv, pub := share.priv, share.pub
 		share.Wipe()
-		if err != nil {
-			return nil, nil, err
-		}
 		p.hits.Add(1)
 		return priv, pub, nil
 	default:
@@ -149,6 +167,7 @@ func (p *KeySharePool) X25519KeyShare() (*ecdh.PrivateKey, []byte, error) {
 func (p *KeySharePool) Stats() KeySharePoolStats {
 	return KeySharePoolStats{
 		Capacity: cap(p.shares),
+		Workers:  p.workers,
 		Ready:    len(p.shares),
 		Hits:     p.hits.Load(),
 		Misses:   p.misses.Load(),

@@ -18,6 +18,11 @@ import (
 // through one shared middlebox host (the acceptance floor is 64).
 const raceSessions = 64
 
+// raceShards fixes the hosts' shard count, so the test exercises
+// cross-shard admission, work stealing, and the merged metrics path
+// even on machines where GOMAXPROCS would give a single shard.
+const raceShards = 8
+
 // TestConcurrentSessionsThroughFaultyNetwork runs a fleet of complete
 // mbTLS sessions at once through one shared Network and one shared
 // session-host pair — 64 over clean paths, one over a path whose
@@ -71,6 +76,7 @@ func TestConcurrentSessionsThroughFaultyNetwork(t *testing.T) {
 	srvHost, err := sessionhost.New(sessionhost.Config{
 		Name:        "server",
 		MaxSessions: 2 * raceSessions,
+		Shards:      raceShards,
 		Handler: sessionhost.NewServerHandler(scfg, func(s *core.Session) error {
 			buf := make([]byte, 256)
 			nr, err := s.Read(buf)
@@ -98,6 +104,7 @@ func TestConcurrentSessionsThroughFaultyNetwork(t *testing.T) {
 	mbHost, err := sessionhost.New(sessionhost.Config{
 		Name:        "mb",
 		MaxSessions: 2 * raceSessions,
+		Shards:      raceShards,
 		BufPool:     pool,
 		Handler: sessionhost.NewMiddleboxHandler(mb, func() (net.Conn, error) {
 			return n.Dial("mb", "server")
@@ -189,8 +196,26 @@ func TestConcurrentSessionsThroughFaultyNetwork(t *testing.T) {
 		t.Fatal("faulty-path session wedged")
 	}
 
-	if got := mbHost.Metrics().Accepted; got < raceSessions+1 {
-		t.Errorf("middlebox host admitted %d sessions, want >= %d", got, raceSessions+1)
+	m := mbHost.Metrics()
+	if m.Accepted < raceSessions+1 {
+		t.Errorf("middlebox host admitted %d sessions, want >= %d", m.Accepted, raceSessions+1)
+	}
+	if len(m.PerShard) != raceShards {
+		t.Fatalf("metrics carry %d shards, want %d", len(m.PerShard), raceShards)
+	}
+	var perShardSum uint64
+	busy := 0
+	for _, sm := range m.PerShard {
+		perShardSum += sm.Accepted
+		if sm.Accepted > 0 {
+			busy++
+		}
+	}
+	if perShardSum != m.Accepted {
+		t.Errorf("per-shard accepted sums to %d, merged total is %d", perShardSum, m.Accepted)
+	}
+	if busy != raceShards {
+		t.Errorf("round-robin admission used %d/%d shards", busy, raceShards)
 	}
 	if st := pool.Stats(); st.Gets == 0 {
 		t.Error("host-scoped buffer pool was never used by the relay")

@@ -7,13 +7,15 @@ import (
 	"repro/internal/core"
 )
 
-// session is one registered connection's lifecycle record.
+// session is one registered connection's lifecycle record. It lives in
+// exactly one shard's map; the shard index rides in the ID's low bits.
 type session struct {
 	id   uint64
-	host *Host
+	sh   *shard
 	conn net.Conn
 
 	state  atomic.Int32 // State
+	gated  atomic.Bool  // holds a handshake-gate slot
 	closer atomic.Value // func(): handler-registered force-closer
 }
 
@@ -27,6 +29,15 @@ func (s *session) markDraining() {
 		if s.state.CompareAndSwap(cur, int32(StateDraining)) {
 			return
 		}
+	}
+}
+
+// releaseGate returns the session's handshake-gate slot, if it holds
+// one. Called on establishment (the expensive phase is over) and again
+// unconditionally at teardown; the CAS makes the release exactly-once.
+func (s *session) releaseGate() {
+	if s.gated.CompareAndSwap(true, false) {
+		<-s.sh.gate
 	}
 }
 
@@ -50,17 +61,23 @@ type Control struct {
 
 var _ core.HostHooks = (*Control)(nil)
 
-// ID returns the session's monotonic registry ID.
+// ID returns the session's registry ID (shard-local sequence number in
+// the high bits, owning shard index in the low shardIDBits).
 func (c *Control) ID() uint64 { return c.s.id }
+
+// Shard returns the index of the shard that owns the session.
+func (c *Control) Shard() int { return ShardOfID(c.s.id) }
 
 // State returns the session's current lifecycle state.
 func (c *Control) State() State { return State(c.s.state.Load()) }
 
 // SessionEstablished implements core.HostHooks: the session finished
 // establishing (handshaking → established). A session already marked
-// draining or closed keeps that state.
+// draining or closed keeps that state. Establishment releases the
+// session's handshake-gate slot.
 func (c *Control) SessionEstablished() {
 	c.s.state.CompareAndSwap(int32(StateHandshaking), int32(StateEstablished))
+	c.s.releaseGate()
 }
 
 // RegisterForceClose implements core.HostHooks: f is invoked if the
@@ -74,18 +91,16 @@ func (c *Control) RegisterForceClose(f func()) {
 
 // Draining returns a channel closed when the host begins draining;
 // long-running handlers select on it to stop accepting new work.
-func (c *Control) Draining() <-chan struct{} { return c.s.host.drainCh }
+func (c *Control) Draining() <-chan struct{} { return c.s.sh.host.drainCh }
 
-// ReportStats folds a finished session's endpoint counters into the
-// host's aggregate (TeardownReason, a per-session string, is not
-// aggregated).
+// ReportStats folds a finished session's endpoint counters into its
+// shard's lock-free aggregate (TeardownReason, a per-session string,
+// is not aggregated).
 func (c *Control) ReportStats(st core.SessionStats) {
-	h := c.s.host
-	h.mu.Lock()
-	h.agg.RecordsRelayed += st.RecordsRelayed
-	h.agg.Reseals += st.Reseals
-	h.agg.FaultsObserved += st.FaultsObserved
-	h.agg.ResumedPrimary += st.ResumedPrimary
-	h.agg.ResumedHops += st.ResumedHops
-	h.mu.Unlock()
+	sh := c.s.sh
+	sh.recordsRelayed.Add(st.RecordsRelayed)
+	sh.reseals.Add(st.Reseals)
+	sh.faultsObserved.Add(st.FaultsObserved)
+	sh.resumedPrimary.Add(st.ResumedPrimary)
+	sh.resumedHops.Add(st.ResumedHops)
 }

@@ -5,18 +5,28 @@
 // cmd/mbtls-proxy, cmd/mbtls-server, and the netsim-driven tests stop
 // duplicating accept loops and instead share one implementation of:
 //
-//   - a bounded accept loop: at most MaxSessions sessions run
-//     concurrently, and connections beyond the cap are refused with a
-//     typed OverloadError (and an overloaded alert on the wire) rather
-//     than queued without bound;
-//   - a session registry: monotonic session IDs with per-session state
-//     (handshaking → established → draining → closed);
-//   - graceful drain: Shutdown lets in-flight sessions finish while
-//     refusing new ones with a typed DrainingError, and force-closes
-//     survivors at the deadline (sealed close_notify when hop keys
+//   - sharded bounded admission: the host is split into N shards
+//     (default GOMAXPROCS), each owning its share of the MaxSessions
+//     slots, its own session map, and its own ID space (the shard
+//     index rides in the session ID's low bits, so lookups route
+//     without a global lock). Connections beyond the cap are refused
+//     with a typed OverloadError (and an overloaded alert on the wire)
+//     rather than queued without bound;
+//   - a handshake gate: at most MaxHandshakes sessions run their
+//     establishment concurrently; later admissions queue FIFO, which
+//     bounds handshake tail latency under bursts instead of letting
+//     every admitted session contend at once;
+//   - a session registry: shard-local monotonic session IDs with
+//     per-session state (handshaking → established → draining →
+//     closed);
+//   - graceful fan-out drain: Shutdown drains every shard
+//     independently under one force-close deadline, so a wedged
+//     session on one shard cannot delay the others; survivors are
+//     force-closed at the deadline (sealed close_notify when hop keys
 //     exist, so endpoints see an orderly close instead of a reset);
-//   - one aggregation point for SessionStats/MiddleboxStats plus the
-//     host gauges (active sessions, handshakes in flight, drain time);
+//   - lock-free metrics: every counter is a per-shard atomic, merged
+//     by Snapshot into one Metrics value (plus the SessionStats /
+//     MiddleboxStats surfaces and the host gauges);
 //   - a host-scoped record-buffer pool, bounding relay memory by the
 //     pool rather than by session count.
 package sessionhost
@@ -25,6 +35,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,15 +95,31 @@ func (f HandlerFunc) Serve(ctl *Control, conn net.Conn) error { return f(ctl, co
 const (
 	DefaultMaxSessions  = 256
 	DefaultDrainTimeout = 10 * time.Second
+	// DefaultHandshakesPerShard sizes the handshake gate when
+	// Config.MaxHandshakes is zero: enough concurrency to keep every
+	// core busy through a handshake's round trips, small enough that a
+	// burst of admissions queues instead of thrashing.
+	DefaultHandshakesPerShard = 8
 )
 
 // Config configures a Host.
 type Config struct {
 	// Name identifies the host in typed rejection errors and metrics.
 	Name string
-	// MaxSessions caps concurrent sessions; connections beyond the cap
-	// are refused with OverloadError. Zero means DefaultMaxSessions.
+	// MaxSessions caps concurrent sessions across all shards;
+	// connections beyond the cap are refused with OverloadError. Zero
+	// means DefaultMaxSessions.
 	MaxSessions int
+	// Shards is how many independent admission/registry shards the
+	// host runs. Zero means runtime.GOMAXPROCS(0); values are clamped
+	// to [1, MaxShards].
+	Shards int
+	// MaxHandshakes caps sessions concurrently running establishment
+	// (admitted sessions beyond it queue FIFO before their handler
+	// starts). Zero means DefaultHandshakesPerShard per shard;
+	// negative disables the gate. The gate relies on the configured
+	// handshake timeouts to reclaim slots from wedged peers.
+	MaxHandshakes int
 	// DrainTimeout bounds Close's implicit drain. Zero means
 	// DefaultDrainTimeout. (Shutdown takes its deadline from its
 	// context instead.)
@@ -125,30 +152,21 @@ type Config struct {
 // with Serve (own the accept loop) or Submit (bring your own), stop
 // with Shutdown or Close.
 type Host struct {
-	cfg  Config
-	sem  chan struct{}
-	bufs *tls12.RecordBufPool
+	cfg    Config
+	shards []*shard
+	bufs   *tls12.RecordBufPool
 
-	// drainCh closes when drain begins; handlers can select on it.
-	drainCh chan struct{}
+	// rr rotates the home shard for admissions.
+	rr atomic.Uint64
 
-	nextID atomic.Uint64
+	// draining flips when drain begins; drainCh closes at the same
+	// moment so handlers can select on it.
+	draining atomic.Bool
+	drainCh  chan struct{}
 
-	mu        sync.Mutex
-	sessions  map[uint64]*session
+	lmu       sync.Mutex
 	listeners map[net.Listener]struct{}
-	draining  bool
 	closed    bool
-	wg        sync.WaitGroup
-
-	accepted        uint64
-	completed       uint64
-	failed          uint64
-	overloaded      uint64
-	refusedDraining uint64
-	forceClosed     uint64
-	agg             core.SessionStats
-	drainTime       time.Duration
 }
 
 // New builds a Host.
@@ -158,6 +176,12 @@ func New(cfg Config) (*Host, error) {
 	}
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards > MaxShards {
+		cfg.Shards = MaxShards
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = DefaultDrainTimeout
@@ -169,18 +193,48 @@ func New(cfg Config) (*Host, error) {
 		// that is allocation the GC reclaims.
 		bufs = tls12.NewRecordBufPool(2 * cfg.MaxSessions)
 	}
-	return &Host{
+	h := &Host{
 		cfg:       cfg,
-		sem:       make(chan struct{}, cfg.MaxSessions),
 		bufs:      bufs,
 		drainCh:   make(chan struct{}),
-		sessions:  make(map[uint64]*session),
 		listeners: make(map[net.Listener]struct{}),
-	}, nil
+	}
+	gatePerShard := 0
+	switch {
+	case cfg.MaxHandshakes == 0:
+		gatePerShard = DefaultHandshakesPerShard
+	case cfg.MaxHandshakes > 0:
+		gatePerShard = (cfg.MaxHandshakes + cfg.Shards - 1) / cfg.Shards
+	}
+	h.shards = make([]*shard, cfg.Shards)
+	for i := range h.shards {
+		// MaxSessions slots split exactly across shards (the first
+		// MaxSessions%Shards shards take the remainder); admission
+		// steals from sibling shards before refusing, so the host
+		// refuses only when the whole cap is in use.
+		slots := cfg.MaxSessions / cfg.Shards
+		if i < cfg.MaxSessions%cfg.Shards {
+			slots++
+		}
+		sh := &shard{
+			host:     h,
+			idx:      i,
+			sem:      make(chan struct{}, slots),
+			sessions: make(map[uint64]*session),
+		}
+		if gatePerShard > 0 {
+			sh.gate = make(chan struct{}, gatePerShard)
+		}
+		h.shards[i] = sh
+	}
+	return h, nil
 }
 
 // Name returns the configured host name.
 func (h *Host) Name() string { return h.cfg.Name }
+
+// Shards returns how many shards the host runs.
+func (h *Host) Shards() int { return len(h.shards) }
 
 // BufPool returns the host-scoped record-buffer pool. Middleboxes
 // served by this host should be built with MiddleboxConfig.BufPool set
@@ -203,20 +257,20 @@ func (h *Host) logf(format string, args ...any) {
 // ClassOverload failure instead of a bare reset. Serve returns nil
 // when the listener was closed by Shutdown/Close.
 func (h *Host) Serve(ln net.Listener) error {
-	h.mu.Lock()
+	h.lmu.Lock()
 	if h.closed {
-		h.mu.Unlock()
+		h.lmu.Unlock()
 		ln.Close()
 		return errors.New("sessionhost: host is closed")
 	}
 	h.listeners[ln] = struct{}{}
-	h.mu.Unlock()
+	h.lmu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			h.mu.Lock()
+			h.lmu.Lock()
 			closed := h.closed
-			h.mu.Unlock()
+			h.lmu.Unlock()
 			if closed {
 				return nil
 			}
@@ -233,44 +287,55 @@ func (h *Host) Serve(ln net.Listener) error {
 // OverloadError (both ClassOverload) when the connection is refused,
 // in which case the caller keeps ownership of conn.
 func (h *Host) Submit(conn net.Conn) error {
-	if err := h.admit(); err != nil {
-		return err
-	}
-	s := &session{id: h.nextID.Add(1), host: h, conn: conn}
-	h.mu.Lock()
-	if h.draining {
-		// Raced with Shutdown between admit and registration.
-		h.refusedDraining++
-		h.mu.Unlock()
-		<-h.sem
+	home := h.shards[int(h.rr.Add(1)-1)%len(h.shards)]
+	if h.draining.Load() {
+		home.refusedDraining.Add(1)
 		return &core.DrainingError{Host: h.cfg.Name}
 	}
-	h.sessions[s.id] = s
-	h.accepted++
-	h.wg.Add(1)
-	h.mu.Unlock()
-	go h.runSession(s)
+	sh, ok := h.reserve(home)
+	if !ok {
+		home.overloaded.Add(1)
+		return &core.OverloadError{Host: h.cfg.Name, Active: h.cfg.MaxSessions, Max: h.cfg.MaxSessions}
+	}
+	s := &session{conn: conn}
+	if !sh.register(s) {
+		// Raced with Shutdown between the slot claim and registration.
+		return &core.DrainingError{Host: h.cfg.Name}
+	}
+	go sh.run(s)
 	return nil
 }
 
-// admit claims a session slot or returns the typed refusal.
-func (h *Host) admit() error {
-	h.mu.Lock()
-	if h.draining {
-		h.refusedDraining++
-		h.mu.Unlock()
-		return &core.DrainingError{Host: h.cfg.Name}
+// reserve claims an admission slot, preferring the home shard and
+// stealing from siblings before giving up, so the host only refuses
+// when every slot across every shard is in use.
+func (h *Host) reserve(home *shard) (*shard, bool) {
+	for i := 0; i < len(h.shards); i++ {
+		sh := h.shards[(home.idx+i)%len(h.shards)]
+		select {
+		case sh.sem <- struct{}{}:
+			return sh, true
+		default:
+		}
 	}
-	h.mu.Unlock()
-	select {
-	case h.sem <- struct{}{}:
-		return nil
-	default:
-		h.mu.Lock()
-		h.overloaded++
-		h.mu.Unlock()
-		return &core.OverloadError{Host: h.cfg.Name, Active: cap(h.sem), Max: cap(h.sem)}
+	return nil, false
+}
+
+// Lookup returns a Control for a live session by ID. The shard index
+// encoded in the ID routes the lookup to one shard's map.
+func (h *Host) Lookup(id uint64) (*Control, bool) {
+	idx := ShardOfID(id)
+	if idx >= len(h.shards) {
+		return nil, false
 	}
+	sh := h.shards[idx]
+	sh.mu.Lock()
+	s := sh.sessions[id]
+	sh.mu.Unlock()
+	if s == nil {
+		return nil, false
+	}
+	return &Control{s: s}, true
 }
 
 // reject answers a refused connection with the matching plaintext
@@ -292,75 +357,35 @@ func (h *Host) reject(conn net.Conn, err error) {
 	h.logf("sessionhost %s: refused connection: %v", h.cfg.Name, err)
 }
 
-// runSession drives one admitted session to completion.
-func (h *Host) runSession(s *session) {
-	defer h.wg.Done()
-	err := h.cfg.Handler.Serve(&Control{s: s}, s.conn)
-	s.conn.Close()
-	s.state.Store(int32(StateClosed))
-	cls := core.ClassifyError(err)
-	h.mu.Lock()
-	delete(h.sessions, s.id)
-	if cls == core.ClassOK || cls == core.ClassCleanClose {
-		h.completed++
-	} else {
-		h.failed++
-	}
-	h.mu.Unlock()
-	<-h.sem
-	if cls != core.ClassOK {
-		h.logf("sessionhost %s: session %d closed: %s (%v)", h.cfg.Name, s.id, cls, err)
-	}
-}
-
 // Shutdown gracefully drains the host: new admissions are refused with
 // DrainingError, in-flight sessions run to completion, and sessions
 // still alive when ctx expires are force-closed (a hosted middlebox
-// seals a close_notify toward both neighbors first). Listeners
-// registered via Serve are closed once the pool is empty. Shutdown
-// returns ctx.Err() if the deadline forced any closes, nil after a
-// clean drain.
+// seals a close_notify toward both neighbors first). The drain fans
+// out per shard under the one deadline — a wedged session on one
+// shard delays only that shard's completion, never the others'.
+// Listeners registered via Serve are closed once every shard drained.
+// Shutdown returns ctx.Err() if the deadline forced any shard, nil
+// after a clean drain.
 func (h *Host) Shutdown(ctx context.Context) error {
-	h.mu.Lock()
-	alreadyDraining := h.draining
-	h.draining = true
-	for _, s := range h.sessions {
-		s.markDraining()
-	}
-	h.mu.Unlock()
-	if !alreadyDraining {
+	if h.draining.CompareAndSwap(false, true) {
 		close(h.drainCh)
 	}
 
 	start := time.Now()
-	done := make(chan struct{})
-	go func() {
-		h.wg.Wait()
-		close(done)
-	}()
-	var err error
-	select {
-	case <-done:
-	case <-ctx.Done():
-		err = ctx.Err()
-		h.mu.Lock()
-		forced := make([]*session, 0, len(h.sessions))
-		for _, s := range h.sessions {
-			forced = append(forced, s)
-		}
-		h.forceClosed += uint64(len(forced))
-		h.mu.Unlock()
-		for _, s := range forced {
-			s.forceClose()
-		}
-		// Force-closing killed the transports, which unwinds the
-		// handler goroutines; wait for them so no session outlives
-		// Shutdown.
-		<-done
+	var wg sync.WaitGroup
+	var deadline atomic.Bool
+	for _, sh := range h.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			if sh.drain(ctx, start) {
+				deadline.Store(true)
+			}
+		}(sh)
 	}
+	wg.Wait()
 
-	h.mu.Lock()
-	h.drainTime = time.Since(start)
+	h.lmu.Lock()
 	firstClose := !h.closed
 	h.closed = true
 	lns := make([]net.Listener, 0, len(h.listeners))
@@ -368,12 +393,18 @@ func (h *Host) Shutdown(ctx context.Context) error {
 		lns = append(lns, ln)
 	}
 	h.listeners = make(map[net.Listener]struct{})
-	h.mu.Unlock()
+	h.lmu.Unlock()
 	for _, ln := range lns {
 		ln.Close()
 	}
+	var err error
+	if deadline.Load() {
+		err = ctx.Err()
+	}
 	if firstClose {
-		h.logf("sessionhost %s: drained in %v (forced %d)", h.cfg.Name, time.Since(start), h.forceClosed)
+		m := h.Snapshot()
+		h.logf("sessionhost %s: drained %d shard(s) in %v (forced %d)",
+			h.cfg.Name, len(h.shards), time.Since(start), m.ForceClosed)
 	}
 	return err
 }
@@ -385,10 +416,33 @@ func (h *Host) Close() error {
 	return h.Shutdown(ctx)
 }
 
-// Metrics is a point-in-time snapshot of a Host.
+// ShardMetrics is one shard's slice of a Metrics snapshot.
+type ShardMetrics struct {
+	Index           int
+	Accepted        uint64
+	Completed       uint64
+	Failed          uint64
+	Overloaded      uint64
+	RefusedDraining uint64
+	ForceClosed     uint64
+
+	ActiveSessions     int
+	HandshakesInFlight int
+
+	// Sessions is this shard's slice of the SessionStats aggregate.
+	Sessions core.SessionStats
+
+	// Drained reports that this shard's drain completed (all handlers
+	// returned); DrainTime is how long that took from Shutdown entry.
+	Drained   bool
+	DrainTime time.Duration
+}
+
+// Metrics is a point-in-time snapshot of a Host, merged across shards.
 type Metrics struct {
-	Name string
-	// Admission counters.
+	Name   string
+	Shards int
+	// Admission counters (sums of the per-shard atomics).
 	Accepted        uint64 // sessions admitted
 	Completed       uint64 // sessions ended clean (ok / clean close)
 	Failed          uint64 // sessions ended by a fault-classified error
@@ -399,8 +453,11 @@ type Metrics struct {
 	ActiveSessions     int
 	HandshakesInFlight int
 	Draining           bool
-	// DrainTime is how long the last Shutdown took (zero before one).
+	// DrainTime is the slowest shard's drain duration for the last
+	// Shutdown (zero before one).
 	DrainTime time.Duration
+	// PerShard is the unmerged breakdown, one entry per shard.
+	PerShard []ShardMetrics
 	// Sessions aggregates the SessionStats handlers reported via
 	// Control.ReportStats.
 	Sessions core.SessionStats
@@ -416,28 +473,20 @@ type Metrics struct {
 	TicketKeyRotations int64
 }
 
-// Metrics snapshots the host.
-func (h *Host) Metrics() Metrics {
-	h.mu.Lock()
+// Snapshot merges every shard's lock-free counters into one Metrics
+// value. The sums are per-counter consistent (each counter is an
+// atomic) but the snapshot is not a cross-counter fence: counters
+// advancing mid-snapshot may land on either side.
+func (h *Host) Snapshot() Metrics {
 	m := Metrics{
-		Name:            h.cfg.Name,
-		Accepted:        h.accepted,
-		Completed:       h.completed,
-		Failed:          h.failed,
-		Overloaded:      h.overloaded,
-		RefusedDraining: h.refusedDraining,
-		ForceClosed:     h.forceClosed,
-		ActiveSessions:  len(h.sessions),
-		Draining:        h.draining,
-		DrainTime:       h.drainTime,
-		Sessions:        h.agg,
+		Name:     h.cfg.Name,
+		Shards:   len(h.shards),
+		Draining: h.draining.Load(),
+		PerShard: make([]ShardMetrics, 0, len(h.shards)),
 	}
-	for _, s := range h.sessions {
-		if State(s.state.Load()) == StateHandshaking {
-			m.HandshakesInFlight++
-		}
+	for _, sh := range h.shards {
+		sh.snapshotInto(&m)
 	}
-	h.mu.Unlock()
 	if h.cfg.MiddleboxStats != nil {
 		st := h.cfg.MiddleboxStats()
 		m.Middlebox = &st
@@ -456,3 +505,7 @@ func (h *Host) Metrics() Metrics {
 	}
 	return m
 }
+
+// Metrics snapshots the host. Alias of Snapshot, kept for callers that
+// predate sharding.
+func (h *Host) Metrics() Metrics { return h.Snapshot() }

@@ -1,0 +1,303 @@
+package sessionhost_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sessionhost"
+)
+
+// TestShardOfIDRoundTrip pins the ID encoding: Lookup routes by the
+// shard index in the low bits, and Control.Shard agrees with it.
+func TestShardOfIDRoundTrip(t *testing.T) {
+	const shards = 8
+	ready := make(chan uint64, shards*2)
+	release := make(chan struct{})
+	host, err := sessionhost.New(sessionhost.Config{
+		Name:   "route",
+		Shards: shards,
+		Handler: sessionhost.HandlerFunc(func(ctl *sessionhost.Control, conn net.Conn) error {
+			if ctl.Shard() != sessionhost.ShardOfID(ctl.ID()) {
+				t.Errorf("Control.Shard() = %d, ShardOfID(%d) = %d",
+					ctl.Shard(), ctl.ID(), sessionhost.ShardOfID(ctl.ID()))
+			}
+			ctl.SessionEstablished()
+			ready <- ctl.ID()
+			<-release
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.Shards() != shards {
+		t.Fatalf("Shards() = %d, want %d", host.Shards(), shards)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < shards*2; i++ {
+		c, peer := net.Pipe()
+		defer peer.Close()
+		if err := host.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+		id := <-ready
+		seen[sessionhost.ShardOfID(id)] = true
+		ctl, ok := host.Lookup(id)
+		if !ok {
+			t.Fatalf("Lookup(%d) missed a live session", id)
+		}
+		if ctl.ID() != id {
+			t.Errorf("Lookup(%d).ID() = %d", id, ctl.ID())
+		}
+	}
+	if len(seen) != shards {
+		t.Errorf("round-robin admission touched %d/%d shards", len(seen), shards)
+	}
+	close(release)
+	if err := host.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := host.Lookup(1 << 10); ok {
+		t.Error("Lookup found a session after Close")
+	}
+}
+
+// TestWedgedShardDoesNotDelayOtherShards is the drain-independence
+// contract: one session that ignores the drain signal wedges its own
+// shard until the force-close deadline, while every other shard
+// reports Drained long before the deadline. Run under -race; goroutine
+// accounting pins that even the wedged shard's session is fully
+// reclaimed.
+func TestWedgedShardDoesNotDelayOtherShards(t *testing.T) {
+	base := runtime.NumGoroutine()
+	const shards = 4
+	const sessions = 8
+
+	var wedge atomic.Bool
+	wedgedShard := make(chan int, 1)
+	started := make(chan struct{}, sessions)
+	handler := sessionhost.HandlerFunc(func(ctl *sessionhost.Control, conn net.Conn) error {
+		ctl.SessionEstablished()
+		killed := make(chan struct{})
+		ctl.RegisterForceClose(func() { close(killed) })
+		if wedge.CompareAndSwap(true, false) {
+			// The wedged session: deaf to Draining, it exits only when
+			// the deadline force-closes it.
+			wedgedShard <- ctl.Shard()
+			started <- struct{}{}
+			<-killed
+			return nil
+		}
+		started <- struct{}{}
+		select {
+		case <-ctl.Draining():
+		case <-killed:
+		}
+		return nil
+	})
+	host, err := sessionhost.New(sessionhost.Config{
+		Name:        "wedge",
+		MaxSessions: sessions,
+		Shards:      shards,
+		Handler:     handler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wedge.Store(true)
+	for i := 0; i < sessions; i++ {
+		c, peer := net.Pipe()
+		defer peer.Close()
+		if err := host.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+		<-started
+	}
+	wedged := <-wedgedShard
+
+	const deadline = 1500 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	shutdownErr := make(chan error, 1)
+	shutdownStart := time.Now()
+	go func() { shutdownErr <- host.Shutdown(ctx) }()
+
+	// Long before the deadline, every shard but the wedged one must
+	// have completed its drain.
+	waitFor(t, "unwedged shards drained", func() bool {
+		m := host.Snapshot()
+		drained := 0
+		for _, sm := range m.PerShard {
+			if sm.Drained {
+				if sm.Index == wedged {
+					t.Fatal("wedged shard reported Drained before its session ended")
+				}
+				drained++
+			}
+		}
+		return drained == shards-1
+	})
+	if waited := time.Since(shutdownStart); waited >= deadline {
+		t.Fatalf("unwedged shards took %v to drain, deadline was %v", waited, deadline)
+	}
+
+	if err := <-shutdownErr; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded (wedged shard forced)", err)
+	}
+	m := host.Snapshot()
+	if m.ForceClosed != 1 {
+		t.Errorf("forceClosed = %d, want exactly the wedged session", m.ForceClosed)
+	}
+	for _, sm := range m.PerShard {
+		if !sm.Drained {
+			t.Errorf("shard %d not drained after Shutdown returned", sm.Index)
+		}
+		if sm.Index == wedged {
+			if sm.ForceClosed != 1 {
+				t.Errorf("wedged shard forceClosed = %d, want 1", sm.ForceClosed)
+			}
+			if sm.DrainTime < deadline {
+				t.Errorf("wedged shard drained in %v, before the %v deadline", sm.DrainTime, deadline)
+			}
+			continue
+		}
+		if sm.ForceClosed != 0 {
+			t.Errorf("shard %d forceClosed = %d, want 0", sm.Index, sm.ForceClosed)
+		}
+		if sm.DrainTime >= deadline/2 {
+			t.Errorf("shard %d drain took %v, want well under the %v deadline", sm.Index, sm.DrainTime, deadline)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+// TestSnapshotRace hammers every shard's lock-free counters from
+// GOMAXPROCS-many reporting sessions while other goroutines snapshot
+// continuously, then checks the merge invariants: in every snapshot
+// (including mid-race ones) the merged totals equal the sum of the
+// per-shard breakdown, aggregates only grow, and the final totals are
+// exactly what the sessions reported. Run under -race.
+func TestSnapshotRace(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	reporters := procs
+	if reporters < 4 {
+		reporters = 4
+	}
+	const reportsPer = 1000
+
+	release := make(chan struct{})
+	established := make(chan struct{}, reporters)
+	handler := sessionhost.HandlerFunc(func(ctl *sessionhost.Control, conn net.Conn) error {
+		ctl.SessionEstablished()
+		established <- struct{}{}
+		for i := 0; i < reportsPer; i++ {
+			ctl.ReportStats(core.SessionStats{
+				RecordsRelayed: 1,
+				Reseals:        2,
+				FaultsObserved: 1,
+				ResumedPrimary: 1,
+				ResumedHops:    3,
+			})
+		}
+		<-release
+		return nil
+	})
+	host, err := sessionhost.New(sessionhost.Config{
+		Name:        "snap",
+		MaxSessions: reporters,
+		Shards:      procs,
+		Handler:     handler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checkMerge := func(m sessionhost.Metrics) {
+		t.Helper()
+		var sum sessionhost.ShardMetrics
+		for _, sm := range m.PerShard {
+			sum.Accepted += sm.Accepted
+			sum.Completed += sm.Completed
+			sum.Failed += sm.Failed
+			sum.Overloaded += sm.Overloaded
+			sum.RefusedDraining += sm.RefusedDraining
+			sum.ForceClosed += sm.ForceClosed
+			sum.ActiveSessions += sm.ActiveSessions
+			sum.Sessions.RecordsRelayed += sm.Sessions.RecordsRelayed
+			sum.Sessions.Reseals += sm.Sessions.Reseals
+			sum.Sessions.FaultsObserved += sm.Sessions.FaultsObserved
+			sum.Sessions.ResumedPrimary += sm.Sessions.ResumedPrimary
+			sum.Sessions.ResumedHops += sm.Sessions.ResumedHops
+		}
+		if sum.Accepted != m.Accepted || sum.Completed != m.Completed || sum.Failed != m.Failed ||
+			sum.Overloaded != m.Overloaded || sum.RefusedDraining != m.RefusedDraining ||
+			sum.ForceClosed != m.ForceClosed || sum.ActiveSessions != m.ActiveSessions ||
+			sum.Sessions != m.Sessions {
+			t.Errorf("snapshot totals diverge from per-shard sums:\n totals %+v\n sums   %+v", m, sum)
+		}
+	}
+
+	// Snapshotters race the reporters.
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		snaps.Add(1)
+		go func() {
+			defer snaps.Done()
+			var lastRelayed int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := host.Snapshot()
+				checkMerge(m)
+				if m.Sessions.RecordsRelayed < lastRelayed {
+					t.Errorf("RecordsRelayed went backwards: %d after %d", m.Sessions.RecordsRelayed, lastRelayed)
+				}
+				lastRelayed = m.Sessions.RecordsRelayed
+			}
+		}()
+	}
+
+	for i := 0; i < reporters; i++ {
+		c, peer := net.Pipe()
+		defer peer.Close()
+		if err := host.Submit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < reporters; i++ {
+		<-established
+	}
+	close(release)
+	if err := host.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	snaps.Wait()
+
+	m := host.Snapshot()
+	checkMerge(m)
+	n := int64(reporters) * reportsPer
+	want := core.SessionStats{
+		RecordsRelayed: n, Reseals: 2 * n, FaultsObserved: n,
+		ResumedPrimary: n, ResumedHops: 3 * n,
+	}
+	if m.Sessions != want {
+		t.Errorf("final SessionStats = %+v, want %+v", m.Sessions, want)
+	}
+	if m.Accepted != uint64(reporters) || m.Completed != uint64(reporters) || m.ActiveSessions != 0 {
+		t.Errorf("final admission counters = accepted %d completed %d active %d, want %d/%d/0",
+			m.Accepted, m.Completed, m.ActiveSessions, reporters, reporters)
+	}
+}

@@ -168,6 +168,13 @@ func NewKeySharePool(size, workers int) *KeySharePool {
 	return hsfast.NewKeySharePool(size, workers)
 }
 
+// NewKeySharePoolForShards sizes a keyshare pool from a session host's
+// shard count: one refill worker and a fixed slab of capacity per
+// shard, so precompute throughput scales with the host.
+func NewKeySharePoolForShards(shards int) *KeySharePool {
+	return hsfast.NewKeySharePoolForShards(shards)
+}
+
 // NewSTEK builds a rotating session-ticket encryption key. A zero
 // interval disables time-based rotation (rotate manually); otherwise
 // each interval retires the previous generation after one interval of
