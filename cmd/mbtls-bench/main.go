@@ -10,7 +10,11 @@
 //	mbtls-bench design            §2: the design-space matrix, with live probes
 //	mbtls-bench sessions          session-host throughput/latency concurrency sweep
 //	mbtls-bench handshake         handshake fast path: full vs chain-ticket-resumed
+//	mbtls-bench transport         simulated (netsim) vs real (loopback TCP) comparison
 //	mbtls-bench all               everything above
+//
+// The sessions and fig7 sweeps take -transport {netsim|tcp} to run the
+// identical topology over in-memory pipes or loopback kernel sockets.
 //
 // Absolute numbers depend on this machine; the shapes (who wins, by
 // roughly what factor) are what reproduce the paper. See EXPERIMENTS.md.
@@ -36,12 +40,13 @@ func main() {
 	perWorker := flag.Int("sessions-per-worker", 0, "sessions each worker runs per concurrency level (0 = default)")
 	quick := flag.Bool("quick", false, "for handshake/sessions: shrink to a smoke-test run (CI gate)")
 	shards := flag.Int("shards", 0, "for sessions: session-host shard count (0 = GOMAXPROCS)")
+	transportName := flag.String("transport", "", "for sessions/fig7: byte-moving backend, netsim (default) or tcp")
 	soak := flag.Bool("soak", false, "for sessions: also run the idle-session soak")
 	soakSessions := flag.Int("soak-sessions", 0, "for sessions -soak: live idle sessions to hold (0 = 20000)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mbtls-bench [flags] {design|table1|table2|fig5|fig6|fig7|legacy|sessions|handshake|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: mbtls-bench [flags] {design|table1|table2|fig5|fig6|fig7|legacy|sessions|handshake|transport|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -94,7 +99,7 @@ func main() {
 			exitOn(err)
 			fmt.Print(experiments.FormatFig6(rows))
 		case "fig7":
-			cells, err := experiments.RunFig7(experiments.Fig7Options{Window: *window, BoundaryCost: *boundary})
+			cells, err := experiments.RunFig7(experiments.Fig7Options{Window: *window, BoundaryCost: *boundary, Transport: *transportName})
 			exitOn(err)
 			fmt.Print(experiments.FormatFig7(cells))
 			if *jsonOut {
@@ -112,6 +117,7 @@ func main() {
 			rep, err := experiments.RunSessions(experiments.SessionsOptions{
 				SessionsPerWorker: *perWorker,
 				Shards:            *shards,
+				Transport:         *transportName,
 				Quick:             *quick,
 			})
 			exitOn(err)
@@ -126,6 +132,14 @@ func main() {
 			if *jsonOut {
 				exitOn(experiments.WriteSessionsJSON("BENCH_sessions.json", rep))
 				fmt.Println("wrote BENCH_sessions.json")
+			}
+		case "transport":
+			rep, err := experiments.RunTransportCompare(*quick)
+			exitOn(err)
+			fmt.Print(experiments.FormatTransport(rep))
+			if *jsonOut {
+				exitOn(experiments.WriteTransportJSON("BENCH_transport.json", rep))
+				fmt.Println("wrote BENCH_transport.json")
 			}
 		case "handshake":
 			rows, err := experiments.RunHandshake(experiments.HandshakeOptions{
@@ -147,7 +161,7 @@ func main() {
 	}
 
 	if cmd == "all" {
-		for _, name := range []string{"design", "table1", "table2", "fig5", "fig6", "fig7", "legacy", "sessions", "handshake"} {
+		for _, name := range []string{"design", "table1", "table2", "fig5", "fig6", "fig7", "legacy", "sessions", "handshake", "transport"} {
 			run(name)
 		}
 		return

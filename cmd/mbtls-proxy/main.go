@@ -39,6 +39,7 @@ func main() {
 	statsEvery := flag.Duration("stats", 0, "log cumulative session/fault counters at this interval (0 disables)")
 	maxSessions := flag.Int("max-sessions", 0, "max concurrent sessions (0 = default)")
 	shards := flag.Int("shards", 0, "session-host shards (0 = one per core)")
+	reusePort := flag.Bool("reuseport", false, "bind one SO_REUSEPORT listener per shard (Linux)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	stekRotate := flag.Duration("stek-rotate", time.Hour, "session-ticket key rotation interval (0 disables resumption)")
 	keyshares := flag.Int("keyshares", 0, "precomputed X25519 keyshare pool size (0 = sized from shard count, negative disables)")
@@ -120,6 +121,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("mbtls-proxy: %v", err)
 	}
+	// Listeners, accepted connections, and next-hop dials all ride the
+	// batched-I/O TCP transport, sharing the host's record-buffer pool
+	// for read-path reuse.
+	tr := mbtls.NewTCPTransport(mbtls.TCPTransportConfig{ReusePort: *reusePort, Pool: pool})
 	host, err := mbtls.NewSessionHost(mbtls.SessionHostConfig{
 		Name:         "mbtls-proxy",
 		MaxSessions:  sessions,
@@ -127,7 +132,7 @@ func main() {
 		DrainTimeout: *drain,
 		BufPool:      pool,
 		Handler: mbtls.NewMiddleboxHandler(mb, func() (net.Conn, error) {
-			return net.Dial("tcp", *next)
+			return tr.Dial(*next)
 		}),
 		MiddleboxStats: mb.Stats,
 		KeySharePool:   ksPool,
@@ -137,11 +142,12 @@ func main() {
 		log.Fatalf("mbtls-proxy: %v", err)
 	}
 
-	ln, err := net.Listen("tcp", *listen)
+	lns, err := tr.ListenShards(*listen, host.Shards())
 	if err != nil {
 		log.Fatalf("mbtls-proxy: %v", err)
 	}
-	log.Printf("mbtls-proxy: %s middlebox on %s → %s (sgx=%v, shards=%d)", *mode, *listen, *next, *sgx, host.Shards())
+	log.Printf("mbtls-proxy: %s middlebox on %s → %s (sgx=%v, shards=%d, listeners=%d)",
+		*mode, *listen, *next, *sgx, host.Shards(), len(lns))
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
@@ -167,7 +173,7 @@ func main() {
 		log.Printf("mbtls-proxy: drained in %v (forced %d): %v", m.DrainTime, m.ForceClosed, err)
 	}()
 
-	if err := host.Serve(ln); err != nil {
+	if err := host.ServeListeners(lns); err != nil {
 		log.Fatalf("mbtls-proxy: %v", err)
 	}
 	<-drained

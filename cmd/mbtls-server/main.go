@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -36,6 +35,7 @@ func main() {
 	statsEvery := flag.Duration("stats", 0, "log cumulative session/fault counters at this interval (0 disables)")
 	maxSessions := flag.Int("max-sessions", 0, "max concurrent sessions (0 = default)")
 	shards := flag.Int("shards", 0, "session-host shards (0 = one per core)")
+	reusePort := flag.Bool("reuseport", false, "bind one SO_REUSEPORT listener per shard (Linux)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -61,11 +61,15 @@ func main() {
 		log.Fatalf("mbtls-server: %v", err)
 	}
 
-	ln, err := net.Listen("tcp", *listen)
+	// Listen through the batched-I/O TCP transport; with -reuseport the
+	// host gets one kernel-spread accept loop per shard.
+	tr := mbtls.NewTCPTransport(mbtls.TCPTransportConfig{ReusePort: *reusePort})
+	lns, err := tr.ListenShards(*listen, host.Shards())
 	if err != nil {
 		log.Fatalf("mbtls-server: %v", err)
 	}
-	log.Printf("mbtls-server: serving https(mbTLS)://%s on %s (pki: %s, shards=%d)", *serverName, *listen, *pkiDir, host.Shards())
+	log.Printf("mbtls-server: serving https(mbTLS)://%s on %s (pki: %s, shards=%d, listeners=%d)",
+		*serverName, *listen, *pkiDir, host.Shards(), len(lns))
 
 	if *statsEvery > 0 {
 		go func() {
@@ -96,7 +100,7 @@ func main() {
 		log.Printf("mbtls-server: drained in %v (forced %d): %v", m.DrainTime, m.ForceClosed, err)
 	}()
 
-	if err := host.Serve(ln); err != nil {
+	if err := host.ServeListeners(lns); err != nil {
 		log.Fatalf("mbtls-server: %v", err)
 	}
 	<-drained

@@ -15,6 +15,15 @@ import (
 // concurrent session. The check is per-function and flow-insensitive:
 // events are ordered by source position, which matches the
 // get-use-put / get-defer-put shapes the data plane uses.
+//
+// Buffers that live in struct fields (the tls12 record layer's
+// readBuf/writeBuf, the tcpx conn's pooled read buffer) outlive any
+// single function, so the per-function check cannot see their Put. For
+// those the analyzer applies a package-level rule instead: every field
+// ever assigned from GetRecordBuf must be released by a
+// PutRecordBuf(owner.field) somewhere in the same package — the
+// single-owner lifetime is then Get-on-init / Put-on-Close, with the
+// release path's reachability left to the close-semantics tests.
 var BufOwnership = &Analyzer{
 	Name: "bufownership",
 	Doc:  "pooled record buffers: pair every Get with a Put, never touch a buffer after Put",
@@ -56,6 +65,58 @@ func runBufOwnership(pass *Pass) {
 			}
 			return true
 		})
+	}
+	checkFieldOwners(pass)
+}
+
+// checkFieldOwners is the package-level half of the discipline: a
+// struct field assigned from GetRecordBuf holds a pooled buffer whose
+// lifetime spans functions, so its release cannot be checked
+// per-function — instead the package must contain a matching
+// PutRecordBuf(owner.field) for the same field object.
+func checkFieldOwners(pass *Pass) {
+	info := pass.Pkg.Info
+	fieldObj := func(e ast.Expr) types.Object {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		return info.Uses[sel.Sel]
+	}
+	gets := make(map[types.Object]token.Pos)
+	puts := make(map[types.Object]bool)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr)
+					if !ok || calleeName(call) != getBufName {
+						continue
+					}
+					if obj := fieldObj(lhs); obj != nil {
+						if _, seen := gets[obj]; !seen {
+							gets[obj] = n.Pos()
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if calleeName(n) == putBufName && len(n.Args) == 1 {
+					if obj := fieldObj(n.Args[0]); obj != nil {
+						puts[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for obj, pos := range gets {
+		if !puts[obj] {
+			pass.Reportf(pos, "field %s holds a buffer from GetRecordBuf but the package never releases it with PutRecordBuf", obj.Name())
+		}
 	}
 }
 

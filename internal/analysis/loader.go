@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -145,7 +146,11 @@ func (l *loader) checkDir(dir, path string, imp types.Importer) (*Package, error
 	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
-// goSources lists the directory's non-test Go files, sorted.
+// goSources lists the directory's non-test Go files that build on the
+// current platform, sorted. Build-constrained files (//go:build tags,
+// _GOOS suffixes — e.g. the tcpx SO_REUSEPORT split) are filtered the
+// way the compiler would, so platform alternates don't collide as
+// duplicate declarations.
 func goSources(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -155,6 +160,9 @@ func goSources(dir string) ([]string, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -49,3 +49,33 @@ func reassigned() {
 	buf = make([]byte, 8) // tracking ends: a fresh, unpooled buffer
 	_ = len(buf)
 }
+
+// fieldOwner holds its pooled buffer across calls: Get on first use,
+// Put on Close — the package-level field rule accepts it because the
+// release exists somewhere in the package.
+type fieldOwner struct {
+	rbuf []byte
+}
+
+func (o *fieldOwner) fill() {
+	if o.rbuf == nil {
+		o.rbuf = GetRecordBuf()
+	}
+}
+
+func (o *fieldOwner) Close() {
+	if o.rbuf != nil {
+		PutRecordBuf(o.rbuf)
+		o.rbuf = nil
+	}
+}
+
+// fieldLeaker acquires into a field but no function in the package
+// ever releases it.
+type fieldLeaker struct {
+	buf []byte
+}
+
+func (o *fieldLeaker) fill() {
+	o.buf = GetRecordBuf() // want "field buf holds a buffer from GetRecordBuf but the package never releases it"
+}

@@ -1,7 +1,6 @@
 package core_test
 
 import (
-	"runtime"
 	"testing"
 	"time"
 
@@ -9,6 +8,7 @@ import (
 	"repro/internal/enclave"
 	"repro/internal/hsfast"
 	"repro/internal/netsim"
+	"repro/internal/testutil/goleak"
 )
 
 // chainFixture bundles the attested-middlebox-with-STEK setup the
@@ -201,7 +201,7 @@ func TestChainResumeFaultMatrix(t *testing.T) {
 	}
 	for _, kind := range kinds {
 		t.Run(kind.String(), func(t *testing.T) {
-			base := runtime.NumGoroutine()
+			base := goleak.Base()
 			// Offset 60 lands inside the resuming ClientHello: the hop
 			// dies mid-resume, before any subchannel settles.
 			spec := netsim.FaultSpec{Kind: kind, Offset: 60, Seed: 11, Dir: netsim.DirAToB}

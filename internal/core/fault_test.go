@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -12,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/testutil/goleak"
 )
 
 // This file is the property-test surface of the fault-injection
@@ -82,22 +82,11 @@ func measureClientHandshakeBytes(t *testing.T, e *env, mkMb func() *core.Middleb
 	return h
 }
 
-// waitGoroutines polls until the goroutine count returns to base,
-// dumping all stacks on timeout — the repo's dependency-free stand-in
-// for goleak, pinning the no-leaked-relay-goroutines property.
+// waitGoroutines pins the no-leaked-relay-goroutines property via the
+// shared accounting helper in internal/testutil/goleak.
 func waitGoroutines(t *testing.T, base int) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= base {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<20)
-	n := runtime.Stack(buf, true)
-	t.Fatalf("goroutines leaked: %d running, want <= %d\n%s",
-		runtime.NumGoroutine(), base, buf[:n])
+	goleak.Wait(t, base)
 }
 
 // TestFaultMatrix: every fault kind at every injection point
@@ -149,7 +138,7 @@ func TestFaultMatrix(t *testing.T) {
 	for _, kind := range kinds {
 		for _, pt := range points {
 			t.Run(fmt.Sprintf("%s/%s", kind, pt.name), func(t *testing.T) {
-				base := runtime.NumGoroutine()
+				base := goleak.Base()
 				spec := netsim.FaultSpec{Kind: kind, Offset: pt.offset, Seed: 7, Dir: netsim.DirAToB}
 				mb := e.middlebox(t, "mb.example", core.ClientSide)
 				clientEnd, serverEnd := buildFaultChain(spec, mb)
@@ -306,7 +295,7 @@ func TestFaultDeterministicReplay(t *testing.T) {
 // a deadline — then tear down without leaking relay goroutines.
 func TestMidSessionHopDeath(t *testing.T) {
 	e := newEnv(t)
-	base := runtime.NumGoroutine()
+	base := goleak.Base()
 	mb := e.middlebox(t, "mb.example", core.ClientSide)
 	client, server := runSession(t, e.clientConfig(), e.serverConfig(), mb)
 	exchange(t, client, server, "steady state", "ack")
@@ -359,7 +348,7 @@ func serverTransportOf(t *testing.T, _ *core.Middlebox, server *core.Session) *n
 // the dialer's goroutines unwind.
 func TestHandshakePhaseDeadline(t *testing.T) {
 	e := newEnv(t)
-	base := runtime.NumGoroutine()
+	base := goleak.Base()
 	clientEnd, serverEnd := netsim.Pipe()
 	defer serverEnd.Close()
 

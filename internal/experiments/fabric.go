@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/netsim"
+	"repro/internal/transport"
+	"repro/internal/transport/tcpx"
+)
+
+// Transport backend names accepted by the -transport bench flag.
+const (
+	TransportNetsim = "netsim"
+	TransportTCP    = "tcp"
+)
+
+// connFab hands out transport-backed connection pairs for benches that
+// build their topology from raw pipes (fig7's per-stream hops). The
+// netsim flavor is a direct in-memory pipe; the tcp flavor runs one
+// loopback listener and mints each pair with a real dial + accept, so
+// the bytes cross the kernel exactly as in a deployment.
+type connFab struct {
+	tr transport.Transport // nil means netsim.Pipe
+	ln net.Listener
+}
+
+func newConnFab(trName string) (*connFab, error) {
+	switch trName {
+	case "", TransportNetsim:
+		return &connFab{}, nil
+	case TransportTCP:
+		tr := tcpx.Default()
+		ln, err := tr.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		return &connFab{tr: tr, ln: ln}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown transport %q (want %s or %s)",
+			trName, TransportNetsim, TransportTCP)
+	}
+}
+
+// name reports which backend the fabric produces.
+func (f *connFab) name() string {
+	if f.tr == nil {
+		return TransportNetsim
+	}
+	return f.tr.Name()
+}
+
+// pair returns two connected conns (local end first).
+func (f *connFab) pair() (net.Conn, net.Conn, error) {
+	if f.tr == nil {
+		a, b := netsim.Pipe()
+		return a, b, nil
+	}
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	accepted := make(chan res, 1)
+	go func() {
+		c, err := f.ln.Accept()
+		accepted <- res{c, err}
+	}()
+	c, err := f.tr.Dial(f.ln.Addr().String())
+	if err != nil {
+		return nil, nil, err
+	}
+	r := <-accepted
+	if r.err != nil {
+		c.Close()
+		return nil, nil, r.err
+	}
+	return c, r.c, nil
+}
+
+func (f *connFab) Close() {
+	if f.ln != nil {
+		f.ln.Close()
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"repro/internal/certs"
 	"repro/internal/core"
 	"repro/internal/enclave"
-	"repro/internal/netsim"
 	"repro/internal/tls12"
 )
 
@@ -47,6 +46,10 @@ type Fig7Options struct {
 	BoundaryCost time.Duration
 	// BufSizes overrides the buffer-size sweep.
 	BufSizes []int
+	// Transport selects the byte-moving backend for every stream hop:
+	// TransportNetsim (default, in-memory pipes) or TransportTCP
+	// (loopback kernel sockets).
+	Transport string
 }
 
 // RunFig7 reproduces Figure 7 ("SGX (Non-)Overhead"): middlebox
@@ -96,11 +99,17 @@ func RunFig7(opts Fig7Options) ([]Fig7Cell, error) {
 	}
 	platform.SetBoundaryCost(boundaryCost)
 
+	fab, err := newConnFab(opts.Transport)
+	if err != nil {
+		return nil, err
+	}
+	defer fab.Close()
+
 	var cells []Fig7Cell
 	for _, encryption := range []bool{false, true} {
 		for _, useEnclave := range []bool{false, true} {
 			for _, bufSize := range bufSizes {
-				cell, err := fig7Cell(ca, serverCert, mbCert, platform, encryption, useEnclave, bufSize, streams, window)
+				cell, err := fig7Cell(ca, serverCert, mbCert, platform, fab, encryption, useEnclave, bufSize, streams, window)
 				if err != nil {
 					return nil, fmt.Errorf("fig7 enc=%v sgx=%v buf=%d: %w", encryption, useEnclave, bufSize, err)
 				}
@@ -115,7 +124,7 @@ func RunFig7(opts Fig7Options) ([]Fig7Cell, error) {
 // fixed-size chunks through one middlebox to a sink server for the
 // window duration.
 func fig7Cell(ca *certs.CA, serverCert, mbCert *tls12.Certificate, platform *enclave.Platform,
-	encryption, useEnclave bool, bufSize, streams int, window time.Duration) (Fig7Cell, error) {
+	fab *connFab, encryption, useEnclave bool, bufSize, streams int, window time.Duration) (Fig7Cell, error) {
 
 	cell := Fig7Cell{Encryption: encryption, Enclave: useEnclave, BufSize: bufSize}
 
@@ -143,8 +152,16 @@ func fig7Cell(ca *certs.CA, serverCert, mbCert *tls12.Certificate, platform *enc
 	}
 	eps := make([]endpoints, streams)
 	for s := 0; s < streams; s++ {
-		c0a, c0b := netsim.Pipe()
-		c1a, c1b := netsim.Pipe()
+		c0a, c0b, err := fab.pair()
+		if err != nil {
+			return cell, fmt.Errorf("stream %d client hop: %w", s, err)
+		}
+		c1a, c1b, err := fab.pair()
+		if err != nil {
+			c0a.Close()
+			c0b.Close()
+			return cell, fmt.Errorf("stream %d server hop: %w", s, err)
+		}
 		go mb.Handle(c0b, c1a) //nolint:errcheck
 		if !encryption {
 			eps[s] = endpoints{w: c0a, r: c1b, c: func() { c0a.Close(); c1b.Close() }}

@@ -17,6 +17,8 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sessionhost"
 	"repro/internal/tls12"
+	"repro/internal/transport"
+	"repro/internal/transport/tcpx"
 )
 
 // SessionsLevels is the default concurrency sweep for the session-host
@@ -69,6 +71,10 @@ type SessionsOptions struct {
 	PayloadBytes int
 	// Shards overrides the hosts' shard count (default GOMAXPROCS).
 	Shards int
+	// Transport selects the byte-moving backend: TransportNetsim
+	// (default) or TransportTCP, which runs the same topology over
+	// loopback kernel sockets with SO_REUSEPORT per-shard listeners.
+	Transport string
 	// Quick shrinks the run to a smoke test (one small level, few
 	// sessions) and skips the keyshare hit-rate gate.
 	Quick bool
@@ -80,6 +86,8 @@ type SessionsOptions struct {
 type SessionsReport struct {
 	// Shards is the hosts' shard count for the sweep.
 	Shards int `json:"shards"`
+	// Transport is the backend the sweep ran over.
+	Transport string `json:"transport"`
 	// Sweep is one row per concurrency level.
 	Sweep []SessionsRow `json:"sweep"`
 	// Soak is the live-idle-session soak result (nil unless -soak).
@@ -122,7 +130,11 @@ func echoSession(s *core.Session) error {
 // bench runs the whole host with all of them on, because that is the
 // configuration whose session throughput the runtime has to sustain.)
 type sessionsEnv struct {
-	n       *netsim.Network
+	trName string
+	// dialMB opens a client connection to the middlebox host; dialSrv
+	// is what the middlebox uses to reach the origin. Both are bound to
+	// the backend chosen at env construction.
+	dialMB  func() (net.Conn, error)
 	ca      *certs.CA
 	ksPool  *hsfast.KeySharePool
 	chainVC *hsfast.VerifyCache
@@ -137,7 +149,61 @@ func (e *sessionsEnv) Close() {
 	e.ksPool.Close()
 }
 
-func newSessionsEnv(maxLevel, shards int) (*sessionsEnv, error) {
+// sessionsFabric builds the sweep's listeners and dial functions on the
+// chosen backend. Netsim keeps the named-node topology; TCP binds
+// loopback listeners — one per shard via SO_REUSEPORT for the
+// middlebox host, so kernel connection spreading pairs with the
+// sharded admission path — and dials by bound address.
+func sessionsFabric(trName string, shards int, pool *tls12.RecordBufPool) (
+	srvLns, mbLns []net.Listener, dialMB, dialSrv func() (net.Conn, error), err error) {
+
+	switch trName {
+	case "", TransportNetsim:
+		n := netsim.NewNetwork()
+		srvLn, err := n.Listen("server")
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		mbLn, err := n.Listen("mb")
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		clientTr := transport.NewNetsim(n, "client")
+		mbTr := transport.NewNetsim(n, "mb")
+		return []net.Listener{srvLn}, []net.Listener{mbLn},
+			func() (net.Conn, error) { return clientTr.Dial("mb") },
+			func() (net.Conn, error) { return mbTr.Dial("server") },
+			nil
+	case TransportTCP:
+		tr := tcpx.New(tcpx.Config{ReusePort: true, Pool: pool})
+		srvLns, err := tr.ListenShards("127.0.0.1:0", shards)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		mbLns, err := tr.ListenShards("127.0.0.1:0", shards)
+		if err != nil {
+			closeAll(srvLns)
+			return nil, nil, nil, nil, err
+		}
+		srvAddr := srvLns[0].Addr().String()
+		mbAddr := mbLns[0].Addr().String()
+		return srvLns, mbLns,
+			func() (net.Conn, error) { return tr.Dial(mbAddr) },
+			func() (net.Conn, error) { return tr.Dial(srvAddr) },
+			nil
+	default:
+		return nil, nil, nil, nil, fmt.Errorf("experiments: unknown transport %q (want %s or %s)",
+			trName, TransportNetsim, TransportTCP)
+	}
+}
+
+func closeAll(lns []net.Listener) {
+	for _, ln := range lns {
+		ln.Close()
+	}
+}
+
+func newSessionsEnv(maxLevel, shards int, trName string) (*sessionsEnv, error) {
 	ca, err := certs.NewCA("sessions root")
 	if err != nil {
 		return nil, err
@@ -151,12 +217,8 @@ func newSessionsEnv(maxLevel, shards int) (*sessionsEnv, error) {
 		return nil, err
 	}
 
-	n := netsim.NewNetwork()
-	srvLn, err := n.Listen("server")
-	if err != nil {
-		return nil, err
-	}
-	mbLn, err := n.Listen("mb")
+	pool := tls12.NewRecordBufPool(2 * maxLevel)
+	srvLns, mbLns, dialMB, dialSrv, err := sessionsFabric(trName, shards, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -179,17 +241,19 @@ func newSessionsEnv(maxLevel, shards int) (*sessionsEnv, error) {
 		TicketKeys:  srvSTEK,
 	})
 	if err != nil {
+		closeAll(srvLns)
+		closeAll(mbLns)
 		return nil, err
 	}
-	go srvHost.Serve(srvLn) //nolint:errcheck
+	go srvHost.ServeListeners(srvLns) //nolint:errcheck
 
 	mbSTEK, err := hsfast.NewSTEK(time.Hour, nil)
 	if err != nil {
 		srvHost.Close() //nolint:errcheck
+		closeAll(mbLns)
 		return nil, err
 	}
 	ksPool := hsfast.NewKeySharePoolForShards(shards)
-	pool := tls12.NewRecordBufPool(2 * maxLevel)
 	mb, err := core.NewMiddlebox(core.MiddleboxConfig{
 		Name:        "mb.example",
 		Mode:        core.ClientSide,
@@ -200,30 +264,34 @@ func newSessionsEnv(maxLevel, shards int) (*sessionsEnv, error) {
 	})
 	if err != nil {
 		srvHost.Close() //nolint:errcheck
+		closeAll(mbLns)
 		ksPool.Close()
 		return nil, err
 	}
 	mbHost, err := sessionhost.New(sessionhost.Config{
-		Name:        "sessions-mb",
-		MaxSessions: 2 * maxLevel,
-		Shards:      shards,
-		BufPool:     pool,
-		Handler: sessionhost.NewMiddleboxHandler(mb, func() (net.Conn, error) {
-			return n.Dial("mb", "server")
-		}),
+		Name:           "sessions-mb",
+		MaxSessions:    2 * maxLevel,
+		Shards:         shards,
+		BufPool:        pool,
+		Handler:        sessionhost.NewMiddleboxHandler(mb, dialSrv),
 		MiddleboxStats: mb.Stats,
 		KeySharePool:   ksPool,
 		TicketKeys:     mbSTEK,
 	})
 	if err != nil {
 		srvHost.Close() //nolint:errcheck
+		closeAll(mbLns)
 		ksPool.Close()
 		return nil, err
 	}
-	go mbHost.Serve(mbLn) //nolint:errcheck
+	go mbHost.ServeListeners(mbLns) //nolint:errcheck
 
+	if trName == "" {
+		trName = TransportNetsim
+	}
 	return &sessionsEnv{
-		n:       n,
+		trName:  trName,
+		dialMB:  dialMB,
 		ca:      ca,
 		ksPool:  ksPool,
 		chainVC: hsfast.NewVerifyCache(64, time.Hour, nil),
@@ -286,14 +354,14 @@ func RunSessions(opts SessionsOptions) (*SessionsReport, error) {
 		}
 	}
 
-	env, err := newSessionsEnv(maxLevel, shards)
+	env, err := newSessionsEnv(maxLevel, shards, opts.Transport)
 	if err != nil {
 		return nil, err
 	}
 	defer env.Close()
 
 	payload := core.RandomPlaintext(payloadBytes)
-	rep := &SessionsReport{Shards: shards}
+	rep := &SessionsReport{Shards: shards, Transport: env.trName}
 	for _, level := range levels {
 		row, err := sessionsLevel(env, level, perWorker, payload)
 		if err != nil {
@@ -409,9 +477,9 @@ func sessionsLevel(env *sessionsEnv, level, perWorker int, payload []byte) (Sess
 func (e *sessionsEnv) oneSession(clientName string, redeem *core.ChainTicket,
 	ctOut **core.ChainTicket, payload []byte) (time.Duration, core.SessionStats, error) {
 
-	conn, err := e.n.Dial(clientName, "mb")
+	conn, err := e.dialMB()
 	if err != nil {
-		return 0, core.SessionStats{}, err
+		return 0, core.SessionStats{}, fmt.Errorf("%s: %w", clientName, err)
 	}
 	ccfg := e.clientConfig(redeem, func(c *core.ChainTicket) { *ctOut = c })
 	start := time.Now()
@@ -463,7 +531,11 @@ func WriteSessionsJSON(path string, rep *SessionsReport) error {
 // FormatSessions renders the report.
 func FormatSessions(rep *SessionsReport) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Session host: concurrent full-session throughput (%d shard(s))\n", rep.Shards)
+	tr := rep.Transport
+	if tr == "" {
+		tr = TransportNetsim
+	}
+	fmt.Fprintf(&b, "Session host: concurrent full-session throughput (%d shard(s), %s transport)\n", rep.Shards, tr)
 	fmt.Fprintf(&b, "%-12s | %9s | %13s | %9s | %9s | %8s | %7s | %7s | %9s\n",
 		"Concurrency", "Sessions", "Sessions/sec", "HS p50", "HS p99", "Resumed", "KS hit", "VC hit", "Pool hit")
 	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 110))

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TransportSessionsRow compares one concurrency level of the sessions
+// sweep across backends.
+type TransportSessionsRow struct {
+	Concurrency          int     `json:"concurrency"`
+	NetsimSessionsPerSec float64 `json:"netsim_sessions_per_sec"`
+	TCPSessionsPerSec    float64 `json:"tcp_sessions_per_sec"`
+	NetsimHandshakeP50Ms float64 `json:"netsim_handshake_p50_ms"`
+	TCPHandshakeP50Ms    float64 `json:"tcp_handshake_p50_ms"`
+	// Ratio is real/simulated session throughput — how much of the
+	// in-memory rate survives kernel sockets.
+	Ratio float64 `json:"tcp_over_netsim"`
+}
+
+// TransportFig7Row compares one fig7 data-plane cell across backends.
+type TransportFig7Row struct {
+	Encryption bool    `json:"encryption"`
+	BufSize    int     `json:"buf_size"`
+	NetsimGbps float64 `json:"netsim_gbps"`
+	TCPGbps    float64 `json:"tcp_gbps"`
+	Ratio      float64 `json:"tcp_over_netsim"`
+}
+
+// TransportReport is the simulated-vs-real comparison
+// BENCH_transport.json holds: the same session and data-plane sweeps
+// run over netsim pipes and over loopback kernel TCP.
+type TransportReport struct {
+	Shards   int                    `json:"shards"`
+	Sessions []TransportSessionsRow `json:"sessions"`
+	Fig7     []TransportFig7Row     `json:"fig7"`
+}
+
+// RunTransportCompare runs restricted sessions and fig7 sweeps on both
+// backends and pairs the rows. The sweeps are the same code paths as
+// `mbtls-bench sessions` / `fig7` — only the levels are narrowed, so
+// the comparison stays cheap enough for verify.sh's -quick smoke.
+func RunTransportCompare(quick bool) (*TransportReport, error) {
+	levels := []int{16, 64}
+	perWorker := 4
+	bufSizes := []int{2048, 8192}
+	window := 150 * time.Millisecond
+	if quick {
+		levels = []int{4}
+		perWorker = 2
+		bufSizes = []int{4096}
+		window = 60 * time.Millisecond
+	}
+
+	rep := &TransportReport{Shards: runtime.GOMAXPROCS(0)}
+
+	bySessions := map[string]*SessionsReport{}
+	for _, tr := range []string{TransportNetsim, TransportTCP} {
+		r, err := RunSessions(SessionsOptions{
+			Levels:            levels,
+			SessionsPerWorker: perWorker,
+			Transport:         tr,
+			Quick:             quick,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("transport compare: sessions over %s: %w", tr, err)
+		}
+		bySessions[tr] = r
+	}
+	sim, real := bySessions[TransportNetsim], bySessions[TransportTCP]
+	for i := range sim.Sweep {
+		if i >= len(real.Sweep) {
+			break
+		}
+		row := TransportSessionsRow{
+			Concurrency:          sim.Sweep[i].Concurrency,
+			NetsimSessionsPerSec: sim.Sweep[i].SessionsPerSec,
+			TCPSessionsPerSec:    real.Sweep[i].SessionsPerSec,
+			NetsimHandshakeP50Ms: sim.Sweep[i].HandshakeP50Ms,
+			TCPHandshakeP50Ms:    real.Sweep[i].HandshakeP50Ms,
+		}
+		if row.NetsimSessionsPerSec > 0 {
+			row.Ratio = row.TCPSessionsPerSec / row.NetsimSessionsPerSec
+		}
+		rep.Sessions = append(rep.Sessions, row)
+	}
+
+	byFig7 := map[string][]Fig7Cell{}
+	for _, tr := range []string{TransportNetsim, TransportTCP} {
+		cells, err := RunFig7(Fig7Options{
+			Window:    window,
+			BufSizes:  bufSizes,
+			Transport: tr,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("transport compare: fig7 over %s: %w", tr, err)
+		}
+		byFig7[tr] = cells
+	}
+	find := func(cells []Fig7Cell, enc bool, size int) *Fig7Cell {
+		for i := range cells {
+			if cells[i].Encryption == enc && !cells[i].Enclave && cells[i].BufSize == size {
+				return &cells[i]
+			}
+		}
+		return nil
+	}
+	for _, enc := range []bool{false, true} {
+		for _, size := range bufSizes {
+			s := find(byFig7[TransportNetsim], enc, size)
+			r := find(byFig7[TransportTCP], enc, size)
+			if s == nil || r == nil {
+				continue
+			}
+			row := TransportFig7Row{
+				Encryption: enc,
+				BufSize:    size,
+				NetsimGbps: s.Gbps,
+				TCPGbps:    r.Gbps,
+			}
+			if row.NetsimGbps > 0 {
+				row.Ratio = row.TCPGbps / row.NetsimGbps
+			}
+			rep.Fig7 = append(rep.Fig7, row)
+		}
+	}
+	return rep, nil
+}
+
+// WriteTransportJSON writes the comparison as the machine-readable
+// baseline (BENCH_transport.json).
+func WriteTransportJSON(path string, rep *TransportReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatTransport renders the comparison.
+func FormatTransport(rep *TransportReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Transport: simulated (netsim) vs real (loopback TCP), %d shard(s)\n\n", rep.Shards)
+	fmt.Fprintf(&b, "Sessions sweep (full establish + echo + teardown)\n")
+	fmt.Fprintf(&b, "%-12s | %16s | %13s | %12s | %9s | %6s\n",
+		"Concurrency", "netsim sess/s", "tcp sess/s", "netsim p50", "tcp p50", "ratio")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 84))
+	for _, r := range rep.Sessions {
+		fmt.Fprintf(&b, "%-12d | %16.1f | %13.1f | %10.2fms | %7.2fms | %5.2fx\n",
+			r.Concurrency, r.NetsimSessionsPerSec, r.TCPSessionsPerSec,
+			r.NetsimHandshakeP50Ms, r.TCPHandshakeP50Ms, r.Ratio)
+	}
+	fmt.Fprintf(&b, "\nFig7 data plane (middlebox throughput, no enclave)\n")
+	fmt.Fprintf(&b, "%-14s | %8s | %12s | %9s | %6s\n",
+		"Encryption", "Buffer", "netsim Gbps", "tcp Gbps", "ratio")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 62))
+	for _, r := range rep.Fig7 {
+		fmt.Fprintf(&b, "%-14v | %8s | %12.2f | %9.2f | %5.2fx\n",
+			r.Encryption, byteSize(r.BufSize), r.NetsimGbps, r.TCPGbps, r.Ratio)
+	}
+	return b.String()
+}

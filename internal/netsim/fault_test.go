@@ -5,11 +5,12 @@ import (
 	"errors"
 	"io"
 	"net"
-	"runtime"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/testutil/goleak"
 )
 
 // readN reads exactly n bytes from c under a deadline.
@@ -297,22 +298,11 @@ func TestListenerCloseRace(t *testing.T) {
 	}
 }
 
-// waitGoroutines polls until the goroutine count drops to base (plus
-// slack for runtime helpers), dumping stacks on timeout. It is the
-// repo's dependency-free stand-in for goleak.
+// waitGoroutines pins the no-leak property via the shared accounting
+// helper in internal/testutil/goleak.
 func waitGoroutines(t *testing.T, base int) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= base {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<20)
-	n := runtime.Stack(buf, true)
-	t.Fatalf("goroutines leaked: %d running, want <= %d\n%s",
-		runtime.NumGoroutine(), base, buf[:n])
+	goleak.Wait(t, base)
 }
 
 // TestFilteredLinkShutdownNoLeak: aborting a filtered path from either
@@ -323,7 +313,7 @@ func TestFilteredLinkShutdownNoLeak(t *testing.T) {
 		{Kind: KindResegmenter, Chunk: 9},
 		{Kind: KindNone},
 	}
-	base := runtime.NumGoroutine()
+	base := goleak.Base()
 	for round := 0; round < 3; round++ {
 		client, server := FilteredLink(specs...)
 		// A partial record in flight exercises the mid-parse abort path.

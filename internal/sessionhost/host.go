@@ -282,6 +282,26 @@ func (h *Host) Serve(ln net.Listener) error {
 	}
 }
 
+// ServeListeners runs one Serve loop per listener and waits for all of
+// them, returning the first non-nil error. It pairs with
+// tcpx.Transport.ListenShards: a host with N shards accepting on N
+// SO_REUSEPORT listeners gets kernel-spread admission with no shared
+// accept lock. Any listener count works — the slice does not have to
+// match the shard count.
+func (h *Host) ServeListeners(lns []net.Listener) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(lns))
+	for i, ln := range lns {
+		wg.Add(1)
+		go func(i int, ln net.Listener) {
+			defer wg.Done()
+			errs[i] = h.Serve(ln)
+		}(i, ln)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
 // Submit admits one connection into the session pool, spawning its
 // handler on a tracked goroutine. It returns a typed DrainingError or
 // OverloadError (both ClassOverload) when the connection is refused,

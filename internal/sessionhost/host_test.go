@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"runtime"
 	"testing"
 	"time"
 
@@ -13,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/sessionhost"
+	"repro/internal/testutil/goleak"
 	"repro/internal/tls12"
 )
 
@@ -87,23 +87,12 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Fatalf("timed out waiting for %s", what)
 }
 
-// waitGoroutines is the repo's goroutine-accounting helper (the same
-// pattern pins the no-leak property in internal/core's fault tests):
-// poll until the goroutine count returns to base, dumping all stacks on
-// timeout.
+// waitGoroutines pins the no-leak property via the shared accounting
+// helper in internal/testutil/goleak (the same helper backs
+// internal/core's fault tests and the transport conformance suite).
 func waitGoroutines(t *testing.T, base int) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= base {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<20)
-	n := runtime.Stack(buf, true)
-	t.Fatalf("goroutines leaked: %d running, want <= %d\n%s",
-		runtime.NumGoroutine(), base, buf[:n])
+	goleak.Wait(t, base)
 }
 
 // TestShutdownDrainsInFlightAndRefusesNew is the graceful half of the
@@ -113,7 +102,7 @@ func waitGoroutines(t *testing.T, base int) {
 // ClassOverload both for the local Submit caller and for a remote
 // mbTLS client, which sees the plaintext draining alert.
 func TestShutdownDrainsInFlightAndRefusesNew(t *testing.T) {
-	base := runtime.NumGoroutine()
+	base := goleak.Base()
 	e := newHostEnv(t)
 	ln, err := e.net.Listen("server")
 	if err != nil {
@@ -299,7 +288,7 @@ func TestOverloadRefusal(t *testing.T) {
 // neighbors, the transports drop, every relay and handler goroutine
 // unwinds, and nothing leaks.
 func TestForceClosePastDeadlineLeaksNoGoroutines(t *testing.T) {
-	base := runtime.NumGoroutine()
+	base := goleak.Base()
 	e := newHostEnv(t)
 
 	srvLn, err := e.net.Listen("server")

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sessionhost"
+	"repro/internal/testutil/goleak"
 )
 
 // TestShardOfIDRoundTrip pins the ID encoding: Lookup routes by the
@@ -76,7 +77,7 @@ func TestShardOfIDRoundTrip(t *testing.T) {
 // accounting pins that even the wedged shard's session is fully
 // reclaimed.
 func TestWedgedShardDoesNotDelayOtherShards(t *testing.T) {
-	base := runtime.NumGoroutine()
+	base := goleak.Base()
 	const shards = 4
 	const sessions = 8
 

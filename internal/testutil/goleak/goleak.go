@@ -1,0 +1,63 @@
+// Package goleak is the repo's dependency-free goroutine-leak
+// accounting, extracted from the copies that grew in the core, netsim,
+// and sessionhost test suites. The model is deliberately simple —
+// snapshot runtime.NumGoroutine before the work, poll until the count
+// returns to the snapshot after it — because the tests that use it
+// create and tear down whole session chains, where "the count came
+// back" is exactly the property under test (no relay, mux, drain, or
+// watchdog goroutine may outlive its session).
+//
+// Polling with a deadline, rather than comparing counts immediately,
+// is what makes the accounting stable under -race and on loaded
+// machines: teardown goroutines are unblocked asynchronously (a closed
+// transport errors out a parked reader), so the count decays rather
+// than dropping atomically. On timeout the full stack dump of every
+// live goroutine is reported, which names the leaker directly.
+package goleak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// defaultWait bounds how long Wait polls before declaring a leak.
+const defaultWait = 5 * time.Second
+
+// Base snapshots the current goroutine count. Take it before starting
+// the goroutine-spawning work under test.
+func Base() int { return runtime.NumGoroutine() }
+
+// Check snapshots the goroutine count now and registers a cleanup that
+// fails the test if the count has not returned to the snapshot by the
+// end of the test. Use it as the first line of a test:
+//
+//	func TestX(t *testing.T) {
+//		goleak.Check(t)
+//		...
+//	}
+//
+// Tests that must assert the count mid-test (e.g. between matrix
+// cases) use Base + Wait directly instead.
+func Check(t testing.TB) {
+	t.Helper()
+	base := Base()
+	t.Cleanup(func() { Wait(t, base) })
+}
+
+// Wait polls until the goroutine count returns to base, failing the
+// test with a full stack dump if it does not within 5 seconds.
+func Wait(t testing.TB, base int) {
+	t.Helper()
+	deadline := time.Now().Add(defaultWait)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d running, want <= %d\n%s",
+		runtime.NumGoroutine(), base, buf[:n])
+}

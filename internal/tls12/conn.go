@@ -478,6 +478,10 @@ func (c *Conn) Close() error {
 		err = c.closer.Close()
 	}
 	c.Wipe()
+	// The record layer's pooled buffers are done too: the transport is
+	// closed and this Conn copies every payload it hands out (appBuf,
+	// keyMatBuf), so no alias outlives the release.
+	c.rl.Release()
 	return err
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"io"
 	"testing"
 )
 
@@ -82,6 +83,116 @@ func FuzzRecordHeader(f *testing.F) {
 		typ2, length2, err := ParseRecordHeader(wire)
 		if err != nil || typ2 != typ || length2 != length {
 			t.Fatalf("reparse: typ=%v length=%d err=%v", typ2, length2, err)
+		}
+	})
+}
+
+// chunkReader delivers its stream in fixed-size chunks of at most n
+// bytes per Read, forcing the maximally fragmented delivery a TCP
+// transport is allowed to produce (the transport Conn contract
+// guarantees only stream semantics, down to 1-byte reads).
+type chunkReader struct {
+	data []byte
+	n    int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := c.n
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+// drainRecords parses records off r until a terminal error, returning
+// the records plus the error that ended the stream.
+func drainRecords(r io.Reader) ([]RawRecord, error) {
+	var recs []RawRecord
+	for {
+		rec, err := ReadRawRecord(r)
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// fuzzErrKey collapses a terminal error to its identity class so the
+// differential check can demand sameness without demanding pointer
+// equality: a given byte stream must end the same way no matter how
+// the transport segmented it.
+func fuzzErrKey(err error) string {
+	var ae *AlertError
+	switch {
+	case err == nil:
+		return "nil"
+	case errors.As(err, &ae):
+		return "alert:" + ae.Description.String()
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		return "unexpected_eof"
+	case errors.Is(err, io.EOF):
+		return "eof"
+	default:
+		return err.Error()
+	}
+}
+
+// FuzzRecordReader is the differential segmentation fuzzer: an
+// arbitrary byte stream is parsed as a record sequence twice — once
+// from a whole-stream reader, once through a chunkReader delivering at
+// most 1..32 bytes per Read — and both passes must produce identical
+// records and the same terminal error. Any divergence means record
+// parsing depends on delivery segmentation, which the transport
+// contract forbids. Accepted records must also re-marshal to exactly
+// the bytes they were parsed from.
+func FuzzRecordReader(f *testing.F) {
+	// Seeds: multi-record streams, every truncation position class,
+	// header-grammar rejections mid-stream, and the empty stream.
+	valid := RawRecord{Type: TypeHandshake, Payload: []byte{1, 0, 0, 0}}.Marshal()
+	two := append(RawRecord{Type: TypeAlert, Payload: []byte{2, 40}}.Marshal(),
+		RawRecord{Type: TypeApplicationData, Payload: []byte("hello")}.Marshal()...)
+	f.Add([]byte{}, byte(1))
+	f.Add(valid, byte(1))
+	f.Add(two, byte(3))
+	f.Add(two[:len(two)-3], byte(2))          // truncated mid-body
+	f.Add(valid[:3], byte(1))                 // truncated mid-header
+	f.Add([]byte{22, 3, 3, 0x48, 1}, byte(1)) // oversize length
+	f.Add([]byte{22, 3, 1, 0, 0}, byte(4))    // bad version mid-grammar
+	f.Add(append(append([]byte{}, valid...), 0xff, 3, 3, 0, 0), byte(5))
+
+	f.Fuzz(func(t *testing.T, stream []byte, chunk byte) {
+		want, wantErr := drainRecords(bytes.NewReader(stream))
+		size := int(chunk)%32 + 1
+		got, gotErr := drainRecords(&chunkReader{data: stream, n: size})
+
+		if fuzzErrKey(gotErr) != fuzzErrKey(wantErr) {
+			t.Fatalf("terminal error diverged under %d-byte chunks: whole=%v chunked=%v",
+				size, wantErr, gotErr)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("record count diverged under %d-byte chunks: whole=%d chunked=%d",
+				size, len(want), len(got))
+		}
+		offset := 0
+		for i := range want {
+			if got[i].Type != want[i].Type || !bytes.Equal(got[i].Payload, want[i].Payload) {
+				t.Fatalf("record %d diverged under %d-byte chunks", i, size)
+			}
+			// Re-marshaling must reproduce the exact wire bytes the
+			// record was parsed from.
+			wire := want[i].Marshal()
+			if !bytes.Equal(wire, stream[offset:offset+len(wire)]) {
+				t.Fatalf("record %d does not round-trip to its wire form", i)
+			}
+			offset += len(wire)
 		}
 	})
 }

@@ -1,0 +1,13 @@
+package tcpx
+
+import (
+	"context"
+	"net"
+)
+
+// listenContextFree runs ListenConfig.Listen with a background
+// context; binds either succeed or fail immediately, so no caller has
+// a meaningful deadline to thread through.
+func listenContextFree(lc net.ListenConfig, addr string) (net.Listener, error) {
+	return lc.Listen(context.Background(), "tcp", addr)
+}

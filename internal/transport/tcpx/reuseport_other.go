@@ -1,0 +1,16 @@
+//go:build !linux
+
+package tcpx
+
+import "net"
+
+// reusePortSupported: without a portable SO_REUSEPORT, ListenShards
+// falls back to one shared listener (accept loops contend on it, which
+// is correct, just not kernel-spread).
+const reusePortSupported = false
+
+// listenTCP binds addr; the reusePort request is ignored here.
+func listenTCP(addr string, _ bool) (net.Listener, error) {
+	var lc net.ListenConfig
+	return listenContextFree(lc, addr)
+}

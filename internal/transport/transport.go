@@ -1,0 +1,89 @@
+// Package transport abstracts how mbTLS bytes move between nodes. The
+// session layer, the session host, and the daemons speak only to this
+// interface; concrete byte movement is provided by two backends with
+// deliberately identical semantics:
+//
+//   - the netsim backend (in-memory pipes with latency/bandwidth/fault
+//     injection), used by the experiment harness and most tests, and
+//   - the tcpx backend (real kernel TCP sockets with batched syscall
+//     I/O), used by the daemons and the loopback-TCP benchmarks.
+//
+// # Conn contract
+//
+// Every net.Conn produced by a Transport — dialed or accepted — must
+// satisfy the contract below. The conformance suite in
+// internal/transport/conformancetest asserts each clause against both
+// backends, so the backends cannot drift apart:
+//
+//   - Stream, not records. Read may return any prefix of the bytes
+//     written by the peer, down to a single byte, regardless of how the
+//     peer segmented its writes. Nothing above the transport may assume
+//     record-aligned delivery (netsim happens to preserve write
+//     boundaries under light load; TCP never promises to).
+//
+//   - Deadlines. A Read that has to wait past the read deadline fails
+//     with a net.Error whose Timeout() is true. Data already delivered
+//     to the connection may still be returned after the deadline — the
+//     deadline bounds waiting, not draining. Clearing the deadline
+//     (SetReadDeadline(time.Time{})) restores blocking reads; the
+//     connection remains usable after a timeout.
+//
+//   - Close vs. blocked I/O. Closing a connection unblocks that end's
+//     own blocked Read and Write promptly; subsequent operations fail
+//     with an error wrapping net.ErrClosed (tcpx), io.ErrClosedPipe
+//     (netsim), or the transport's reset error — never a silent
+//     success. Closing the peer lets the local reader drain everything
+//     the peer wrote before Close, then observe io.EOF — the ordering
+//     the record layer relies on for close_notify: the alert is
+//     written, then the transport closed, and the peer must see the
+//     alert before the EOF.
+//
+//   - Buffer ownership. Read(p) only ever writes into p and never
+//     retains it. Write(p) does not retain p after returning; callers
+//     may recycle the buffer (e.g. into tls12's record-buffer pool)
+//     immediately. Internal read buffering must be single-owner: a
+//     pooled buffer acquired by a conn is released exactly once, on
+//     Close (the tcpx backend's pooled read path is checked by
+//     mbtls-lint bufownership).
+//
+// # Optional capabilities
+//
+// Backends advertise syscall-level batching through the capability
+// interfaces below; callers type-assert and fall back to plain Write.
+package transport
+
+import "net"
+
+// A Transport provides listeners and outbound connections for one
+// backend. Addr strings are backend-scoped: node names for netsim,
+// host:port for tcpx. Implementations must be safe for concurrent use.
+type Transport interface {
+	// Name identifies the backend ("netsim", "tcp") in benchmarks,
+	// logs, and BENCH_transport.json rows.
+	Name() string
+	// Listen claims addr and returns a listener whose accepted conns
+	// satisfy the package Conn contract.
+	Listen(addr string) (net.Listener, error)
+	// Dial opens a connection to addr satisfying the Conn contract.
+	Dial(addr string) (net.Conn, error)
+}
+
+// BuffersWriter is implemented by conns that can flush a batch of
+// record buffers in one vectored syscall (writev). The callee consumes
+// bufs (net.Buffers advances its slice as it writes); callers must not
+// reuse the slice header afterwards, but regain ownership of the
+// underlying byte slices once the call returns.
+type BuffersWriter interface {
+	WriteBuffers(bufs net.Buffers) (int64, error)
+}
+
+// Corker is implemented by conns that can delay small-segment
+// transmission across a multi-write batch. Cork before writing a batch
+// that spans several Writes, Uncork to flush; Uncork must always be
+// called (defer-safe). On tcpx this toggles TCP_NODELAY: corking lets
+// the kernel coalesce the batch, uncorking restores
+// latency-over-throughput for the steady state.
+type Corker interface {
+	Cork() error
+	Uncork() error
+}

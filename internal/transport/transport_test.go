@@ -1,0 +1,52 @@
+package transport_test
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/transport"
+	"repro/internal/transport/conformancetest"
+)
+
+// TestNetsimConformance runs the full transport conformance suite
+// against the netsim backend, pairing conns the way sessions do: a
+// listener on one node, a dial from another, through the Transport
+// adapter.
+func TestNetsimConformance(t *testing.T) {
+	conformancetest.Run(t, func(t *testing.T) conformancetest.Pair {
+		n := netsim.NewNetwork()
+		tr := transport.NewNetsim(n, "client")
+		ln, err := tr.Listen("server")
+		if err != nil {
+			t.Fatalf("netsim listen: %v", err)
+		}
+		type accepted struct {
+			c   net.Conn
+			err error
+		}
+		acc := make(chan accepted, 1)
+		go func() {
+			c, err := ln.Accept()
+			acc <- accepted{c, err}
+		}()
+		a, err := tr.Dial("server")
+		if err != nil {
+			t.Fatalf("netsim dial: %v", err)
+		}
+		got := <-acc
+		if got.err != nil {
+			a.Close()
+			t.Fatalf("netsim accept: %v", got.err)
+		}
+		return conformancetest.Pair{A: a, B: got.c, Release: func() { ln.Close() }}
+	})
+}
+
+// TestNetsimTransportName pins the backend name benchmarks key on.
+func TestNetsimTransportName(t *testing.T) {
+	tr := transport.NewNetsim(netsim.NewNetwork(), "client")
+	if got := tr.Name(); got != "netsim" {
+		t.Fatalf("Name() = %q, want %q", got, "netsim")
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"repro/internal/hsfast"
 	"repro/internal/sessionhost"
 	"repro/internal/tls12"
+	"repro/internal/transport"
+	"repro/internal/transport/tcpx"
 )
 
 // Protocol types re-exported from the implementation packages. The
@@ -84,6 +86,17 @@ type (
 	STEK         = hsfast.STEK
 	VerifyCache  = hsfast.VerifyCache
 
+	// Transport abstracts how bytes move between nodes (netsim pipes
+	// or real TCP sockets); see internal/transport for the Conn
+	// contract both backends satisfy.
+	Transport = transport.Transport
+	// TCPTransport is the real-socket backend with batched syscall I/O
+	// (pooled read buffers, vectored writes, NODELAY management,
+	// optional SO_REUSEPORT per-shard listeners).
+	TCPTransport = tcpx.Transport
+	// TCPTransportConfig configures NewTCPTransport.
+	TCPTransportConfig = tcpx.Config
+
 	// CA is an in-process certificate authority for provisioning
 	// servers and middleboxes.
 	CA = certs.CA
@@ -123,9 +136,10 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 	return core.Dial(transport, cfg)
 }
 
-// DialAddr connects to addr over TCP and establishes an mbTLS session.
+// DialAddr connects to addr over the real-socket TCP transport and
+// establishes an mbTLS session.
 func DialAddr(addr string, cfg *ClientConfig) (*Session, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := tcpx.Default().Dial(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -200,6 +214,14 @@ func NewMiddleboxHandler(mb *Middlebox, dial func() (net.Conn, error)) SessionHa
 // each admitted connection is accepted and handed to serve.
 func NewServerHandler(cfg *ServerConfig, serve func(*Session) error) SessionHandler {
 	return sessionhost.NewServerHandler(cfg, serve)
+}
+
+// NewTCPTransport builds the real-socket TCP transport. Daemons use it
+// for listeners and next-hop dials; pair Config.ReusePort with
+// SessionHost.ServeListeners and ListenShards for per-shard accept
+// loops.
+func NewTCPTransport(cfg TCPTransportConfig) *TCPTransport {
+	return tcpx.New(cfg)
 }
 
 // NewCA creates a self-signed certificate authority, typically one per
