@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 )
@@ -28,7 +29,11 @@ func NewNetwork() *Network {
 }
 
 // SetLinkPolicy installs a function choosing link characteristics per
-// (from, to) pair.
+// (from, to) pair. Policies see the dialer's base node name: a
+// per-connection "#N" suffix (appended by dialers such as
+// transport.Netsim to keep each connection individually addressable)
+// is stripped before the lookup, so a policy keyed on the configured
+// pair applies to every connection from that node.
 func (n *Network) SetLinkPolicy(f func(from, to string) LinkConfig) {
 	n.mu.Lock()
 	n.linkFor = f
@@ -38,7 +43,8 @@ func (n *Network) SetLinkPolicy(f func(from, to string) LinkConfig) {
 // SetFaultPolicy installs a function choosing the fault injected into
 // each new connection; a FaultNone spec means a clean link. In the
 // resulting pair the dialer is end A, so DirAToB faults dialer→listener
-// traffic.
+// traffic. Like link policies, fault policies see the dialer's base
+// node name with any per-connection "#N" suffix stripped.
 func (n *Network) SetFaultPolicy(f func(from, to string) FaultSpec) {
 	n.mu.Lock()
 	n.faultFor = f
@@ -62,6 +68,17 @@ func (n *Network) Listen(addr string) (*Listener, error) {
 	return l, nil
 }
 
+// policyName strips a per-connection "#N" suffix from a dialer node
+// name. Dialers that open several connections (transport.Netsim) make
+// each one individually addressable as name#2, name#3, …; policies
+// stay keyed on the configured base name so they apply to all of them.
+func policyName(from string) string {
+	if i := strings.LastIndexByte(from, '#'); i >= 0 {
+		return from[:i]
+	}
+	return from
+}
+
 // Dial connects from a named node to a listening address.
 func (n *Network) Dial(from, to string) (net.Conn, error) {
 	n.mu.Lock()
@@ -72,14 +89,15 @@ func (n *Network) Dial(from, to string) (net.Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("netsim: connection refused: %q", to)
 	}
+	pfrom := policyName(from)
 	cfg := LinkConfig{}
 	if policy != nil {
-		cfg = policy(from, to)
+		cfg = policy(pfrom, to)
 	}
 	cfg.NameA, cfg.NameB = from, to
 	var client, server net.Conn = NewLink(cfg)
 	if faults != nil {
-		if spec := faults(from, to); spec.Kind != FaultNone {
+		if spec := faults(pfrom, to); spec.Kind != FaultNone {
 			client, server = WrapFaultPair(client, server, spec)
 		}
 	}

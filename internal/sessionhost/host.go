@@ -283,19 +283,36 @@ func (h *Host) Serve(ln net.Listener) error {
 }
 
 // ServeListeners runs one Serve loop per listener and waits for all of
-// them, returning the first non-nil error. It pairs with
+// them, returning the errors of the loops that failed. It pairs with
 // tcpx.Transport.ListenShards: a host with N shards accepting on N
 // SO_REUSEPORT listeners gets kernel-spread admission with no shared
 // accept lock. Any listener count works — the slice does not have to
-// match the shard count.
+// match the shard count. If one loop fails while the host is still up,
+// the sibling listeners are closed so the failure surfaces immediately
+// instead of the host serving half-sharded indefinitely.
 func (h *Host) ServeListeners(lns []net.Listener) error {
 	var wg sync.WaitGroup
+	var failed atomic.Bool
 	errs := make([]error, len(lns))
 	for i, ln := range lns {
 		wg.Add(1)
 		go func(i int, ln net.Listener) {
 			defer wg.Done()
-			errs[i] = h.Serve(ln)
+			err := h.Serve(ln)
+			if err != nil {
+				if failed.CompareAndSwap(false, true) {
+					for j, other := range lns {
+						if j != i {
+							other.Close()
+						}
+					}
+				} else if errors.Is(err, net.ErrClosed) {
+					// Torn down above after the first failure; the
+					// cascade is not itself an error.
+					err = nil
+				}
+			}
+			errs[i] = err
 		}(i, ln)
 	}
 	wg.Wait()

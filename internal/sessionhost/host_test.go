@@ -204,6 +204,52 @@ func TestShutdownDrainsInFlightAndRefusesNew(t *testing.T) {
 // TestOverloadRefusal: at MaxSessions the host refuses admission with
 // the typed OverloadError locally and the overloaded alert remotely,
 // both feeding ClassOverload, and counts each refusal.
+// TestServeListenersPartialFailureClosesSiblings: when one accept loop
+// fails while the host is still up, ServeListeners must tear down the
+// sibling listeners and return, instead of serving half-sharded
+// forever with the failure invisible.
+func TestServeListenersPartialFailureClosesSiblings(t *testing.T) {
+	e := newHostEnv(t)
+	host, err := sessionhost.New(sessionhost.Config{Name: "partial", Handler: e.echoHandler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	var lns []net.Listener
+	for i := 0; i < 3; i++ {
+		ln, err := e.net.Listen(fmt.Sprintf("server-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns = append(lns, ln)
+	}
+	done := make(chan error, 1)
+	go func() { done <- host.ServeListeners(lns) }()
+	// Let the loops start, then fail one listener out from under its
+	// Serve loop (the host is not closed, so this is a real failure).
+	waitFor(t, "listeners accepting", func() bool {
+		c, err := e.net.Dial("probe", "server-2")
+		if err != nil {
+			return false
+		}
+		c.Close()
+		return true
+	})
+	lns[0].Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("ServeListeners returned nil after a listener failure")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeListeners did not return after one listener failed")
+	}
+	// The siblings were closed by the cascade: new dials are refused.
+	if _, err := e.net.Dial("client", "server-1"); err == nil {
+		t.Fatal("sibling listener still accepting after partial failure")
+	}
+}
+
 func TestOverloadRefusal(t *testing.T) {
 	e := newHostEnv(t)
 	release := make(chan struct{})

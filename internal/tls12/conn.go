@@ -93,6 +93,10 @@ type Conn struct {
 	appBuf     []byte
 	readErr    error
 	peerClosed bool
+	// closed is set by Close under readMu; once set, no read path may
+	// touch the record layer again (its pooled read buffer has been
+	// released) and any undelivered appBuf has been dropped.
+	closed bool
 
 	// kmMu guards keyMatBuf and is never held across blocking I/O:
 	// readers park holding readMu indefinitely (Read has no deadline),
@@ -365,6 +369,9 @@ func (c *Conn) Read(p []byte) (int, error) {
 	}
 	c.readMu.Lock()
 	defer c.readMu.Unlock()
+	if c.closed {
+		return 0, net.ErrClosed
+	}
 	for len(c.appBuf) == 0 {
 		if c.readErr != nil {
 			return 0, c.readErr
@@ -431,6 +438,9 @@ func (c *Conn) ReadKeyMaterial() ([]byte, error) {
 	}
 	c.readMu.Lock()
 	defer c.readMu.Unlock()
+	if c.closed {
+		return nil, net.ErrClosed
+	}
 	// Undelivered application data may alias the record layer's reused
 	// buffer; detach it before reading more records over it.
 	if len(c.appBuf) > 0 {
@@ -478,10 +488,27 @@ func (c *Conn) Close() error {
 		err = c.closer.Close()
 	}
 	c.Wipe()
-	// The record layer's pooled buffers are done too: the transport is
-	// closed and this Conn copies every payload it hands out (appBuf,
-	// keyMatBuf), so no alias outlives the release.
-	c.rl.Release()
+	// The write-side pooled buffers are done: the transport is closed,
+	// so nothing will flush the coalesced output again.
+	c.rl.ReleaseWrite()
+	// The read side needs the reader lock: an undelivered appBuf aliases
+	// the pooled read buffer (Read stashes rec.Payload without copying),
+	// so it must be dropped before that buffer can go back to the pool,
+	// and future reads must be fenced off the record layer. If a reader
+	// is parked in readRecord it holds readMu until the closed transport
+	// fails it; its buffer is then left to the GC — never re-pooled while
+	// an alias might still be served.
+	if c.readMu.TryLock() {
+		c.appBuf = nil
+		c.closed = true
+		if c.readErr == nil {
+			c.readErr = net.ErrClosed
+		}
+		c.readMu.Unlock()
+		// Safe outside the lock: closed is set, so no read path will
+		// touch the record layer again.
+		c.rl.ReleaseRead()
+	}
 	return err
 }
 

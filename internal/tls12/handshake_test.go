@@ -3,7 +3,9 @@ package tls12_test
 import (
 	"bytes"
 	"crypto/x509"
+	"errors"
 	"io"
+	"net"
 	"sync"
 	"testing"
 
@@ -92,6 +94,41 @@ func TestFullHandshakeAndData(t *testing.T) {
 	}
 	if !bytes.Equal(buf, reply) {
 		t.Fatalf("client got %q, want %q", buf, reply)
+	}
+}
+
+// TestCloseDropsUndeliveredAppBuf: a partially consumed application
+// record aliases the record layer's pooled read buffer; Close returns
+// that buffer to the pool, so a Read after Close must fail cleanly
+// instead of serving bytes from a buffer another connection may now
+// own.
+func TestCloseDropsUndeliveredAppBuf(t *testing.T) {
+	_, clientCfg, serverCfg := testPKI(t, "example.com")
+	client, server, cErr, sErr := runHandshake(t, clientCfg, serverCfg)
+	if cErr != nil || sErr != nil {
+		t.Fatalf("handshake: client=%v server=%v", cErr, sErr)
+	}
+	defer server.Close()
+
+	msg := bytes.Repeat([]byte("secret-payload! "), 8)
+	done := make(chan error, 1)
+	go func() {
+		_, err := server.Write(msg)
+		done <- err
+	}()
+	// Consume a prefix, leaving the rest parked in the client's appBuf
+	// (which aliases the pooled read buffer).
+	small := make([]byte, 10)
+	if _, err := io.ReadFull(client, small); err != nil {
+		t.Fatalf("client read: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server write: %v", err)
+	}
+	client.Close()
+	n, err := client.Read(make([]byte, len(msg)))
+	if n != 0 || !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Read after Close = (%d, %v), want (0, net.ErrClosed)", n, err)
 	}
 }
 

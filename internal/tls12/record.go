@@ -493,6 +493,15 @@ func (rl *RecordLayer) flushLocked() error {
 // I/O holds its mutex, and its buffer is then simply left to the GC
 // rather than deadlocking teardown. Safe to call more than once.
 func (rl *RecordLayer) Release() {
+	rl.ReleaseWrite()
+	rl.ReleaseRead()
+}
+
+// ReleaseWrite returns the write-side pooled buffers (the coalescing
+// buffer and any chunks parked for a vectored flush). Safe whenever no
+// further writes will flush them; a writer still parked on dead
+// transport I/O keeps its buffer (left to the GC).
+func (rl *RecordLayer) ReleaseWrite() {
 	if rl.writeMu.TryLock() {
 		for i, b := range rl.wqueue {
 			PutRecordBuf(b)
@@ -505,6 +514,15 @@ func (rl *RecordLayer) Release() {
 		}
 		rl.writeMu.Unlock()
 	}
+}
+
+// ReleaseRead returns the pooled read buffer. The caller must guarantee
+// that no ReadRecord payload is still referenced — every payload this
+// layer has handed out aliases that buffer — and that no further
+// ReadRecord call is coming. A reader still parked on dead transport
+// I/O holds readMu, in which case the buffer is left to the GC rather
+// than re-pooled while the reader might still stash an alias.
+func (rl *RecordLayer) ReleaseRead() {
 	if rl.readMu.TryLock() {
 		if rl.readBuf != nil {
 			PutRecordBuf(rl.readBuf)

@@ -38,8 +38,10 @@ func (t *Netsim) Listen(addr string) (net.Listener, error) {
 }
 
 // Dial connects from this transport's local node to addr. The dialing
-// node name is local for the first dial and local#N after, keeping
-// per-(from,to) policies stable for single-connection callers.
+// node name is local for the first dial and local#N after; netsim
+// strips the #N suffix before policy lookups, so link and fault
+// policies keyed on (local, addr) apply to every connection while each
+// one stays individually addressable.
 func (t *Netsim) Dial(addr string) (net.Conn, error) {
 	from := t.local
 	if n := t.seq.Add(1); n > 1 {
