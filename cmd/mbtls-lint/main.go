@@ -3,7 +3,9 @@
 // It is part of the tier-1 verify recipe: the invariants the paper's
 // security argument rests on — constant-time key comparison, key
 // zeroization, pooled-buffer ownership, the enclave boundary,
-// crypto-grade randomness — are machine-checked on every change.
+// crypto-grade randomness, secret-taint containment, atomic-access
+// discipline, deadlock-free lock ordering, and classifiable boundary
+// errors — are machine-checked on every change.
 //
 // Usage:
 //
@@ -35,6 +37,9 @@ type jsonDiagnostic struct {
 	Line    int    `json:"line"`
 	Column  int    `json:"column"`
 	Message string `json:"message"`
+	// Via is the interprocedural provenance of the finding (the call
+	// chain a flow traversed), omitted for purely local findings.
+	Via string `json:"via,omitempty"`
 }
 
 func main() {
@@ -81,16 +86,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	pkgs, err := analysis.Load(root)
+	pkgs, broken, err := analysis.Load(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbtls-lint: load:", err)
 		os.Exit(2)
+	}
+	// A package that fails to parse or type-check cannot be analyzed
+	// honestly: report each one on a line of its own, still analyze the
+	// rest of the module, and exit 2 so the run never pretends it
+	// covered the broken packages.
+	for _, pe := range broken {
+		fmt.Fprintf(os.Stderr, "mbtls-lint: load: %v\n", pe)
 	}
 
 	// The suppression budget is module-wide by construction, so it runs
 	// regardless of which -checks are selected.
 	diags := analysis.Run(pkgs, analyzers)
 	diags = append(diags, analysis.IgnoreBudget(pkgs, *ignoreBudget)...)
+	// Run's output is sorted, but the budget findings merged after it
+	// are a separate source: re-sort so emission order (text and -json
+	// alike) is deterministic, whatever produced each finding.
+	analysis.SortDiagnostics(diags)
 
 	findings := 0
 	for _, d := range diags {
@@ -108,6 +124,7 @@ func main() {
 				Line:    d.Pos.Line,
 				Column:  d.Pos.Column,
 				Message: d.Message,
+				Via:     d.Via,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "mbtls-lint:", err)
@@ -121,6 +138,12 @@ func main() {
 	}
 	if findings > 0 {
 		fmt.Fprintf(os.Stderr, "mbtls-lint: %d finding(s)\n", findings)
+	}
+	switch {
+	case len(broken) > 0:
+		fmt.Fprintf(os.Stderr, "mbtls-lint: %d package(s) failed to load and were not analyzed\n", len(broken))
+		os.Exit(2)
+	case findings > 0:
 		os.Exit(1)
 	}
 }

@@ -28,10 +28,18 @@ type Diagnostic struct {
 	Check   string
 	Pos     token.Position
 	Message string
+	// Via is the interprocedural provenance of the finding — the chain
+	// of callees a flow traversed before reaching the reported site
+	// ("(*core.Session).describe → fmt.Errorf"). Empty for findings
+	// whose evidence is entirely local to the reported line.
+	Via string
 }
 
 // String formats the diagnostic in the conventional file:line:col form.
 func (d Diagnostic) String() string {
+	if d.Via != "" {
+		return fmt.Sprintf("%s:%d:%d: %s (via %s) [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Via, d.Check)
+	}
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Check)
 }
 
@@ -43,6 +51,10 @@ type Analyzer struct {
 	// Doc is a one-line description of the invariant the check
 	// enforces.
 	Doc string
+	// NeedsEngine marks analyzers that consume the interprocedural
+	// engine (call graph + summaries); Run builds it once, shared, when
+	// any selected analyzer needs it.
+	NeedsEngine bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -51,7 +63,10 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	diags    *[]Diagnostic
+	// Engine is the shared interprocedural layer, non-nil iff the
+	// analyzer declared NeedsEngine.
+	Engine *Engine
+	diags  *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
@@ -63,6 +78,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportViaf records a finding at pos with interprocedural provenance.
+func (p *Pass) ReportViaf(pos token.Pos, via, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+		Via:     via,
+	})
+}
+
 // Analyzers returns the full analyzer suite in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -71,17 +96,35 @@ func Analyzers() []*Analyzer {
 		BufOwnership,
 		EnclaveBoundary,
 		CryptoRand,
+		SecretFlow,
+		AtomicField,
+		LockOrder,
+		ErrorClass,
 	}
 }
 
 // Run executes the analyzers over the packages, applies //lint:ignore
 // suppressions, and returns the surviving diagnostics sorted by
-// position. Malformed directives surface as "lintdirective" findings.
+// position. The packages are loaded and type-checked once (Load) and
+// the interprocedural engine is built once, whatever subset of
+// analyzers runs. Malformed directives surface as "lintdirective"
+// findings.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var engine *Engine
+	for _, a := range analyzers {
+		if a.NeedsEngine {
+			engine = NewEngine(pkgs)
+			break
+		}
+	}
+
 	var raw []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			if a.NeedsEngine {
+				pass.Engine = engine
+			}
 			a.Run(pass)
 		}
 	}
@@ -94,8 +137,18 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			out = append(out, d)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortDiagnostics(out)
+	return out
+}
+
+// SortDiagnostics orders diagnostics deterministically — by file, line,
+// column, then check name — so repeated runs, CI diffs, and the golden
+// repo-clean output never depend on map-iteration order. Drivers must
+// re-sort after merging diagnostics from separate sources (Run,
+// IgnoreBudget).
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -105,7 +158,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
-	return out
 }

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file builds the module-wide call graph the interprocedural
+// analyzers (secretflow, lockorder) run on. The graph is stdlib-only:
+// function declarations are indexed across every loaded package, call
+// expressions resolve through go/types, and the two dynamic-dispatch
+// holes are closed conservatively — an interface method call fans out
+// to every module method that implements it, and calls through function
+// values (or reflection) resolve to nothing, which the taint engine
+// treats as worst-case propagation (see summary.go). DESIGN.md §8
+// documents these soundness limits.
+
+// FuncInfo is one function or method declared in the module, with its
+// computed dataflow summary.
+type FuncInfo struct {
+	// Obj is the go/types object; the engine's canonical identity.
+	Obj *types.Func
+	// Decl is the syntax, including the body the summary was computed
+	// from. Nil for bodyless declarations (assembly stubs).
+	Decl *ast.FuncDecl
+	// Pkg is the declaring package.
+	Pkg *Package
+	// Summary is the function's dataflow summary (see summary.go).
+	Summary Summary
+}
+
+// Engine is the shared interprocedural layer: one per Run, built from
+// the same single load/type-check pass every analyzer consumes.
+type Engine struct {
+	// Pkgs are the analyzed packages.
+	Pkgs []*Package
+	// Funcs indexes every module function declaration by its object.
+	Funcs map[*types.Func]*FuncInfo
+	// order holds Funcs in deterministic (position) order for the
+	// fixpoint iteration and tests.
+	order []*FuncInfo
+	// methods indexes module methods by name, for interface-dispatch
+	// fan-out.
+	methods map[string][]*FuncInfo
+
+	// atomicVars indexes every variable (struct field or package-level
+	// var) that some sync/atomic call takes the address of, anywhere in
+	// the module, mapped to the first such site. The atomicfield
+	// analyzer holds every other access to the same bar.
+	atomicVars map[*types.Var]token.Pos
+
+	// secretFindings are the sink reports collected while summarizing
+	// (see summary.go); the secretflow analyzer emits the ones in its
+	// package.
+	secretFindings []engineFinding
+}
+
+// engineFinding is one taint-reaches-sink event found during summary
+// computation.
+type engineFinding struct {
+	pkg *Package
+	pos token.Pos
+	msg string
+	// via is the interprocedural provenance: the chain of callees the
+	// taint traversed before reaching the sink, empty for a flow
+	// contained in one function.
+	via string
+}
+
+// NewEngine indexes the packages' functions and computes their
+// summaries to a fixpoint.
+func NewEngine(pkgs []*Package) *Engine {
+	e := &Engine{
+		Pkgs:       pkgs,
+		Funcs:      make(map[*types.Func]*FuncInfo),
+		methods:    make(map[string][]*FuncInfo),
+		atomicVars: make(map[*types.Var]token.Pos),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
+				e.Funcs[obj] = fi
+				e.order = append(e.order, fi)
+				if fd.Recv != nil {
+					e.methods[fd.Name.Name] = append(e.methods[fd.Name.Name], fi)
+				}
+			}
+		}
+	}
+	for _, pkg := range pkgs {
+		e.indexAtomicAccesses(pkg)
+	}
+	e.computeSummaries()
+	return e
+}
+
+// indexAtomicAccesses records every variable whose address is passed to
+// a sync/atomic function. &x.f and &pkgVar operands both count; the
+// typed sync/atomic wrapper types (atomic.Uint64 and friends) need no
+// tracking — the type system already forbids plain access to them.
+func (e *Engine) indexAtomicAccesses(pkg *Package) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || calleePkg(pkg.Info, call) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				var v *types.Var
+				switch x := ast.Unparen(un.X).(type) {
+				case *ast.SelectorExpr:
+					if s, ok := pkg.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+						v, _ = s.Obj().(*types.Var)
+					}
+				case *ast.Ident:
+					v, _ = pkg.Info.Uses[x].(*types.Var)
+				}
+				if v == nil {
+					continue
+				}
+				if _, seen := e.atomicVars[v]; !seen {
+					e.atomicVars[v] = un.Pos()
+				}
+			}
+			return true
+		})
+	}
+}
+
+// CalleeObj resolves a call expression to the *types.Func it invokes,
+// static or interface, or nil for calls through function values and
+// builtins.
+func CalleeObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		// Package-qualified function (fmt.Errorf) — not a selection.
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// StaticCallee resolves a call to the module function it statically
+// invokes, or nil for interface dispatch, function values, builtins,
+// and the stdlib. The lock analyses (Acquires, Blocks, lockorder's
+// transitive checks) propagate through static calls only: fanning a
+// conn.Write out to every module Write method would report deadlocks
+// against call paths that cannot happen. Taint propagation keeps the
+// conservative fan-out (Callees) — there a missed path is a missed
+// leak, and a spurious one is killed by the type gate.
+func (e *Engine) StaticCallee(pkg *Package, call *ast.CallExpr) *FuncInfo {
+	obj := CalleeObj(pkg.Info, call)
+	if obj == nil {
+		return nil
+	}
+	return e.Funcs[obj]
+}
+
+// Callees resolves a call to the module FuncInfos it may reach. A
+// static call to a module function yields exactly that function; an
+// interface method call fans out to every module method with the same
+// name whose receiver implements the interface; anything else (stdlib,
+// function values) yields nil.
+func (e *Engine) Callees(pkg *Package, call *ast.CallExpr) []*FuncInfo {
+	obj := CalleeObj(pkg.Info, call)
+	if obj == nil {
+		return nil
+	}
+	if fi, ok := e.Funcs[obj]; ok {
+		return []*FuncInfo{fi}
+	}
+	// Interface dispatch: obj is the interface method. Fan out to the
+	// implementations (conservative: any module type whose method set
+	// includes a method that satisfies it).
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	iface, ok := recv.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*FuncInfo
+	for _, fi := range e.methods[obj.Name()] {
+		frecv := fi.Obj.Type().(*types.Signature).Recv()
+		if frecv == nil {
+			continue
+		}
+		if types.Implements(frecv.Type(), iface) || types.Implements(types.NewPointer(frecv.Type()), iface) {
+			out = append(out, fi)
+		}
+	}
+	return out
+}

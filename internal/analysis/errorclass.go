@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ErrorClass enforces that every error crossing the core/sessionhost
+// API boundary stays classifiable — the property the fault-handling
+// layer's ClassifyError depends on to map failures onto TLS alerts and
+// drain decisions:
+//
+//  1. Exhaustive class switches. A switch over an ErrorClass-typed
+//     value with no default must list every constant of the enum;
+//     adding a class to the enum then misses it in String() or
+//     alertForClass silently mis-handles the new class.
+//
+//  2. No class-erasing wrapping. In a boundary package, fmt.Errorf with
+//     an error-typed argument must use %w: formatting with %v or %s
+//     flattens the error to a string, so errors.As in ClassifyError can
+//     no longer see the typed cause and the error degrades to
+//     ClassInternal.
+//
+//  3. Every boundary error type is classified. An exported *Error type
+//     declared in a boundary package must be referenced by some
+//     ClassifyError in the module, otherwise callers can receive an
+//     error no classifier maps to a class.
+//
+// Boundary packages are repro/internal/core and repro/internal/
+// sessionhost, plus any package that declares a ClassifyError function
+// (which is how fixtures opt in).
+var ErrorClass = &Analyzer{
+	Name:        "errorclass",
+	Doc:         "errors crossing the core/sessionhost boundary must stay classifiable by ClassifyError",
+	NeedsEngine: true,
+	Run:         runErrorClass,
+}
+
+// errorClassBoundaryPkgs are the module's API-boundary packages: the
+// session layer callers program against. tls12 and the transports sit
+// below the boundary — their typed errors surface wrapped in core's.
+var errorClassBoundaryPkgs = map[string]bool{
+	"repro/internal/core":        true,
+	"repro/internal/sessionhost": true,
+}
+
+func runErrorClass(pass *Pass) {
+	checkClassSwitches(pass)
+	if errorClassBoundaryPkgs[pass.Pkg.Types.Path()] || pass.Pkg.Types.Scope().Lookup("ClassifyError") != nil {
+		checkWrapVerbs(pass)
+		checkClassified(pass)
+	}
+}
+
+// checkClassSwitches enforces rule 1: defaultless switches over an
+// ErrorClass value must cover the whole enum.
+func checkClassSwitches(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok || named.Obj().Name() != "ErrorClass" {
+				return true
+			}
+			covered := make(map[types.Object]bool)
+			for _, c := range sw.Body.List {
+				cc, ok := c.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					return true // default clause: exhaustive by construction
+				}
+				for _, e := range cc.List {
+					var id *ast.Ident
+					switch e := ast.Unparen(e).(type) {
+					case *ast.Ident:
+						id = e
+					case *ast.SelectorExpr:
+						id = e.Sel
+					}
+					if id != nil {
+						if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+							covered[obj] = true
+						}
+					}
+				}
+			}
+			var missing []string
+			for _, c := range enumConstants(named) {
+				if !covered[c] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(), "switch over %s has no default and does not handle %s; every error class must be handled",
+					named.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// enumConstants returns the named type's package-level constants in
+// name order — the members of the enum.
+func enumConstants(named *types.Named) []*types.Const {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	scope := pkg.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	var out []*types.Const
+	for _, name := range names {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// checkWrapVerbs enforces rule 2: fmt.Errorf in a boundary package may
+// not flatten an error-typed argument with %v/%s — it must wrap with %w
+// so errors.As still sees the typed cause.
+func checkWrapVerbs(pass *Pass) {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || calleePkg(pass.Pkg.Info, call) != "fmt" || calleeName(call) != "Errorf" || len(call.Args) < 2 {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			if strings.Contains(constant.StringVal(tv.Value), "%w") {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				atv, ok := pass.Pkg.Info.Types[arg]
+				if !ok || atv.Type == nil {
+					continue
+				}
+				if types.Implements(atv.Type, errIface) {
+					pass.Reportf(call.Pos(), "fmt.Errorf formats error %q without %%w; the wrapped class is lost to ClassifyError across the API boundary",
+						exprName(arg))
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkClassified enforces rule 3: every exported *Error type the
+// boundary package declares must be referenced by some ClassifyError in
+// the module.
+func checkClassified(pass *Pass) {
+	var classifiers []*FuncInfo
+	for _, fi := range pass.Engine.order {
+		if fi.Obj.Name() == "ClassifyError" && fi.Decl != nil && fi.Decl.Body != nil {
+			classifiers = append(classifiers, fi)
+		}
+	}
+	if len(classifiers) == 0 {
+		return
+	}
+	referenced := make(map[types.Object]bool)
+	for _, fi := range classifiers {
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := fi.Pkg.Info.Uses[id]; obj != nil {
+					referenced[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	scope := pass.Pkg.Types.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || !strings.HasSuffix(name, "Error") || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if !types.Implements(t, errIface) && !types.Implements(types.NewPointer(t), errIface) {
+			continue
+		}
+		if !referenced[tn] {
+			pass.Reportf(tn.Pos(), "error type %s crosses the API boundary but no ClassifyError references it; add a classification case",
+				name)
+		}
+	}
+}

@@ -83,6 +83,14 @@ func TestEnclaveBoundaryFixture(t *testing.T) { runFixture(t, "enclaveboundary",
 
 func TestCryptoRandFixture(t *testing.T) { runFixture(t, "cryptorand", CryptoRand) }
 
+func TestSecretFlowFixture(t *testing.T) { runFixture(t, "secretflow", SecretFlow) }
+
+func TestAtomicFieldFixture(t *testing.T) { runFixture(t, "atomicfield", AtomicField) }
+
+func TestLockOrderFixture(t *testing.T) { runFixture(t, "lockorder", LockOrder) }
+
+func TestErrorClassFixture(t *testing.T) { runFixture(t, "errorclass", ErrorClass) }
+
 // TestLintDirectiveFixture pins that malformed suppressions are
 // themselves findings, whatever analyzers run.
 func TestLintDirectiveFixture(t *testing.T) {
@@ -174,9 +182,12 @@ func TestRepoClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-module type check is slow")
 	}
-	pkgs, err := Load(filepath.Join("..", ".."))
+	pkgs, broken, err := Load(filepath.Join("..", ".."))
 	if err != nil {
 		t.Fatalf("Load: %v", err)
+	}
+	for _, pe := range broken {
+		t.Errorf("package failed to load: %v", pe)
 	}
 	if len(pkgs) < 10 {
 		t.Fatalf("implausibly few packages loaded: %d", len(pkgs))

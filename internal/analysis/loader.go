@@ -42,10 +42,10 @@ type loader struct {
 
 	pkgs    map[string]*Package // by import path, completed
 	loading map[string]bool     // cycle detection
+	broken  map[string]error    // by import path, failed to load or type-check
 	stdlib  map[string]*types.Package
 	std     types.Importer // compiled export data (fast path)
 	stdSrc  types.Importer // from-source fallback
-	errs    []error
 }
 
 func newLoader(fset *token.FileSet) *loader {
@@ -53,6 +53,7 @@ func newLoader(fset *token.FileSet) *loader {
 		fset:    fset,
 		pkgs:    make(map[string]*Package),
 		loading: make(map[string]bool),
+		broken:  make(map[string]error),
 		stdlib:  make(map[string]*types.Package),
 		std:     importer.Default(),
 		stdSrc:  importer.ForCompiler(fset, "source", nil),
@@ -92,9 +93,14 @@ func (l *loader) importStdlib(path string) (*types.Package, error) {
 }
 
 // loadModulePkg loads the module package at the given import path.
+// Failures are cached in l.broken so a package shared by many importers
+// is parsed (and reported) once.
 func (l *loader) loadModulePkg(path string) (*Package, error) {
 	if pkg, ok := l.pkgs[path]; ok {
 		return pkg, nil
+	}
+	if err, ok := l.broken[path]; ok {
+		return nil, err
 	}
 	if l.loading[path] {
 		return nil, fmt.Errorf("analysis: import cycle through %q", path)
@@ -105,13 +111,17 @@ func (l *loader) loadModulePkg(path string) (*Package, error) {
 	dir := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modPath)))
 	pkg, err := l.checkDir(dir, path, l)
 	if err != nil {
+		l.broken[path] = err
 		return nil, err
 	}
 	l.pkgs[path] = pkg
 	return pkg, nil
 }
 
-// checkDir parses and type-checks one directory as a package.
+// checkDir parses and type-checks one directory as a package. Parse
+// and type errors fail the package (the caller records it as broken):
+// analyzing a package the compiler rejects would report findings
+// against types that do not exist.
 func (l *loader) checkDir(dir, path string, imp types.Importer) (*Package, error) {
 	names, err := goSources(dir)
 	if err != nil {
@@ -136,13 +146,17 @@ func (l *loader) checkDir(dir, path string, imp types.Importer) (*Package, error
 		Scopes:     make(map[ast.Node]*types.Scope),
 		Implicits:  make(map[ast.Node]types.Object),
 	}
+	var terrs []error
 	cfg := types.Config{
 		Importer: imp,
 		Error: func(err error) {
-			l.errs = append(l.errs, err)
+			terrs = append(terrs, err)
 		},
 	}
 	tpkg, _ := cfg.Check(path, l.fset, files, info)
+	if len(terrs) > 0 {
+		return nil, terrs[0]
+	}
 	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
@@ -186,18 +200,38 @@ func modulePath(root string) (string, error) {
 	return "", errors.New("analysis: no module directive in go.mod")
 }
 
+// PackageError reports one package that failed to load or type-check.
+// The driver prints one line per broken package and skips it from
+// analysis, rather than panicking on partial type information or
+// silently analyzing a package the compiler would reject.
+type PackageError struct {
+	// Path is the package's import path.
+	Path string
+	// Err is the first parse or type error, representative of the
+	// package's breakage.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *PackageError) Error() string {
+	return fmt.Sprintf("%s: %v", e.Path, e.Err)
+}
+
 // Load type-checks every package under the module rooted at root and
-// returns them sorted by import path. Type errors do not abort the
-// load — every loadable package is returned — but they are joined into
-// the returned error so drivers can refuse to trust the results.
-func Load(root string) ([]*Package, error) {
+// returns the clean ones sorted by import path. Packages that fail to
+// parse or type-check are excluded from the result and reported as
+// PackageErrors (sorted by path), so the driver can refuse to trust
+// partial type information without losing the rest of the module. The
+// final error is reserved for module-level failures (no go.mod,
+// unreadable tree).
+func Load(root string) ([]*Package, []*PackageError, error) {
 	absRoot, err := filepath.Abs(root)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	modPath, err := modulePath(absRoot)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	l := newLoader(token.NewFileSet())
 	l.modPath = modPath
@@ -205,28 +239,34 @@ func Load(root string) ([]*Package, error) {
 
 	dirs, err := packageDirs(absRoot)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(absRoot, dir)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		path := modPath
 		if rel != "." {
 			path = modPath + "/" + filepath.ToSlash(rel)
 		}
 		if _, err := l.loadModulePkg(path); err != nil {
-			l.errs = append(l.errs, err)
+			l.broken[path] = err
 		}
 	}
 
-	pkgs := make([]*Package, 0, len(l.pkgs))
+	var pkgs []*Package
+	var broken []*PackageError
+	for path, err := range l.broken {
+		broken = append(broken, &PackageError{Path: path, Err: err})
+		delete(l.pkgs, path)
+	}
 	for _, pkg := range l.pkgs {
 		pkgs = append(pkgs, pkg)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
-	return pkgs, errors.Join(l.errs...)
+	sort.Slice(broken, func(i, j int) bool { return broken[i].Path < broken[j].Path })
+	return pkgs, broken, nil
 }
 
 // LoadDir type-checks a single standalone directory (a test fixture):
@@ -237,11 +277,7 @@ func LoadDir(dir string) (*Package, error) {
 		return nil, err
 	}
 	l := newLoader(token.NewFileSet())
-	pkg, err := l.checkDir(absDir, "fixture/"+filepath.Base(absDir), stdlibOnly{l})
-	if err != nil {
-		return nil, err
-	}
-	return pkg, errors.Join(l.errs...)
+	return l.checkDir(absDir, "fixture/"+filepath.Base(absDir), stdlibOnly{l})
 }
 
 // stdlibOnly restricts an importer to standard-library paths.

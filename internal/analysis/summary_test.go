@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadEngineFixture builds the interprocedural engine over the
+// summaryengine fixture package.
+func loadEngineFixture(t *testing.T) (*Engine, *Package) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "summaryengine"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	return NewEngine([]*Package{pkg}), pkg
+}
+
+// funcByName finds a module function's FuncInfo by bare name.
+func funcByName(t *testing.T, e *Engine, name string) *FuncInfo {
+	t.Helper()
+	for _, fi := range e.order {
+		if fi.Obj.Name() == name {
+			return fi
+		}
+	}
+	t.Fatalf("function %q not found in engine", name)
+	return nil
+}
+
+func TestSummaryParamPassthrough(t *testing.T) {
+	e, _ := loadEngineFixture(t)
+	sum := funcByName(t, e, "passthrough").Summary
+	if len(sum.ParamToResults) != 1 || sum.ParamToResults[0]&1 == 0 {
+		t.Errorf("passthrough: param 0 should taint result 0, got %v", sum.ParamToResults)
+	}
+	if sum.FreshResults != 0 {
+		t.Errorf("passthrough: no fresh results expected, got %b", sum.FreshResults)
+	}
+}
+
+func TestSummarySanitizerBreaksFlow(t *testing.T) {
+	e, _ := loadEngineFixture(t)
+	sum := funcByName(t, e, "sealed").Summary
+	if sum.ParamToResults[0] != 0 {
+		t.Errorf("sealed: Seal output must not carry the key's taint, got %b", sum.ParamToResults[0])
+	}
+}
+
+func TestSummaryFreshSource(t *testing.T) {
+	e, _ := loadEngineFixture(t)
+	sum := funcByName(t, e, "source").Summary
+	if sum.FreshResults&1 == 0 {
+		t.Errorf("source: reading masterSecret must make result 0 fresh, got %b", sum.FreshResults)
+	}
+}
+
+func TestSummarySinkParams(t *testing.T) {
+	e, _ := loadEngineFixture(t)
+	sum := funcByName(t, e, "sinkParam").Summary
+	if sum.SinkParams&1 == 0 {
+		t.Fatalf("sinkParam: param 0 reaches log.Printf, got SinkParams=%b", sum.SinkParams)
+	}
+	if via := sum.SinkVia[0]; via != "log.Printf" {
+		t.Errorf("sinkParam: SinkVia[0] = %q, want log.Printf", via)
+	}
+}
+
+func TestSummaryReceiverIsParamZero(t *testing.T) {
+	e, _ := loadEngineFixture(t)
+	sum := funcByName(t, e, "id").Summary
+	if len(sum.ParamToResults) != 1 || sum.ParamToResults[0]&1 == 0 {
+		t.Errorf("blob.id: receiver (param 0) should taint result 0, got %v", sum.ParamToResults)
+	}
+}
+
+func TestSummaryBlocks(t *testing.T) {
+	e, _ := loadEngineFixture(t)
+	sum := funcByName(t, e, "waiter").Summary
+	if !sum.Blocks || sum.BlockDesc != "channel receive" {
+		t.Errorf("waiter: Blocks=%v BlockDesc=%q, want blocking channel receive", sum.Blocks, sum.BlockDesc)
+	}
+	if nb := funcByName(t, e, "nonBlocking").Summary; nb.Blocks {
+		t.Errorf("nonBlocking: a select with default must not block, got BlockDesc=%q", nb.BlockDesc)
+	}
+}
+
+func TestSummaryAcquires(t *testing.T) {
+	e, _ := loadEngineFixture(t)
+	direct := funcByName(t, e, "touch").Summary
+	if len(direct.Acquires) != 1 || !strings.HasSuffix(direct.Acquires[0], ".box).mu") {
+		t.Fatalf("touch: Acquires = %v, want the box mu key", direct.Acquires)
+	}
+	transitive := funcByName(t, e, "touchTransitively").Summary
+	if len(transitive.Acquires) != 1 || transitive.Acquires[0] != direct.Acquires[0] {
+		t.Errorf("touchTransitively: Acquires = %v, want %v via the static call", transitive.Acquires, direct.Acquires)
+	}
+}
+
+func TestInterfaceDispatchFansOut(t *testing.T) {
+	e, pkg := loadEngineFixture(t)
+	fi := funcByName(t, e, "openDoor")
+	var call *ast.CallExpr
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && call == nil {
+			call = c
+		}
+		return true
+	})
+	if call == nil {
+		t.Fatal("no call found in openDoor")
+	}
+	callees := e.Callees(pkg, call)
+	names := make(map[string]bool)
+	for _, c := range callees {
+		names[funcDisplay(c)] = true
+	}
+	if len(callees) != 2 || !names["(*fixture.redDoor).Open"] || !names["(*fixture.blueDoor).Open"] {
+		t.Errorf("interface call should fan out to both Open implementations, got %v", names)
+	}
+	if sc := e.StaticCallee(pkg, call); sc != nil {
+		t.Errorf("interface call must have no static callee, got %s", funcDisplay(sc))
+	}
+}
+
+// TestLoadReportsBrokenPackages pins satellite behavior: a package that
+// fails to type-check is excluded from analysis and reported as a
+// PackageError, while the rest of the module still loads.
+func TestLoadReportsBrokenPackages(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/broken\n\ngo 1.22\n")
+	write("good/good.go", "package good\n\nfunc OK() int { return 1 }\n")
+	write("bad/bad.go", "package bad\n\nfunc Broken() int { return undefinedIdent }\n")
+
+	pkgs, broken, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "example.com/broken/good" {
+		t.Errorf("loaded packages = %v, want only the good package", paths)
+	}
+	if len(broken) != 1 {
+		t.Fatalf("broken = %v, want exactly one entry", broken)
+	}
+	if broken[0].Path != "example.com/broken/bad" {
+		t.Errorf("broken path = %q, want the bad package", broken[0].Path)
+	}
+	if msg := broken[0].Error(); !strings.Contains(msg, "example.com/broken/bad") || !strings.Contains(msg, "undefinedIdent") {
+		t.Errorf("PackageError message %q should name the package and the cause", msg)
+	}
+}

@@ -1,0 +1,38 @@
+// Package fixture exercises the atomicfield analyzer: a field or
+// package variable accessed via sync/atomic anywhere must be accessed
+// atomically everywhere; fields never touched atomically are free.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	plain uint64
+}
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+	c.plain++ // never atomic: clean
+}
+
+func read(c *counters) uint64 {
+	return c.hits // want "non-atomic access"
+}
+
+func write(c *counters) {
+	c.hits = 0 // want "non-atomic access"
+}
+
+func readAtomically(c *counters) uint64 {
+	return atomic.LoadUint64(&c.hits) // the atomic access itself: clean
+}
+
+var global uint64
+
+func bumpGlobal() {
+	atomic.AddUint64(&global, 1)
+}
+
+func readGlobal() uint64 {
+	return global // want "non-atomic access"
+}

@@ -1,0 +1,74 @@
+// Package fixture exercises the errorclass analyzer: defaultless
+// switches over the class enum must be exhaustive, boundary wrapping
+// must use %w, and every exported *Error type must be referenced by
+// ClassifyError. Declaring ClassifyError is what makes this package a
+// boundary package.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+type ErrorClass int
+
+const (
+	ClassOK ErrorClass = iota
+	ClassTimeout
+	ClassOverload
+)
+
+type OverloadError struct{ Retry int }
+
+func (e *OverloadError) Error() string { return "overload" }
+
+type StrayError struct{} // want "no ClassifyError references it"
+
+func (e *StrayError) Error() string { return "stray" }
+
+func ClassifyError(err error) ErrorClass {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return ClassOverload
+	}
+	return ClassOK
+}
+
+func describe(c ErrorClass) string {
+	switch c { // want "does not handle ClassTimeout"
+	case ClassOK:
+		return "ok"
+	case ClassOverload:
+		return "overload"
+	}
+	return "?"
+}
+
+func describeExhaustive(c ErrorClass) string {
+	switch c {
+	case ClassOK, ClassTimeout, ClassOverload:
+		return "known"
+	}
+	return "?"
+}
+
+func describeDefaulted(c ErrorClass) string {
+	switch c {
+	case ClassOK:
+		return "ok"
+	default:
+		return "other"
+	}
+}
+
+func wrapErased(err error) error {
+	return fmt.Errorf("op failed: %v", err) // want "without %w"
+}
+
+func wrapKept(err error) error {
+	return fmt.Errorf("op failed: %w", err)
+}
+
+func formatValue(n int) error {
+	return fmt.Errorf("bad length %d", n)
+}

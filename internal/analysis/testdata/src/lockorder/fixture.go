@@ -1,0 +1,113 @@
+// Package fixture exercises the lockorder analyzer: consistent
+// acquisition order, no state mutex held across blocking operations
+// (I/O-serialization mutexes are name-exempt), and no recursive
+// acquisition — direct or through a callee.
+package fixture
+
+import (
+	"net"
+	"sync"
+)
+
+type shard struct {
+	mu  sync.Mutex
+	amu sync.Mutex
+	bmu sync.Mutex
+	wmu sync.Mutex
+	ch  chan int
+	n   int
+}
+
+func (s *shard) sendUnderLock() {
+	s.mu.Lock()
+	s.ch <- 1 // want "held across a channel send"
+	s.mu.Unlock()
+}
+
+func (s *shard) sendAfterUnlock() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- 1 // lock released first: clean
+}
+
+func (s *shard) ioSerialized(c net.Conn, b []byte) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	c.Write(b) // wmu is a write-serialization lock: clean
+}
+
+func (s *shard) stateAcrossIO(c net.Conn, b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.Write(b) // want "held across connection I/O"
+}
+
+func (s *shard) orderAB() {
+	s.amu.Lock()
+	s.bmu.Lock() // want "inconsistent lock order"
+	s.bmu.Unlock()
+	s.amu.Unlock()
+}
+
+func (s *shard) orderBA() {
+	s.bmu.Lock()
+	s.amu.Lock() // want "inconsistent lock order"
+	s.amu.Unlock()
+	s.bmu.Unlock()
+}
+
+func (s *shard) recursive() {
+	s.mu.Lock()
+	s.mu.Lock() // want "recursive locking self-deadlocks"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *shard) lockedHelper() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *shard) callsHelperUnderLock() {
+	s.mu.Lock()
+	s.lockedHelper() // want "possible self-deadlock"
+	s.mu.Unlock()
+}
+
+func (s *shard) blocksInside() {
+	<-s.ch
+}
+
+func (s *shard) callsBlockingUnderLock() {
+	s.mu.Lock()
+	s.blocksInside() // want "held across channel receive in"
+	s.mu.Unlock()
+}
+
+func (s *shard) nonBlockingSend() {
+	s.mu.Lock()
+	select {
+	case s.ch <- 1: // non-blocking with a default: clean
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *shard) blockingSelect() {
+	s.mu.Lock()
+	select { // want "held across a select with no default"
+	case s.ch <- 1:
+	case <-s.ch:
+	}
+	s.mu.Unlock()
+}
+
+func (s *shard) spawned() {
+	s.mu.Lock()
+	go func() {
+		s.ch <- 1 // another goroutine's stack: clean
+	}()
+	s.mu.Unlock()
+}

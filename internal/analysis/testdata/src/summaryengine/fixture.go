@@ -1,0 +1,69 @@
+// Package fixture gives the summary engine's unit tests known shapes:
+// taint pass-through, fresh sources, sink parameters, sanitizers,
+// blocking operations, lock acquisition, and interface dispatch.
+package fixture
+
+import (
+	"log"
+	"sync"
+)
+
+type session struct {
+	masterSecret []byte
+}
+
+type blob []byte
+
+// Seal stands in for an AEAD seal.
+func Seal(dst, plaintext []byte) []byte { return append(dst, plaintext...) }
+
+func passthrough(key []byte) []byte { return key }
+
+func sealed(key []byte) []byte { return Seal(nil, key) }
+
+func source(s *session) []byte { return s.masterSecret }
+
+func sinkParam(b []byte) {
+	log.Printf("%x", b)
+}
+
+func (b blob) id() blob { return b }
+
+func waiter(ch chan int) {
+	<-ch
+}
+
+func nonBlocking(ch chan int) {
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+type box struct {
+	mu   sync.Mutex
+	n    int
+	door interface{ Open() }
+}
+
+func (b *box) touch() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b *box) touchTransitively() {
+	b.touch()
+}
+
+type redDoor struct{ opened bool }
+
+func (d *redDoor) Open() { d.opened = true }
+
+type blueDoor struct{ opened bool }
+
+func (d *blueDoor) Open() { d.opened = true }
+
+func openDoor(b *box) {
+	b.door.Open()
+}

@@ -18,7 +18,7 @@ cd "$(dirname "$0")"
 gate go build ./...
 gate go test ./...
 gate go vet ./...
-gate go test -race ./internal/core/ ./internal/tls12/ ./internal/netsim/ ./internal/sessionhost/
+gate go test -race ./internal/core/ ./internal/tls12/ ./internal/netsim/ ./internal/sessionhost/ ./internal/hsfast/
 gate go test -race ./internal/transport/...
 gate go run ./cmd/mbtls-lint ./...
 gate go run ./cmd/mbtls-bench handshake -quick
