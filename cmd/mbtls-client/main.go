@@ -19,10 +19,17 @@ func main() {
 	connect := flag.String("connect", "localhost:8444", "address to connect to (server or first middlebox)")
 	pkiDir := flag.String("pki", "./pki", "PKI directory (provisioned by mbtls-server)")
 	serverName := flag.String("name", "origin.example", "expected server name")
+	accountability := flag.String("accountability", "attest", "accountability mode: attest or proxysig")
 	flag.Parse()
 	path := flag.Arg(0)
 	if path == "" {
 		path = "/"
+	}
+
+	acct, err := mbtls.ParseAccountability(*accountability)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbtls-client: invalid -accountability %q (accepted values: attest, proxysig)\n", *accountability)
+		os.Exit(2)
 	}
 
 	pool, err := certs.LoadPoolPEM(filepath.Join(*pkiDir, "root.pem"))
@@ -31,8 +38,9 @@ func main() {
 	}
 
 	sess, err := mbtls.DialAddr(*connect, &mbtls.ClientConfig{
-		TLS:          &mbtls.TLSConfig{RootCAs: pool, ServerName: *serverName},
-		MiddleboxTLS: &mbtls.TLSConfig{RootCAs: pool},
+		TLS:            &mbtls.TLSConfig{RootCAs: pool, ServerName: *serverName},
+		MiddleboxTLS:   &mbtls.TLSConfig{RootCAs: pool},
+		Accountability: acct,
 		Approve: func(mb mbtls.MiddleboxSummary) bool {
 			log.Printf("mbtls-client: approving middlebox %q (attested=%v)", mb.Name, mb.Attested)
 			return true

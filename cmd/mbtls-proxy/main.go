@@ -34,6 +34,7 @@ func main() {
 	next := flag.String("next", "localhost:8443", "next hop (server or next middlebox)")
 	pkiDir := flag.String("pki", "./pki", "PKI directory (provisioned by mbtls-server)")
 	mode := flag.String("mode", "client-side", "middlebox mode: client-side or server-side")
+	accountability := flag.String("accountability", "attest", "accountability mode: attest or proxysig")
 	sgx := flag.Bool("sgx", false, "run inside a simulated SGX enclave")
 	header := flag.String("header", "1.1 mbtls-proxy", "Via header value to insert")
 	statsEvery := flag.Duration("stats", 0, "log cumulative session/fault counters at this interval (0 disables)")
@@ -59,6 +60,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mbtls-proxy: invalid -mode %q (accepted values: client-side, server-side)\n", *mode)
 		os.Exit(2)
 	}
+	acct, err := mbtls.ParseAccountability(*accountability)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbtls-proxy: invalid -accountability %q (accepted values: attest, proxysig)\n", *accountability)
+		os.Exit(2)
+	}
+	cfg.Accountability = acct
 
 	cert, err := certs.LoadCertPEM(filepath.Join(*pkiDir, "proxy.pem"), filepath.Join(*pkiDir, "proxy.key"))
 	if err != nil {
@@ -146,8 +153,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("mbtls-proxy: %v", err)
 	}
-	log.Printf("mbtls-proxy: %s middlebox on %s → %s (sgx=%v, shards=%d, listeners=%d)",
-		*mode, *listen, *next, *sgx, host.Shards(), len(lns))
+	log.Printf("mbtls-proxy: %s middlebox on %s → %s (sgx=%v, accountability=%s, shards=%d, listeners=%d)",
+		*mode, *listen, *next, *sgx, acct, host.Shards(), len(lns))
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {

@@ -32,12 +32,19 @@ func main() {
 	pkiDir := flag.String("pki", "./pki", "PKI directory (created if missing)")
 	serverName := flag.String("name", "origin.example", "server certificate name")
 	acceptMboxes := flag.Bool("accept-middleboxes", true, "accept server-side middlebox announcements")
+	accountability := flag.String("accountability", "attest", "accountability mode: attest or proxysig")
 	statsEvery := flag.Duration("stats", 0, "log cumulative session/fault counters at this interval (0 disables)")
 	maxSessions := flag.Int("max-sessions", 0, "max concurrent sessions (0 = default)")
 	shards := flag.Int("shards", 0, "session-host shards (0 = one per core)")
 	reusePort := flag.Bool("reuseport", false, "bind one SO_REUSEPORT listener per shard (Linux)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	flag.Parse()
+
+	acct, err := mbtls.ParseAccountability(*accountability)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbtls-server: invalid -accountability %q (accepted values: attest, proxysig)\n", *accountability)
+		os.Exit(2)
+	}
 
 	pool, serverCert, err := loadOrCreatePKI(*pkiDir, *serverName)
 	if err != nil {
@@ -48,6 +55,7 @@ func main() {
 		TLS:               &mbtls.TLSConfig{Certificate: serverCert},
 		AcceptMiddleboxes: *acceptMboxes,
 		MiddleboxTLS:      &mbtls.TLSConfig{RootCAs: pool},
+		Accountability:    acct,
 	}
 
 	host, err := mbtls.NewSessionHost(mbtls.SessionHostConfig{
@@ -68,8 +76,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("mbtls-server: %v", err)
 	}
-	log.Printf("mbtls-server: serving https(mbTLS)://%s on %s (pki: %s, shards=%d, listeners=%d)",
-		*serverName, *listen, *pkiDir, host.Shards(), len(lns))
+	log.Printf("mbtls-server: serving https(mbTLS)://%s on %s (pki: %s, accountability=%s, shards=%d, listeners=%d)",
+		*serverName, *listen, *pkiDir, acct, host.Shards(), len(lns))
 
 	if *statsEvery > 0 {
 		go func() {

@@ -24,8 +24,10 @@ func timingSensitiveName(name string) bool {
 }
 
 // confidentialName reports whether a struct-field identifier denotes
-// key material that must not outlive its owner: keys and secrets, but
-// not wire-visible artifacts like MACs or verify_data.
+// key material that must not outlive its owner: keys, secrets, and
+// private halves of signing keypairs (the delegation signing key, the
+// attestation authority key), but not wire-visible artifacts like MACs
+// or verify_data.
 func confidentialName(name string) bool {
 	n := strings.ToLower(name)
 	if strings.Contains(n, "pub") {
@@ -33,6 +35,7 @@ func confidentialName(name string) bool {
 	}
 	return strings.Contains(n, "secret") ||
 		strings.Contains(n, "master") ||
+		strings.Contains(n, "priv") ||
 		strings.HasSuffix(n, "key") ||
 		strings.HasSuffix(n, "keys")
 }

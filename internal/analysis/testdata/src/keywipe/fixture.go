@@ -95,6 +95,24 @@ type HashIndex struct {
 	ChainHash [32]byte
 }
 
+// SigningPair holds the private half of a signing keypair under the
+// "priv" naming convention (the delegation-key shape): the private
+// half is key material, the public half is exempt.
+type SigningPair struct { // want "declares no Wipe method"
+	pub  []byte
+	priv []byte
+}
+
+// WipedSigningPair is its complete counterpart: no finding.
+type WipedSigningPair struct {
+	Pub  []byte
+	priv []byte
+}
+
+func (k *WipedSigningPair) Wipe() {
+	wipe(k.priv)
+}
+
 //lint:ignore keywipe fixture demonstrates an accepted, documented exception
 type WaivedKeys struct {
 	PrivateKey []byte

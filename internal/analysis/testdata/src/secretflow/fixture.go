@@ -16,6 +16,13 @@ type session struct {
 	peerName     string
 }
 
+// delegationKey mirrors the proxysig signing keypair: the private half
+// is key material, the public half is wire-visible.
+type delegationKey struct {
+	pub  []byte
+	priv []byte
+}
+
 var hostVisible []byte
 
 // Seal stands in for an AEAD seal: its output is wire-safe.
@@ -80,4 +87,12 @@ func enclaveClean(v fakeVault) {
 		sum := sha256.Sum256(secret)
 		log.Printf("%x", sum) // digest inside the callback: clean
 	})
+}
+
+func describeDelegation(k *delegationKey) error {
+	return fmt.Errorf("delegation key %x", k.priv) // want "reaches fmt.Errorf"
+}
+
+func announceDelegation(k *delegationKey) {
+	log.Printf("delegating to %x", k.pub) // public half: clean
 }

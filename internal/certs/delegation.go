@@ -1,0 +1,214 @@
+// Delegation warrants and modification evidence for the mdTLS-style
+// proxy-signature accountability mode (PAPERS.md, arXiv 2306.03573).
+// An endpoint mints a per-session DelegationKey, signs one Delegation
+// per middlebox authorizing that hop's certificate key for the
+// session, and at close verifies the Evidence each middlebox signed
+// over the delegation it was given and digests of the records it
+// emitted. Nothing here touches the record layer: the core package
+// frames these blobs onto the secondary subchannels.
+package certs
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/secmem"
+	"repro/internal/wire"
+)
+
+// delegationVersion is the wire version of both structures below.
+const delegationVersion = 1
+
+// DelegationKey is the ephemeral Ed25519 keypair an endpoint mints per
+// proxysig session to sign delegation warrants. The private half is
+// key material: it lives only for the session and is wiped at
+// teardown.
+type DelegationKey struct {
+	Pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewDelegationKey mints a fresh delegation keypair from rnd
+// (crypto/rand when nil).
+func NewDelegationKey(rnd io.Reader) (*DelegationKey, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	pub, priv, err := ed25519.GenerateKey(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("certs: delegation keygen: %w", err)
+	}
+	return &DelegationKey{Pub: pub, priv: priv}, nil
+}
+
+// Wipe zeroizes the private half. The key signs nothing afterward.
+func (k *DelegationKey) Wipe() {
+	if k == nil {
+		return
+	}
+	secmem.Wipe(k.priv)
+	k.priv = nil
+}
+
+// Delegation is one middlebox's warrant: the endpoint's statement,
+// signed by its per-session delegation key, that the middlebox holding
+// Authorized may modify this session's records within the validity
+// window. Binding is a per-hop random value tying the warrant to this
+// session and hop.
+type Delegation struct {
+	DelegPub   ed25519.PublicKey
+	Authorized ed25519.PublicKey
+	Binding    [32]byte
+	NotBefore  time.Time
+	NotAfter   time.Time
+	// Raw is the full marshaled warrant including its signature,
+	// exactly as transmitted; evidence embeds and echoes these bytes.
+	Raw []byte
+}
+
+// SignDelegation builds and signs a warrant authorizing the given
+// middlebox key over [notBefore, notAfter].
+func (k *DelegationKey) SignDelegation(authorized ed25519.PublicKey, binding [32]byte, notBefore, notAfter time.Time) ([]byte, error) {
+	if k == nil || len(k.priv) != ed25519.PrivateKeySize {
+		return nil, errors.New("certs: delegation key is wiped or unset")
+	}
+	if len(authorized) != ed25519.PublicKeySize {
+		return nil, errors.New("certs: authorized key is not an Ed25519 public key")
+	}
+	b := wire.NewBuilder(nil)
+	b.AddUint8(delegationVersion)
+	b.AddBytes(k.Pub)
+	b.AddBytes(authorized)
+	b.AddBytes(binding[:])
+	b.AddUint64(uint64(notBefore.Unix()))
+	b.AddUint64(uint64(notAfter.Unix()))
+	sig := ed25519.Sign(k.priv, b.Bytes())
+	b.AddBytes(sig)
+	return b.Bytes(), nil
+}
+
+// ParseDelegation parses a warrant and verifies its self-signature
+// (proof the sender holds the delegation key it names). Validity is
+// checked separately via ValidAt so callers control the clock.
+func ParseDelegation(raw []byte) (*Delegation, error) {
+	p := wire.NewParser(raw)
+	var version uint8
+	d := &Delegation{
+		DelegPub:   make(ed25519.PublicKey, ed25519.PublicKeySize),
+		Authorized: make(ed25519.PublicKey, ed25519.PublicKeySize),
+	}
+	var nb, na uint64
+	sig := make([]byte, ed25519.SignatureSize)
+	if !p.ReadUint8(&version) ||
+		!p.CopyBytes(d.DelegPub) ||
+		!p.CopyBytes(d.Authorized) ||
+		!p.CopyBytes(d.Binding[:]) ||
+		!p.ReadUint64(&nb) ||
+		!p.ReadUint64(&na) ||
+		!p.CopyBytes(sig) ||
+		!p.Empty() {
+		return nil, errors.New("certs: malformed delegation")
+	}
+	if version != delegationVersion {
+		return nil, fmt.Errorf("certs: unsupported delegation version %d", version)
+	}
+	if !ed25519.Verify(d.DelegPub, raw[:len(raw)-ed25519.SignatureSize], sig) {
+		return nil, errors.New("certs: delegation signature invalid")
+	}
+	d.NotBefore = time.Unix(int64(nb), 0)
+	d.NotAfter = time.Unix(int64(na), 0)
+	d.Raw = append([]byte(nil), raw...)
+	return d, nil
+}
+
+// ValidAt reports whether the warrant's validity window covers now.
+func (d *Delegation) ValidAt(now time.Time) error {
+	if now.Before(d.NotBefore) {
+		return errors.New("certs: delegation not yet valid")
+	}
+	if now.After(d.NotAfter) {
+		return errors.New("certs: delegation expired")
+	}
+	return nil
+}
+
+// Evidence is a middlebox's close-time accountability statement: the
+// delegation it acted under, per-direction SHA-256 digests of the
+// record stream it emitted, and the record counts, signed with the
+// middlebox's certificate key.
+type Evidence struct {
+	// Delegation echoes the warrant bytes the endpoint delivered.
+	Delegation []byte
+	// C2SDigest and S2CDigest are running SHA-256 digests of the
+	// resealed record bytes the middlebox wrote in each direction.
+	C2SDigest [32]byte
+	S2CDigest [32]byte
+	// C2SRecords and S2CRecords count the records resealed in each
+	// direction.
+	C2SRecords uint64
+	S2CRecords uint64
+}
+
+func (ev *Evidence) payload() []byte {
+	b := wire.NewBuilder(nil)
+	b.AddUint8(delegationVersion)
+	b.AddUint16Prefixed(func(b *wire.Builder) { b.AddBytes(ev.Delegation) })
+	b.AddBytes(ev.C2SDigest[:])
+	b.AddBytes(ev.S2CDigest[:])
+	b.AddUint64(ev.C2SRecords)
+	b.AddUint64(ev.S2CRecords)
+	return b.Bytes()
+}
+
+// SignEvidence signs ev with the middlebox's certificate key.
+func SignEvidence(priv ed25519.PrivateKey, ev *Evidence) ([]byte, error) {
+	if len(priv) != ed25519.PrivateKeySize {
+		return nil, errors.New("certs: evidence signing key is not an Ed25519 private key")
+	}
+	payload := ev.payload()
+	return append(payload, ed25519.Sign(priv, payload)...), nil
+}
+
+// VerifyEvidence parses a signed evidence blob and verifies the
+// middlebox signature against pub (the middlebox certificate key the
+// endpoint saw during the secondary handshake).
+func VerifyEvidence(pub ed25519.PublicKey, raw []byte) (*Evidence, error) {
+	if len(pub) != ed25519.PublicKeySize {
+		return nil, errors.New("certs: evidence verify key is not an Ed25519 public key")
+	}
+	if len(raw) < ed25519.SignatureSize {
+		return nil, errors.New("certs: malformed evidence")
+	}
+	payload, sig := raw[:len(raw)-ed25519.SignatureSize], raw[len(raw)-ed25519.SignatureSize:]
+	if !ed25519.Verify(pub, payload, sig) {
+		return nil, errors.New("certs: evidence signature invalid")
+	}
+	p := wire.NewParser(payload)
+	var version uint8
+	ev := &Evidence{}
+	if !p.ReadUint8(&version) ||
+		!p.ReadUint16Prefixed(&ev.Delegation) ||
+		!p.CopyBytes(ev.C2SDigest[:]) ||
+		!p.CopyBytes(ev.S2CDigest[:]) ||
+		!p.ReadUint64(&ev.C2SRecords) ||
+		!p.ReadUint64(&ev.S2CRecords) ||
+		!p.Empty() {
+		return nil, errors.New("certs: malformed evidence")
+	}
+	if version != delegationVersion {
+		return nil, fmt.Errorf("certs: unsupported evidence version %d", version)
+	}
+	ev.Delegation = append([]byte(nil), ev.Delegation...)
+	return ev, nil
+}
+
+// EvidenceMatchesDelegation reports whether the evidence echoes
+// exactly the warrant the endpoint minted.
+func EvidenceMatchesDelegation(ev *Evidence, minted []byte) bool {
+	return bytes.Equal(ev.Delegation, minted)
+}

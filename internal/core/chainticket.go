@@ -30,6 +30,12 @@ type ChainHop struct {
 	// attestation facts.
 	Attested    bool
 	Measurement enclave.Measurement
+	// LeafPub caches the middlebox's Ed25519 certificate public key
+	// from the original session. Resumed secondary handshakes carry no
+	// certificates, so this is what the proxysig accountability mode
+	// addresses delegations to (and verifies evidence against) on a
+	// resumed hop.
+	LeafPub []byte
 }
 
 // Wipe zeroizes the hop's master secret.

@@ -81,6 +81,10 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 	if cfg == nil || cfg.TLS == nil {
 		return nil, errors.New("core: ClientConfig.TLS is required")
 	}
+	acct, err := newClientAccountability(cfg)
+	if err != nil {
+		return nil, err
+	}
 	tcfg := *cfg.TLS
 	ct := cfg.ChainTicket
 	if ct != nil && tcfg.SessionTicket == nil {
@@ -91,7 +95,7 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 		NeighborKeys: cfg.NeighborKeys,
 		HopTickets:   ct.offeredHopTickets(),
 	}
-	tcfg.OfferAttestation = true
+	acct.annotatePrimary(&tcfg)
 
 	// Chain-ticket collection: capture the primary's NewSessionTicket
 	// here and each hop's on its secondary (below), then assemble them
@@ -138,7 +142,7 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 	// their secondary ServerHello before forwarding the primary
 	// ServerHello, so every subchannel exists at the mux before the
 	// primary handshake can complete.
-	secCfg := secondaryClientConfig(cfg.TLS, cfg.MiddleboxTLS, cfg.RequireMiddleboxAttestation, cfg.MiddleboxVerifier)
+	secCfg := secondaryClientConfig(cfg.TLS, cfg.MiddleboxTLS, acct)
 	secCfg.HopTickets = ct.hopTicketMap()
 	results := make(chan secondaryResult, maxSubchannels)
 	stop := make(chan struct{})
@@ -200,8 +204,8 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 	}
 
 	for i := range secs {
-		if cfg.RequireMiddleboxAttestation && !secs[i].summary.Attested {
-			return fail(fmt.Errorf("core: middlebox %q did not attest", secs[i].summary.Name))
+		if err := acct.checkHop(secs[i].summary); err != nil {
+			return fail(err)
 		}
 		if cfg.Approve != nil && !cfg.Approve(secs[i].summary) {
 			return fail(fmt.Errorf("core: middlebox %q rejected by application", secs[i].summary.Name))
@@ -216,12 +220,21 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 	} else if err := distributeClientKeys(pconn, secs); err != nil {
 		return fail(err)
 	}
+	// Per-hop accountability credentials (proxysig delegation warrants)
+	// ride the same retained secondary connections, still under the
+	// key-distribution phase deadline.
+	audit, err := acct.establishCredentials(secs, ct)
+	if err != nil {
+		return fail(err)
+	}
 	hw.stop()
 
 	sess := &Session{
 		conn:           pconn,
 		m:              m,
 		transport:      transport,
+		acct:           acct.kind(),
+		audit:          audit,
 		resumedPrimary: pconn.ConnectionState().Resumed,
 		resumedHops:    resumedHops,
 	}
@@ -242,6 +255,7 @@ func Dial(transport net.Conn, cfg *ClientConfig) (*Session, error) {
 				MasterSecret: r.ticket.MasterSecret,
 				Attested:     r.summary.Attested,
 				Measurement:  r.summary.Measurement,
+				LeafPub:      hopLeafPub(r.summary, ct),
 			})
 		}
 		if nct.Primary != nil || len(nct.Hops) > 0 {

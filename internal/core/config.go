@@ -84,10 +84,19 @@ type ClientConfig struct {
 	// attestation) verification; returning false aborts the session.
 	// Nil approves all verified middleboxes.
 	Approve func(MiddleboxSummary) bool
+	// Accountability selects how this endpoint holds its middleboxes
+	// to account: AccountAttest (the default, the paper's SGX
+	// attestation path) or AccountProxySig (mdTLS-style delegation
+	// warrants and close-time signed evidence). See accountability.go.
+	Accountability Accountability
+	// AccountabilityClock overrides time.Now for delegation validity
+	// windows in proxysig mode. Nil means time.Now. A fault-injection
+	// surface: tests mint expired warrants by back-dating the clock.
+	AccountabilityClock func() time.Time
 	// NeighborKeys selects neighbor-negotiated hop keys instead of
 	// endpoint-distributed ones (§4.2's state-poisoning mitigation;
 	// see internal/core/neighbor.go). Requires an mbTLS server and
-	// client-side middleboxes only.
+	// client-side middleboxes only. Incompatible with AccountProxySig.
 	NeighborKeys bool
 	// ChainTicket resumes a previously established session chain: the
 	// primary session and every client-side middlebox hop the ticket
@@ -127,6 +136,10 @@ type ServerConfig struct {
 	// client-side fields.
 	RequireMiddleboxAttestation bool
 	MiddleboxVerifier           *enclave.Verifier
+	// Accountability and AccountabilityClock mirror the client-side
+	// fields for the server's own (server-side) middleboxes.
+	Accountability      Accountability
+	AccountabilityClock func() time.Time
 	// Approve is consulted for each announced middlebox; nil approves
 	// all verified middleboxes.
 	Approve func(MiddleboxSummary) bool
@@ -136,8 +149,11 @@ type ServerConfig struct {
 }
 
 // secondaryClientConfig derives the tls12 config for a secondary
-// session in which this endpoint plays the client role.
-func secondaryClientConfig(primary, template *tls12.Config, requireAttestation bool, verifier *enclave.Verifier) *tls12.Config {
+// session in which this endpoint plays the client role. The
+// accountability mode contributes its per-hop credential hooks
+// (attestation request/verification, or the proxysig negotiation
+// flag) after the common scrubbing.
+func secondaryClientConfig(primary, template *tls12.Config, acct accountabilityMode) *tls12.Config {
 	var cfg tls12.Config
 	if template != nil {
 		cfg = *template
@@ -152,15 +168,7 @@ func secondaryClientConfig(primary, template *tls12.Config, requireAttestation b
 	// primary's ticket callback must not fire for hop tickets.
 	cfg.HopTickets = nil
 	cfg.OnNewTicket = nil
-	if requireAttestation {
-		cfg.RequestAttestation = true
-		if verifier != nil {
-			cfg.VerifyQuote = verifier.VerifyQuote
-		}
-	} else if verifier != nil {
-		// Attestation optional but verified when presented.
-		cfg.VerifyQuote = verifier.VerifyQuote
-	}
+	acct.configureSecondary(&cfg)
 	return &cfg
 }
 

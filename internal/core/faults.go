@@ -110,6 +110,12 @@ func ClassifyError(err error) ErrorClass {
 	if errors.As(err, &de) {
 		return ClassOverload
 	}
+	// A proxysig accountability failure (forged evidence, substituted
+	// delegation) is cryptographic damage to the audit chain.
+	var ace *AccountabilityError
+	if errors.As(err, &ace) {
+		return ClassIntegrity
+	}
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
 		return ClassTimeout

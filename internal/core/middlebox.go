@@ -2,15 +2,19 @@ package core
 
 import (
 	"bytes"
+	"crypto/ed25519"
+	"crypto/sha256"
 	"crypto/x509"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/certs"
 	"repro/internal/enclave"
 	"repro/internal/secmem"
 	"repro/internal/timing"
@@ -83,6 +87,14 @@ type MiddleboxConfig struct {
 	// KeyShares, when set, supplies precomputed X25519 keyshares for
 	// full secondary handshakes (hsfast.KeySharePool). Host-scoped.
 	KeyShares tls12.KeyShareSource
+	// Accountability selects which accountability mode this middlebox
+	// serves: AccountAttest (the default) or AccountProxySig. A session
+	// whose endpoint negotiated the other mode is refused with a fatal
+	// accountability_mismatch alert on the secondary subchannel.
+	Accountability Accountability
+	// AccountabilityFaults, when set, injects adversarial proxysig
+	// behavior for the fault-matrix suites. Nil in production.
+	AccountabilityFaults *AccountabilityFaults
 }
 
 // MiddleboxStats are cumulative data-plane counters.
@@ -95,6 +107,8 @@ type MiddleboxStats struct {
 	AnnounceSkipped int64 // announcements suppressed by the negative cache
 	FaultsObserved  int64 // sessions torn down by a fault-classified error
 	SessionsResumed int64 // secondary handshakes resumed from hop tickets
+	ProxySig        int64 // sessions joined under proxysig accountability
+	EvidenceSigned  int64 // signed evidence statements served to endpoints
 }
 
 // Middlebox is an mbTLS application-layer middlebox: it relays a TCP
@@ -121,6 +135,8 @@ type Middlebox struct {
 	annSkipped      atomic.Int64
 	faultsObserved  atomic.Int64
 	sessionsResumed atomic.Int64
+	proxySig        atomic.Int64
+	evidenceSigned  atomic.Int64
 }
 
 // NewMiddlebox builds a middlebox. Key material is stored in an
@@ -167,6 +183,8 @@ func (mb *Middlebox) Stats() MiddleboxStats {
 		AnnounceSkipped: mb.annSkipped.Load(),
 		FaultsObserved:  mb.faultsObserved.Load(),
 		SessionsResumed: mb.sessionsResumed.Load(),
+		ProxySig:        mb.proxySig.Load(),
+		EvidenceSigned:  mb.evidenceSigned.Load(),
 	}
 }
 
@@ -286,6 +304,22 @@ type mbSession struct {
 	upNPipe      *pipeBuf
 
 	helloRaw []byte
+
+	// Accountability state. proxySig reports the negotiated mode (set
+	// before the data plane can install, so flushBatch's check is
+	// ordered); acctMismatch marks a client-side session whose
+	// negotiated mode differs from the configured one (decided at join
+	// time, before the secondary goroutine starts). evMu guards the
+	// proxysig evidence accumulators: the stored warrant, per-direction
+	// running digests of resealed output, and record counts.
+	proxySig     atomic.Bool
+	acctMismatch bool
+	evMu         sync.Mutex
+	delegation   []byte
+	evC2S        hash.Hash
+	evS2C        hash.Hash
+	evC2SRecords uint64
+	evS2CRecords uint64
 
 	dpMu   sync.Mutex
 	dpCond *sync.Cond
@@ -441,6 +475,16 @@ func (s *mbSession) run() error {
 		}
 		s.mbtls = true
 		s.neighborMode = hello.MiddleboxSupport.NeighborKeys
+		// The client's primary hello carries the negotiated
+		// accountability mode for client-side hops. A mismatch with our
+		// configured mode is refused in runSecondary (the refusal alert
+		// must ride our subchannel, which does not exist yet).
+		if hello.MiddleboxSupport.ProxySig != (s.mb.cfg.Accountability == AccountProxySig) {
+			s.acctMismatch = true
+		} else if hello.MiddleboxSupport.ProxySig {
+			s.proxySig.Store(true)
+			s.mb.proxySig.Add(1)
+		}
 		if s.neighborMode {
 			s.downNPipe = newPipeBuf(func(b []byte) error {
 				return s.writeEncapsulatedSub(s.down, &s.downW, neighborSubchannel, b)
@@ -800,6 +844,9 @@ func (s *mbSession) flushBatch(dir Direction, dp dataPlaneHandler, batch []tls12
 	out, res, err := dp.handleBatch(dir, batch, out[:0])
 	s.mb.recordsRekeyed.Add(int64(res.opened))
 	s.mb.bytesProcessed.Add(int64(len(out) - res.appended*recordHeaderLen))
+	if s.proxySig.Load() && len(out) > 0 {
+		s.noteResealed(dir, out, res.appended)
+	}
 	if len(out) > 0 {
 		// Flush even a partially processed batch: the records already
 		// resealed consumed sealing sequence numbers, so dropping them
@@ -985,9 +1032,36 @@ func (s *mbSession) runSecondary(serverAddr string) {
 	rl := tls12.NewRecordLayer(s.secPipe)
 	var conn *tls12.Conn
 	if s.mb.cfg.Mode == ClientSide {
+		if s.acctMismatch {
+			s.refuseAccountability(rl)
+			return
+		}
 		conn = tls12.ServerWithReceivedHello(rl, cfg, s.helloRaw)
 	} else {
-		conn = tls12.Server(rl, cfg)
+		// Server-side hops negotiate accountability through the server
+		// endpoint's fresh secondary ClientHello; read it here so a
+		// mismatch is refused before the handshake commits.
+		helloBytes, err := readHelloMessage(rl)
+		if err != nil {
+			if !s.secGotData.Load() && serverAddr != "" {
+				// The server never spoke on our subchannel: a legacy
+				// endpoint ignored the announcement.
+				s.mb.markNoAnnounce(serverAddr)
+			}
+			s.setDataPlane(nil, fmt.Errorf("core: secondary handshake: %w", err))
+			return
+		}
+		hello, _ := tls12.ParseClientHello(helloBytes)
+		negProxySig := hello != nil && hello.MiddleboxSupport != nil && hello.MiddleboxSupport.ProxySig
+		if negProxySig != (s.mb.cfg.Accountability == AccountProxySig) {
+			s.refuseAccountability(rl)
+			return
+		}
+		if negProxySig {
+			s.proxySig.Store(true)
+			s.mb.proxySig.Add(1)
+		}
+		conn = tls12.ServerWithReceivedHello(rl, cfg, helloBytes)
 	}
 	if err := conn.Handshake(); err != nil {
 		if s.mb.cfg.Mode == ServerSide && !s.secGotData.Load() && serverAddr != "" {
@@ -1041,6 +1115,16 @@ func (s *mbSession) runSecondary(serverAddr string) {
 	s.storeSecret("hop/up-s2c", km.Up.S2CKey)
 	s.storeSecret("hop/up-s2c-iv", km.Up.S2CIV)
 
+	// Proxysig: the delegation warrant follows the key material on the
+	// same subchannel and must be accepted before the data plane goes
+	// live — a middlebox never reseals traffic it holds no warrant for.
+	if s.proxySig.Load() {
+		if err := s.receiveDelegation(conn); err != nil {
+			s.setDataPlane(nil, err)
+			return
+		}
+	}
+
 	var proc Processor
 	if s.mb.cfg.NewProcessor != nil {
 		proc = s.mb.cfg.NewProcessor()
@@ -1052,6 +1136,157 @@ func (s *mbSession) runSecondary(serverAddr string) {
 		dp, err = newDataPlane(km, proc)
 	}
 	s.setDataPlane(dp, err)
+	if err == nil && dp != nil && s.proxySig.Load() {
+		// Keep the secondary session alive to serve close-time evidence
+		// requests; teardown fails the subchannel pipe and unwinds this
+		// loop with the goroutine.
+		s.serveEvidence(conn)
+	}
+}
+
+// readHelloMessage assembles the first handshake message from a record
+// layer (the fresh ClientHello a server endpoint sends on a
+// server-side secondary subchannel), so the middlebox can inspect its
+// negotiated accountability mode before committing to the handshake.
+func readHelloMessage(rl *tls12.RecordLayer) ([]byte, error) {
+	var buf []byte
+	for {
+		rec, err := rl.ReadRecord()
+		if err != nil {
+			return nil, err
+		}
+		if rec.Type != tls12.TypeHandshake {
+			return nil, fmt.Errorf("core: expected handshake record, got %s", rec.Type)
+		}
+		buf = append(buf, rec.Payload...)
+		if len(buf) >= 4 {
+			n := int(buf[1])<<16 | int(buf[2])<<8 | int(buf[3])
+			if len(buf) >= 4+n {
+				return buf[:4+n], nil
+			}
+		}
+	}
+}
+
+// refuseAccountability declines a secondary session whose endpoint
+// negotiated a different accountability mode than this middlebox is
+// configured for: a plaintext fatal alert on our subchannel (no
+// handshake ran, so there is nothing to seal under), which the
+// endpoint's secondary handshake surfaces as a remote alert.
+func (s *mbSession) refuseAccountability(rl *tls12.RecordLayer) {
+	//nolint:errcheck // best-effort refusal; teardown follows either way
+	rl.WriteRecord(tls12.TypeAlert, []byte{byte(tls12.AlertLevelFatal), byte(tls12.AlertAccountabilityMismatch)})
+	s.setDataPlane(nil, &tls12.AlertError{Description: tls12.AlertAccountabilityMismatch})
+}
+
+// receiveDelegation reads and validates the endpoint's delegation
+// warrant (proxysig mode): well-formed, self-signed, addressed to this
+// middlebox's certificate key, and within its validity window. A valid
+// warrant is stored in the session's vault namespace and acknowledged;
+// an invalid one is refused with a descriptive fatal alert.
+func (s *mbSession) receiveDelegation(conn *tls12.Conn) error {
+	raw, err := conn.ReadKeyMaterial()
+	if err != nil {
+		return fmt.Errorf("core: delegation: %w", err)
+	}
+	kind, body, err := parseAcctFrame(raw)
+	if err != nil || kind != acctFrameDelegation {
+		conn.SendAlert(tls12.AlertBadCertificate)
+		return errors.New("core: expected a delegation warrant after key material")
+	}
+	d, err := certs.ParseDelegation(body)
+	if err != nil {
+		conn.SendAlert(tls12.AlertBadCertificate)
+		return fmt.Errorf("core: delegation: %w", err)
+	}
+	own, _ := s.mb.cfg.Certificate.PrivateKey.Public().(ed25519.PublicKey)
+	if !d.Authorized.Equal(own) {
+		conn.SendAlert(tls12.AlertBadCertificate)
+		return errors.New("core: delegation authorizes a different key")
+	}
+	if err := d.ValidAt(time.Now()); err != nil {
+		conn.SendAlert(tls12.AlertCertificateExpired)
+		return fmt.Errorf("core: delegation: %w", err)
+	}
+	deleg := append([]byte(nil), body...)
+	if f := s.mb.cfg.AccountabilityFaults; f != nil && f.MutateDelegation != nil {
+		deleg = f.MutateDelegation(deleg)
+	}
+	s.storeSecret("acct/delegation", deleg)
+	s.evMu.Lock()
+	s.delegation = deleg
+	s.evC2S = sha256.New()
+	s.evS2C = sha256.New()
+	s.evMu.Unlock()
+	if err := conn.WriteKeyMaterial(acctFrame(acctFrameAck, nil)); err != nil {
+		return fmt.Errorf("core: delegation ack: %w", err)
+	}
+	return nil
+}
+
+// serveEvidence answers evidence requests on the retained secondary
+// session until the session tears down (which fails the subchannel
+// pipe and errors the read).
+func (s *mbSession) serveEvidence(conn *tls12.Conn) {
+	for {
+		raw, err := conn.ReadKeyMaterial()
+		if err != nil {
+			return
+		}
+		kind, _, err := parseAcctFrame(raw)
+		if err != nil || kind != acctFrameEvidenceReq {
+			continue
+		}
+		blob, err := s.signEvidence()
+		if err != nil {
+			conn.SendAlert(tls12.AlertInternalError)
+			return
+		}
+		if err := conn.WriteKeyMaterial(acctFrame(acctFrameEvidence, blob)); err != nil {
+			return
+		}
+		s.mb.evidenceSigned.Add(1)
+	}
+}
+
+// signEvidence snapshots the session's accountability accumulators and
+// signs them with the middlebox certificate key.
+func (s *mbSession) signEvidence() ([]byte, error) {
+	ev := &certs.Evidence{}
+	s.evMu.Lock()
+	ev.Delegation = append([]byte(nil), s.delegation...)
+	if s.evC2S != nil {
+		copy(ev.C2SDigest[:], s.evC2S.Sum(nil))
+		copy(ev.S2CDigest[:], s.evS2C.Sum(nil))
+	}
+	ev.C2SRecords = s.evC2SRecords
+	ev.S2CRecords = s.evS2CRecords
+	s.evMu.Unlock()
+	blob, err := certs.SignEvidence(s.mb.cfg.Certificate.PrivateKey, ev)
+	if err != nil {
+		return nil, err
+	}
+	if f := s.mb.cfg.AccountabilityFaults; f != nil && f.MutateEvidence != nil {
+		blob = f.MutateEvidence(blob)
+	}
+	return blob, nil
+}
+
+// noteResealed feeds resealed output into the proxysig evidence
+// accumulators.
+func (s *mbSession) noteResealed(dir Direction, out []byte, records int) {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	if s.evC2S == nil {
+		return
+	}
+	if dir == DirClientToServer {
+		s.evC2S.Write(out)
+		s.evC2SRecords += uint64(records)
+	} else {
+		s.evS2C.Write(out)
+		s.evS2CRecords += uint64(records)
+	}
 }
 
 // runNeighborHops performs both hop handshakes of the neighbor-keys

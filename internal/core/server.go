@@ -24,6 +24,10 @@ func Accept(transport net.Conn, cfg *ServerConfig) (*Session, error) {
 	if cfg == nil || cfg.TLS == nil {
 		return nil, errors.New("core: ServerConfig.TLS is required")
 	}
+	acct, err := newServerAccountability(cfg)
+	if err != nil {
+		return nil, err
+	}
 	tcfg := *cfg.TLS
 
 	m := newMux(transport)
@@ -35,7 +39,7 @@ func Accept(transport net.Conn, cfg *ServerConfig) (*Session, error) {
 	primaryDone := make(chan error, 1)
 	go func() { primaryDone <- pconn.Handshake() }()
 
-	secCfg := secondaryClientConfig(cfg.TLS, cfg.MiddleboxTLS, cfg.RequireMiddleboxAttestation, cfg.MiddleboxVerifier)
+	secCfg := secondaryClientConfig(cfg.TLS, cfg.MiddleboxTLS, acct)
 	// The secondary handshakes toward middleboxes must not carry the
 	// server's SNI or offer tickets.
 	secCfg.ServerName = ""
@@ -107,8 +111,8 @@ func Accept(transport net.Conn, cfg *ServerConfig) (*Session, error) {
 	sort.Slice(secs, func(i, j int) bool { return secs[i].sub < secs[j].sub })
 
 	for i := range secs {
-		if cfg.RequireMiddleboxAttestation && !secs[i].summary.Attested {
-			return fail(fmt.Errorf("core: middlebox %q did not attest", secs[i].summary.Name))
+		if err := acct.checkHop(secs[i].summary); err != nil {
+			return fail(err)
 		}
 		if cfg.Approve != nil && !cfg.Approve(secs[i].summary) {
 			return fail(fmt.Errorf("core: middlebox %q rejected by application", secs[i].summary.Name))
@@ -148,9 +152,15 @@ func Accept(transport net.Conn, cfg *ServerConfig) (*Session, error) {
 			return fail(err)
 		}
 	}
+	// Server-side hops have no chain ticket; credentials always target
+	// the leaf certificate key seen on the (full) secondary handshake.
+	audit, err := acct.establishCredentials(secs, nil)
+	if err != nil {
+		return fail(err)
+	}
 	hw.stop()
 
-	sess := &Session{conn: pconn, m: m, transport: transport}
+	sess := &Session{conn: pconn, m: m, transport: transport, acct: acct.kind(), audit: audit}
 	// Report middleboxes in path order from the server outward.
 	for i := len(secs) - 1; i >= 0; i-- {
 		sess.mboxes = append(sess.mboxes, secs[i].summary)

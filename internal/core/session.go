@@ -37,6 +37,11 @@ type SessionStats struct {
 	// ResumedHops counts secondary handshakes resumed from chain-ticket
 	// hop tickets.
 	ResumedHops int64
+	// AttestSessions and ProxySigSessions count sessions by negotiated
+	// accountability mode (0 or 1 at an endpoint; the session-host
+	// aggregate sums them across sessions).
+	AttestSessions   int64
+	ProxySigSessions int64
 }
 
 // Session is an established mbTLS session from an endpoint's
@@ -49,6 +54,11 @@ type Session struct {
 	m         *mux
 	transport net.Conn
 	mboxes    []MiddleboxSummary
+
+	// Accountability state, fixed at establishment time: the mode the
+	// session ran, and (proxysig only) the close-time audit obligation.
+	acct  Accountability
+	audit *sessionAudit
 
 	// Fast-path provenance, fixed at establishment time.
 	resumedPrimary bool
@@ -91,8 +101,17 @@ func (s *Session) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Close sends close_notify and closes the transport.
+// Close settles the session's accountability audit (proxysig: collect
+// and verify each hop's signed evidence, then wipe the delegation
+// key), sends close_notify, and closes the transport. An
+// accountability failure is reported in preference to transport close
+// errors: the session still tears down, but Close returns the
+// AccountabilityError and the teardown reason records it.
 func (s *Session) Close() error {
+	evErr := s.collectEvidence()
+	if evErr != nil {
+		s.noteErr(evErr)
+	}
 	local := ClassCleanClose.String()
 	s.teardown.CompareAndSwap(nil, &local)
 	err := s.conn.Close()
@@ -100,6 +119,9 @@ func (s *Session) Close() error {
 		if cerr := s.transport.Close(); err == nil {
 			err = cerr
 		}
+	}
+	if evErr != nil {
+		return evErr
 	}
 	return err
 }
@@ -130,6 +152,11 @@ func (s *Session) Stats() SessionStats {
 	}
 	if s.resumedPrimary {
 		st.ResumedPrimary = 1
+	}
+	if s.acct == AccountProxySig {
+		st.ProxySigSessions = 1
+	} else {
+		st.AttestSessions = 1
 	}
 	if r := s.teardown.Load(); r != nil {
 		st.TeardownReason = *r

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/secmem"
 	"repro/internal/wire"
 )
 
@@ -96,6 +97,13 @@ func NewAuthority() (*Authority, error) {
 // PublicKey returns the authority's verification key.
 func (a *Authority) PublicKey() ed25519.PublicKey { return a.pub }
 
+// Wipe zeroizes the authority's signing key. It endorses no further
+// platforms afterward; already-issued endorsements stay verifiable.
+func (a *Authority) Wipe() {
+	secmem.Wipe(a.priv)
+	a.priv = nil
+}
+
 // Platform is one SGX-capable machine with an authority-endorsed
 // quoting key (plays the quoting enclave).
 type Platform struct {
@@ -126,6 +134,13 @@ func (a *Authority) NewPlatform() (*Platform, error) {
 // cost for enclaves on this platform. Zero disables the cost model.
 func (p *Platform) SetBoundaryCost(d time.Duration) {
 	p.boundaryCost.Store(int64(d))
+}
+
+// Wipe zeroizes the platform's quoting key, as when a platform is
+// decommissioned. Enclaves on it can no longer produce quotes.
+func (p *Platform) Wipe() {
+	secmem.Wipe(p.quotePriv)
+	p.quotePriv = nil
 }
 
 // Enclave is a secure execution environment on a platform. All state

@@ -25,8 +25,13 @@ import (
 // at half the p50.
 var HandshakeLevels = []int{4, 16}
 
-// HandshakeRow is one (mode, concurrency) cell of the fast-path bench.
+// HandshakeRow is one (accountability, mode, concurrency) cell of the
+// fast-path bench.
 type HandshakeRow struct {
+	// Accountability is the negotiated accountability mode: "attest"
+	// (enclave quotes during the secondary handshake) or "proxysig"
+	// (delegation warrants at establishment, signed evidence at close).
+	Accountability string `json:"accountability"`
 	// Mode is "full" (complete chain handshakes) or "resumed"
 	// (chain-ticket resumption of primary and hop).
 	Mode string `json:"mode"`
@@ -70,9 +75,10 @@ type HandshakeOptions struct {
 	Quick bool
 }
 
-// handshakeEnv is the shared topology: one attested middlebox host
-// (STEK + keyshare pool) in front of one ticket-issuing origin host,
-// plus the client-side caches every worker shares.
+// handshakeEnv is the shared topology: one middlebox host per
+// accountability mode (attest at "mb", proxysig at "mbp", each with its
+// own STEK, sharing one keyshare pool) in front of one ticket-issuing
+// origin host, plus the client-side caches every worker shares.
 type handshakeEnv struct {
 	n        *netsim.Network
 	ca       *certs.CA
@@ -80,7 +86,16 @@ type handshakeEnv struct {
 	ksPool   *hsfast.KeySharePool
 	chainVC  *hsfast.VerifyCache
 	mb       *core.Middlebox
+	mbProxy  *core.Middlebox
 	hosts    []*sessionhost.Host
+}
+
+// mbAddr is the netsim address of the middlebox running acct.
+func mbAddr(acct core.Accountability) string {
+	if acct == core.AccountProxySig {
+		return "mbp"
+	}
+	return "mb"
 }
 
 func (e *handshakeEnv) Close() {
@@ -119,6 +134,10 @@ func newHandshakeEnv(maxLevel int) (*handshakeEnv, error) {
 		return nil, err
 	}
 	mbLn, err := n.Listen("mb")
+	if err != nil {
+		return nil, err
+	}
+	mbpLn, err := n.Listen("mbp")
 	if err != nil {
 		return nil, err
 	}
@@ -182,6 +201,47 @@ func newHandshakeEnv(maxLevel int) (*handshakeEnv, error) {
 	}
 	go mbHost.Serve(mbLn) //nolint:errcheck
 
+	// Proxysig twin: same certificate and keyshare pool, no enclave —
+	// accountability comes from delegation warrants and signed evidence.
+	mbpSTEK, err := hsfast.NewSTEK(time.Hour, nil)
+	if err != nil {
+		srvHost.Close() //nolint:errcheck
+		mbHost.Close()  //nolint:errcheck
+		ksPool.Close()
+		return nil, err
+	}
+	mbProxy, err := core.NewMiddlebox(core.MiddleboxConfig{
+		Name:           "mb.example",
+		Mode:           core.ClientSide,
+		Certificate:    mbCert,
+		Accountability: core.AccountProxySig,
+		TicketKeys:     mbpSTEK,
+		KeyShares:      ksPool,
+	})
+	if err != nil {
+		srvHost.Close() //nolint:errcheck
+		mbHost.Close()  //nolint:errcheck
+		ksPool.Close()
+		return nil, err
+	}
+	mbpHost, err := sessionhost.New(sessionhost.Config{
+		Name:        "handshake-mbp",
+		MaxSessions: 2 * maxLevel,
+		Handler: sessionhost.NewMiddleboxHandler(mbProxy, func() (net.Conn, error) {
+			return n.Dial("mbp", "server")
+		}),
+		MiddleboxStats: mbProxy.Stats,
+		KeySharePool:   ksPool,
+		TicketKeys:     mbpSTEK,
+	})
+	if err != nil {
+		srvHost.Close() //nolint:errcheck
+		mbHost.Close()  //nolint:errcheck
+		ksPool.Close()
+		return nil, err
+	}
+	go mbpHost.Serve(mbpLn) //nolint:errcheck
+
 	return &handshakeEnv{
 		n:  n,
 		ca: ca,
@@ -192,32 +252,43 @@ func newHandshakeEnv(maxLevel int) (*handshakeEnv, error) {
 		ksPool:  ksPool,
 		chainVC: hsfast.NewVerifyCache(64, time.Hour, nil),
 		mb:      mb,
-		hosts:   []*sessionhost.Host{srvHost, mbHost},
+		mbProxy: mbProxy,
+		hosts:   []*sessionhost.Host{srvHost, mbHost, mbpHost},
 	}, nil
 }
 
-// clientConfig builds one session's client config. ct (optional) is
-// the chain ticket to redeem; onTicket receives the reissued one.
-func (e *handshakeEnv) clientConfig(ct *core.ChainTicket, onTicket func(*core.ChainTicket)) *core.ClientConfig {
-	return &core.ClientConfig{
+// clientConfig builds one session's client config for the given
+// accountability mode. ct (optional) is the chain ticket to redeem;
+// onTicket receives the reissued one.
+func (e *handshakeEnv) clientConfig(acct core.Accountability, ct *core.ChainTicket, onTicket func(*core.ChainTicket)) *core.ClientConfig {
+	cfg := &core.ClientConfig{
 		TLS: &tls12.Config{
 			RootCAs:     e.ca.Pool(),
 			ServerName:  "origin.example",
 			VerifyCache: e.chainVC,
 		},
-		RequireMiddleboxAttestation: true,
-		MiddleboxVerifier:           e.verifier,
-		HandshakeTimeout:            30 * time.Second,
-		ChainTicket:                 ct,
-		OnNewChainTicket:            onTicket,
+		Accountability:   acct,
+		HandshakeTimeout: 30 * time.Second,
+		ChainTicket:      ct,
+		OnNewChainTicket: onTicket,
 	}
+	if acct == core.AccountAttest {
+		cfg.RequireMiddleboxAttestation = true
+		cfg.MiddleboxVerifier = e.verifier
+	}
+	return cfg
 }
 
+// handshakeAccts is the accountability-mode axis of the sweep.
+var handshakeAccts = []core.Accountability{core.AccountAttest, core.AccountProxySig}
+
 // RunHandshake measures the handshake fast path: full chain
-// establishment (primary + attested middlebox hop, every signature and
+// establishment (primary + middlebox hop, every signature and
 // verification live) against chain-ticket resumption of the same
-// topology, at each concurrency level. Both modes share the running
-// hosts, so the numbers isolate the handshake work itself.
+// topology, at each concurrency level and under each accountability
+// mode. All cells share the running hosts, so the numbers isolate the
+// handshake work itself; the attest-vs-proxysig comparison shows what
+// each trust mechanism costs at establishment time.
 func RunHandshake(opts HandshakeOptions) ([]HandshakeRow, error) {
 	levels := opts.Levels
 	if len(levels) == 0 {
@@ -246,32 +317,40 @@ func RunHandshake(opts HandshakeOptions) ([]HandshakeRow, error) {
 
 	payload := core.RandomPlaintext(256)
 	var rows []HandshakeRow
-	for _, level := range levels {
-		full, err := handshakeCell(env, "full", level, perWorker, payload)
-		if err != nil {
-			return nil, fmt.Errorf("handshake full@%d: %w", level, err)
+	for _, acct := range handshakeAccts {
+		for _, level := range levels {
+			full, err := handshakeCell(env, acct, "full", level, perWorker, payload)
+			if err != nil {
+				return nil, fmt.Errorf("handshake %s/full@%d: %w", acct, level, err)
+			}
+			resumed, err := handshakeCell(env, acct, "resumed", level, perWorker, payload)
+			if err != nil {
+				return nil, fmt.Errorf("handshake %s/resumed@%d: %w", acct, level, err)
+			}
+			if resumed.ResumedPrimary == 0 || resumed.ResumedHops == 0 {
+				return nil, fmt.Errorf("handshake %s/resumed@%d: no session took the fast path (%+v)", acct, level, resumed)
+			}
+			if full.SessionsPerSec > 0 {
+				resumed.SpeedupVsFull = resumed.SessionsPerSec / full.SessionsPerSec
+			}
+			if full.HandshakeP50Ms > 0 {
+				resumed.P50RatioVsFull = resumed.HandshakeP50Ms / full.HandshakeP50Ms
+			}
+			rows = append(rows, full, resumed)
 		}
-		resumed, err := handshakeCell(env, "resumed", level, perWorker, payload)
-		if err != nil {
-			return nil, fmt.Errorf("handshake resumed@%d: %w", level, err)
-		}
-		if resumed.ResumedPrimary == 0 || resumed.ResumedHops == 0 {
-			return nil, fmt.Errorf("handshake resumed@%d: no session took the fast path (%+v)", level, resumed)
-		}
-		if full.SessionsPerSec > 0 {
-			resumed.SpeedupVsFull = resumed.SessionsPerSec / full.SessionsPerSec
-		}
-		if full.HandshakeP50Ms > 0 {
-			resumed.P50RatioVsFull = resumed.HandshakeP50Ms / full.HandshakeP50Ms
-		}
-		rows = append(rows, full, resumed)
+	}
+	// Every proxysig session audits its middlebox at close; a cell that
+	// completed without signed evidence would mean the mode silently
+	// degraded, so fail loudly here rather than report hollow numbers.
+	if env.mbProxy.Stats().EvidenceSigned == 0 {
+		return nil, fmt.Errorf("handshake proxysig: no middlebox evidence was signed")
 	}
 	return rows, nil
 }
 
-// handshakeCell drives one (mode, concurrency) cell.
-func handshakeCell(env *handshakeEnv, mode string, level, perWorker int, payload []byte) (HandshakeRow, error) {
-	row := HandshakeRow{Mode: mode, Concurrency: level}
+// handshakeCell drives one (accountability, mode, concurrency) cell.
+func handshakeCell(env *handshakeEnv, acct core.Accountability, mode string, level, perWorker int, payload []byte) (HandshakeRow, error) {
+	row := HandshakeRow{Accountability: acct.String(), Mode: mode, Concurrency: level}
 	latencies := make([]time.Duration, 0, level*perWorker)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -287,7 +366,7 @@ func handshakeCell(env *handshakeEnv, mode string, level, perWorker int, payload
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				if _, _, err := oneChainSession(env, fmt.Sprintf("seed-%d", w), nil, &seeds[w], payload); err != nil {
+				if _, _, err := oneChainSession(env, acct, fmt.Sprintf("seed-%s-%d", acct, w), nil, &seeds[w], payload); err != nil {
 					select {
 					case errs <- fmt.Errorf("worker %d seed: %w", w, err):
 					default:
@@ -318,7 +397,7 @@ func handshakeCell(env *handshakeEnv, mode string, level, perWorker int, payload
 				if mode != "resumed" {
 					redeem = nil
 				}
-				hs, st, err := oneChainSession(env, fmt.Sprintf("worker-%s-%d-%d", mode, w, i), redeem, &ct, payload)
+				hs, st, err := oneChainSession(env, acct, fmt.Sprintf("worker-%s-%s-%d-%d", acct, mode, w, i), redeem, &ct, payload)
 				if err != nil {
 					select {
 					case errs <- fmt.Errorf("worker %d session %d: %w", w, i, err):
@@ -361,17 +440,18 @@ func handshakeCell(env *handshakeEnv, mode string, level, perWorker int, payload
 	return row, nil
 }
 
-// oneChainSession runs one complete client session, returning the
-// chain establishment latency and the session's resumption counters.
-// *ctOut is updated with the session's reissued chain ticket.
-func oneChainSession(env *handshakeEnv, clientName string, redeem *core.ChainTicket,
+// oneChainSession runs one complete client session under the given
+// accountability mode, returning the chain establishment latency and
+// the session's resumption counters. *ctOut is updated with the
+// session's reissued chain ticket.
+func oneChainSession(env *handshakeEnv, acct core.Accountability, clientName string, redeem *core.ChainTicket,
 	ctOut **core.ChainTicket, payload []byte) (time.Duration, core.SessionStats, error) {
 
-	conn, err := env.n.Dial(clientName, "mb")
+	conn, err := env.n.Dial(clientName, mbAddr(acct))
 	if err != nil {
 		return 0, core.SessionStats{}, err
 	}
-	ccfg := env.clientConfig(redeem, func(c *core.ChainTicket) { *ctOut = c })
+	ccfg := env.clientConfig(acct, redeem, func(c *core.ChainTicket) { *ctOut = c })
 	start := time.Now()
 	sess, err := core.Dial(conn, ccfg)
 	if err != nil {
@@ -408,17 +488,17 @@ func WriteHandshakeJSON(path string, rows []HandshakeRow) error {
 // FormatHandshake renders the sweep.
 func FormatHandshake(rows []HandshakeRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Handshake fast path: full vs chain-ticket-resumed establishment\n")
-	fmt.Fprintf(&b, "%-8s | %-11s | %8s | %13s | %9s | %9s | %7s | %7s | %8s\n",
-		"Mode", "Concurrency", "Sessions", "Sessions/sec", "HS p50", "HS p99", "KS hit", "VC hit", "Speedup")
-	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 103))
+	fmt.Fprintf(&b, "Handshake fast path: full vs chain-ticket-resumed establishment, attest vs proxysig\n")
+	fmt.Fprintf(&b, "%-8s | %-8s | %-11s | %8s | %13s | %9s | %9s | %7s | %7s | %8s\n",
+		"Acct", "Mode", "Concurrency", "Sessions", "Sessions/sec", "HS p50", "HS p99", "KS hit", "VC hit", "Speedup")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 114))
 	for _, r := range rows {
 		speedup := ""
 		if r.SpeedupVsFull > 0 {
 			speedup = fmt.Sprintf("%.2fx", r.SpeedupVsFull)
 		}
-		fmt.Fprintf(&b, "%-8s | %-11d | %8d | %13.1f | %7.2fms | %7.2fms | %6.0f%% | %6.0f%% | %8s\n",
-			r.Mode, r.Concurrency, r.Sessions, r.SessionsPerSec,
+		fmt.Fprintf(&b, "%-8s | %-8s | %-11d | %8d | %13.1f | %7.2fms | %7.2fms | %6.0f%% | %6.0f%% | %8s\n",
+			r.Accountability, r.Mode, r.Concurrency, r.Sessions, r.SessionsPerSec,
 			r.HandshakeP50Ms, r.HandshakeP99Ms,
 			100*r.KeyShareHitRate, 100*r.VerifyCacheHitRate, speedup)
 	}

@@ -103,4 +103,6 @@ func (c *Control) ReportStats(st core.SessionStats) {
 	sh.faultsObserved.Add(st.FaultsObserved)
 	sh.resumedPrimary.Add(st.ResumedPrimary)
 	sh.resumedHops.Add(st.ResumedHops)
+	sh.attestSessions.Add(st.AttestSessions)
+	sh.proxySigSessions.Add(st.ProxySigSessions)
 }

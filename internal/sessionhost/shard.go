@@ -60,11 +60,13 @@ type shard struct {
 
 	// Aggregated core.SessionStats deltas reported via
 	// Control.ReportStats.
-	recordsRelayed atomic.Int64
-	reseals        atomic.Int64
-	faultsObserved atomic.Int64
-	resumedPrimary atomic.Int64
-	resumedHops    atomic.Int64
+	recordsRelayed   atomic.Int64
+	reseals          atomic.Int64
+	faultsObserved   atomic.Int64
+	resumedPrimary   atomic.Int64
+	resumedHops      atomic.Int64
+	attestSessions   atomic.Int64
+	proxySigSessions atomic.Int64
 
 	// drained flips once this shard's drain completed (all handlers
 	// returned); drainTime is nanoseconds from Shutdown entry to that
@@ -184,11 +186,13 @@ func (sh *shard) snapshotInto(m *Metrics) {
 		Drained:         sh.drained.Load(),
 		DrainTime:       time.Duration(sh.drainTime.Load()),
 		Sessions: core.SessionStats{
-			RecordsRelayed: sh.recordsRelayed.Load(),
-			Reseals:        sh.reseals.Load(),
-			FaultsObserved: sh.faultsObserved.Load(),
-			ResumedPrimary: sh.resumedPrimary.Load(),
-			ResumedHops:    sh.resumedHops.Load(),
+			RecordsRelayed:   sh.recordsRelayed.Load(),
+			Reseals:          sh.reseals.Load(),
+			FaultsObserved:   sh.faultsObserved.Load(),
+			ResumedPrimary:   sh.resumedPrimary.Load(),
+			ResumedHops:      sh.resumedHops.Load(),
+			AttestSessions:   sh.attestSessions.Load(),
+			ProxySigSessions: sh.proxySigSessions.Load(),
 		},
 	}
 	sh.mu.Lock()
@@ -213,6 +217,8 @@ func (sh *shard) snapshotInto(m *Metrics) {
 	m.Sessions.FaultsObserved += sm.Sessions.FaultsObserved
 	m.Sessions.ResumedPrimary += sm.Sessions.ResumedPrimary
 	m.Sessions.ResumedHops += sm.Sessions.ResumedHops
+	m.Sessions.AttestSessions += sm.Sessions.AttestSessions
+	m.Sessions.ProxySigSessions += sm.Sessions.ProxySigSessions
 	if sm.DrainTime > m.DrainTime {
 		m.DrainTime = sm.DrainTime
 	}

@@ -201,11 +201,13 @@ func TestSnapshotRace(t *testing.T) {
 		established <- struct{}{}
 		for i := 0; i < reportsPer; i++ {
 			ctl.ReportStats(core.SessionStats{
-				RecordsRelayed: 1,
-				Reseals:        2,
-				FaultsObserved: 1,
-				ResumedPrimary: 1,
-				ResumedHops:    3,
+				RecordsRelayed:   1,
+				Reseals:          2,
+				FaultsObserved:   1,
+				ResumedPrimary:   1,
+				ResumedHops:      3,
+				AttestSessions:   1,
+				ProxySigSessions: 1,
 			})
 		}
 		<-release
@@ -237,6 +239,8 @@ func TestSnapshotRace(t *testing.T) {
 			sum.Sessions.FaultsObserved += sm.Sessions.FaultsObserved
 			sum.Sessions.ResumedPrimary += sm.Sessions.ResumedPrimary
 			sum.Sessions.ResumedHops += sm.Sessions.ResumedHops
+			sum.Sessions.AttestSessions += sm.Sessions.AttestSessions
+			sum.Sessions.ProxySigSessions += sm.Sessions.ProxySigSessions
 		}
 		if sum.Accepted != m.Accepted || sum.Completed != m.Completed || sum.Failed != m.Failed ||
 			sum.Overloaded != m.Overloaded || sum.RefusedDraining != m.RefusedDraining ||
@@ -293,6 +297,7 @@ func TestSnapshotRace(t *testing.T) {
 	want := core.SessionStats{
 		RecordsRelayed: n, Reseals: 2 * n, FaultsObserved: n,
 		ResumedPrimary: n, ResumedHops: 3 * n,
+		AttestSessions: n, ProxySigSessions: n,
 	}
 	if m.Sessions != want {
 		t.Errorf("final SessionStats = %+v, want %+v", m.Sessions, want)

@@ -44,6 +44,12 @@ const (
 	// before closing a connection it refuses because it is draining
 	// toward shutdown.
 	AlertDraining AlertDescription = 115
+	// AlertAccountabilityMismatch is an mbTLS-specific alert a
+	// middlebox sends on its secondary subchannel when the
+	// accountability mode the endpoint negotiated (MiddleboxSupport
+	// flags octet) differs from the mode the middlebox is configured
+	// to run.
+	AlertAccountabilityMismatch AlertDescription = 116
 )
 
 func (d AlertDescription) String() string {
@@ -88,6 +94,8 @@ func (d AlertDescription) String() string {
 		return "overloaded"
 	case AlertDraining:
 		return "draining"
+	case AlertAccountabilityMismatch:
+		return "accountability_mismatch"
 	}
 	return fmt.Sprintf("alert(%d)", uint8(d))
 }

@@ -235,6 +235,14 @@ func (c *Conn) fatal(desc AlertDescription, cause error) error {
 	return fmt.Errorf("%w (%s)", cause, desc)
 }
 
+// SendAlert sends a fatal alert to the peer (best effort, sealed under
+// the current write cipher). Middleboxes use it to refuse a session
+// with a protocol-visible reason — e.g. an expired or malformed
+// accountability delegation — instead of a silent transport close.
+func (c *Conn) SendAlert(desc AlertDescription) {
+	c.sendAlert(AlertLevelFatal, desc)
+}
+
 func (c *Conn) sendAlert(level AlertLevel, desc AlertDescription) {
 	c.alertMu.Lock()
 	defer c.alertMu.Unlock()

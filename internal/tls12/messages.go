@@ -59,6 +59,13 @@ type MiddleboxSupport struct {
 	// beyond the Appendix A format; parsers that stop at the flags
 	// octet ignore it.
 	HopTickets []HopTicket
+	// ProxySig selects the mdTLS-style proxy-signature accountability
+	// mode for the secondary handshakes this hello starts: instead of
+	// per-hop enclave attestation, the endpoint delegates to each
+	// middlebox with a signed warrant and collects signed evidence of
+	// the middlebox's modifications at close. Carried as a flags-octet
+	// bit, so the attestation default adds no bytes to the wire.
+	ProxySig bool
 }
 
 // HopTicket is one named middlebox's resumption ticket as carried in
@@ -71,7 +78,10 @@ type HopTicket struct {
 }
 
 // Flag bits of the trailing MiddleboxSupport flags octet.
-const msFlagNeighborKeys = 0x01
+const (
+	msFlagNeighborKeys = 0x01
+	msFlagProxySig     = 0x02
+)
 
 func (m *MiddleboxSupport) marshal() []byte {
 	b := wire.NewBuilder(nil)
@@ -89,6 +99,9 @@ func (m *MiddleboxSupport) marshal() []byte {
 	var flags uint8
 	if m.NeighborKeys {
 		flags |= msFlagNeighborKeys
+	}
+	if m.ProxySig {
+		flags |= msFlagProxySig
 	}
 	b.AddUint8(flags)
 	if len(m.HopTickets) > 0 {
@@ -139,6 +152,7 @@ func parseMiddleboxSupport(data []byte) (*MiddleboxSupport, error) {
 			return nil, errors.New("tls12: malformed MiddleboxSupport extension")
 		}
 		m.NeighborKeys = flags&msFlagNeighborKeys != 0
+		m.ProxySig = flags&msFlagProxySig != 0
 	}
 	// Hop tickets (absent unless the client resumes a chain).
 	if p.Len() > 0 {

@@ -1,0 +1,264 @@
+package tcpx_test
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/certs"
+	"repro/internal/core"
+	"repro/internal/sessionhost"
+	"repro/internal/testutil/goleak"
+	"repro/internal/tls12"
+	"repro/internal/transport/tcpx"
+)
+
+// acctChain is one client→middlebox→server chain over real loopback
+// sockets, mirroring the topology of the netsim accountability
+// failure-path tests (internal/core/accountability_test.go). Every
+// proxysig fault injected there is re-driven here through the kernel,
+// asserting the error class parity DESIGN.md §7 promises: simulator
+// vocabulary == production vocabulary.
+type acctChain struct {
+	tr     *tcpx.Transport
+	ca     *certs.CA
+	mbAddr string
+}
+
+// start builds the chain. mbOpt mutates the middlebox config before it
+// starts (accountability mode, fault injectors); both hosts are torn
+// down by t.Cleanup.
+func startAcctChain(t *testing.T, mbOpt func(*core.MiddleboxConfig)) *acctChain {
+	t.Helper()
+	ca, err := certs.NewCA("acct parity root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCert, err := ca.Issue("origin.example", []string{"origin.example"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbCert, err := ca.Issue("mb.example", []string{"mb.example"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := tcpx.Default()
+	scfg := &core.ServerConfig{
+		TLS:               &tls12.Config{Certificate: serverCert},
+		AcceptMiddleboxes: true,
+		MiddleboxTLS:      &tls12.Config{RootCAs: ca.Pool()},
+		HandshakeTimeout:  30 * time.Second,
+	}
+	srvHost, err := sessionhost.New(sessionhost.Config{
+		Name:        "acct-server",
+		MaxSessions: 4,
+		Shards:      1,
+		// Echo until the client hangs up: the server session must stay
+		// open while the client settles its evidence audit at Close.
+		Handler: sessionhost.NewServerHandler(scfg, func(s *core.Session) error {
+			buf := make([]byte, 256)
+			for {
+				n, err := s.Read(buf)
+				if err != nil {
+					return err
+				}
+				if _, err := s.Write(buf[:n]); err != nil {
+					return err
+				}
+			}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvLn, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvAddr := srvLn.Addr().String()
+	go srvHost.Serve(srvLn) //nolint:errcheck
+
+	mbCfg := core.MiddleboxConfig{
+		Name: "mb.example", Mode: core.ClientSide, Certificate: mbCert,
+	}
+	if mbOpt != nil {
+		mbOpt(&mbCfg)
+	}
+	mb, err := core.NewMiddlebox(mbCfg)
+	if err != nil {
+		srvHost.Close() //nolint:errcheck
+		t.Fatal(err)
+	}
+	mbHost, err := sessionhost.New(sessionhost.Config{
+		Name:        "acct-mb",
+		MaxSessions: 4,
+		Shards:      1,
+		Handler: sessionhost.NewMiddleboxHandler(mb, func() (net.Conn, error) {
+			return tr.Dial(srvAddr)
+		}),
+		MiddleboxStats: mb.Stats,
+	})
+	if err != nil {
+		srvHost.Close() //nolint:errcheck
+		t.Fatal(err)
+	}
+	mbLn, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		srvHost.Close() //nolint:errcheck
+		mbHost.Close()  //nolint:errcheck
+		t.Fatal(err)
+	}
+	go mbHost.Serve(mbLn) //nolint:errcheck
+	t.Cleanup(func() {
+		mbHost.Close()  //nolint:errcheck
+		srvHost.Close() //nolint:errcheck
+	})
+	return &acctChain{tr: tr, ca: ca, mbAddr: mbLn.Addr().String()}
+}
+
+// clientConfig builds a proxysig client config; clock (optional)
+// overrides the delegation-minting clock.
+func (c *acctChain) clientConfig(clock func() time.Time) *core.ClientConfig {
+	return &core.ClientConfig{
+		TLS:                 &tls12.Config{RootCAs: c.ca.Pool(), ServerName: "origin.example"},
+		MiddleboxTLS:        &tls12.Config{RootCAs: c.ca.Pool()},
+		Accountability:      core.AccountProxySig,
+		AccountabilityClock: clock,
+		HandshakeTimeout:    30 * time.Second,
+	}
+}
+
+// dial runs the client handshake over a fresh loopback connection.
+func (c *acctChain) dial(t *testing.T, ccfg *core.ClientConfig) (*core.Session, error) {
+	t.Helper()
+	conn, err := c.tr.Dial(c.mbAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.Dial(conn, ccfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return sess, nil
+}
+
+// echo moves one application record each way so the middlebox reseals
+// traffic and its evidence digests are non-trivial.
+func echo(t *testing.T, sess *core.Session, msg string) {
+	t.Helper()
+	if _, err := sess.Write([]byte(msg)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	sess.SetReadDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(sess, buf); err != nil {
+		t.Fatalf("read echo: %v", err)
+	}
+	sess.SetReadDeadline(time.Time{}) //nolint:errcheck
+}
+
+// TestProxySigParityOverTCP re-runs the proxysig fault matrix on real
+// sockets: each adversarial case must surface the same typed error and
+// ErrorClass the netsim-driven tests pin, with every goroutine
+// accounted for after teardown.
+func TestProxySigParityOverTCP(t *testing.T) {
+	t.Run("ExpiredDelegation", func(t *testing.T) {
+		goleak.Check(t)
+		c := startAcctChain(t, func(cfg *core.MiddleboxConfig) {
+			cfg.Accountability = core.AccountProxySig
+		})
+		// A client whose delegation clock is two hours slow mints
+		// warrants already outside their validity window; the middlebox
+		// refuses with certificate_expired at establishment.
+		skewed := c.clientConfig(func() time.Time { return time.Now().Add(-2 * time.Hour) })
+		sess, err := c.dial(t, skewed)
+		if err == nil {
+			sess.Close()
+			t.Fatal("handshake with an expired delegation succeeded")
+		}
+		var ae *tls12.AlertError
+		if !errors.As(err, &ae) || !ae.Remote || ae.Description != tls12.AlertCertificateExpired {
+			t.Fatalf("err = %v, want remote certificate_expired alert", err)
+		}
+		if cls := core.ClassifyError(err); cls != core.ClassRemoteAlert {
+			t.Fatalf("expired delegation classified %s, want %s", cls, core.ClassRemoteAlert)
+		}
+	})
+
+	t.Run("TamperedDelegation", func(t *testing.T) {
+		goleak.Check(t)
+		c := startAcctChain(t, func(cfg *core.MiddleboxConfig) {
+			cfg.Accountability = core.AccountProxySig
+			cfg.AccountabilityFaults = &core.AccountabilityFaults{
+				MutateDelegation: func(d []byte) []byte {
+					out := append([]byte(nil), d...)
+					out[1] ^= 0x80
+					return out
+				},
+			}
+		})
+		sess, err := c.dial(t, c.clientConfig(nil))
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		echo(t, sess, "tampered warrant")
+		closeErr := sess.Close()
+		var ace *core.AccountabilityError
+		if !errors.As(closeErr, &ace) {
+			t.Fatalf("close = %v, want *AccountabilityError", closeErr)
+		}
+		if cls := core.ClassifyError(closeErr); cls != core.ClassIntegrity {
+			t.Fatalf("tampered delegation classified %s, want %s", cls, core.ClassIntegrity)
+		}
+	})
+
+	t.Run("ForgedEvidence", func(t *testing.T) {
+		goleak.Check(t)
+		c := startAcctChain(t, func(cfg *core.MiddleboxConfig) {
+			cfg.Accountability = core.AccountProxySig
+			cfg.AccountabilityFaults = &core.AccountabilityFaults{
+				MutateEvidence: func(ev []byte) []byte {
+					out := append([]byte(nil), ev...)
+					out[len(out)-1] ^= 0x01
+					return out
+				},
+			}
+		})
+		sess, err := c.dial(t, c.clientConfig(nil))
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		echo(t, sess, "forged evidence")
+		closeErr := sess.Close()
+		var ace *core.AccountabilityError
+		if !errors.As(closeErr, &ace) {
+			t.Fatalf("close = %v, want *AccountabilityError", closeErr)
+		}
+		if cls := core.ClassifyError(closeErr); cls != core.ClassIntegrity {
+			t.Fatalf("forged evidence classified %s, want %s", cls, core.ClassIntegrity)
+		}
+	})
+
+	t.Run("AccountabilityMismatch", func(t *testing.T) {
+		goleak.Check(t)
+		// Middlebox stays in attest mode; the proxysig client's offer is
+		// refused with a fatal accountability_mismatch alert.
+		c := startAcctChain(t, nil)
+		sess, err := c.dial(t, c.clientConfig(nil))
+		if err == nil {
+			sess.Close()
+			t.Fatal("handshake across an accountability mismatch succeeded")
+		}
+		var ae *tls12.AlertError
+		if !errors.As(err, &ae) || ae.Description != tls12.AlertAccountabilityMismatch {
+			t.Fatalf("err = %v, want accountability_mismatch alert", err)
+		}
+		if cls := core.ClassifyError(err); cls != core.ClassRemoteAlert {
+			t.Fatalf("mismatch classified %s, want %s", cls, core.ClassRemoteAlert)
+		}
+	})
+}

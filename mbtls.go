@@ -42,6 +42,11 @@ type (
 	Direction = core.Direction
 	// Mode selects client-side or server-side middlebox behavior.
 	Mode = core.Mode
+	// Accountability selects how endpoints hold middleboxes to account:
+	// enclave attestation (the default) or mdTLS-style proxy signatures.
+	Accountability = core.Accountability
+	// AccountabilityError is a proxysig audit failure at session close.
+	AccountabilityError = core.AccountabilityError
 	// OverloadError is a session host's typed at-capacity rejection.
 	OverloadError = core.OverloadError
 	// DrainingError is a session host's typed shutting-down rejection.
@@ -116,6 +121,18 @@ const (
 	ClientSide = core.ClientSide
 	ServerSide = core.ServerSide
 )
+
+// Accountability modes.
+const (
+	AccountAttest   = core.AccountAttest
+	AccountProxySig = core.AccountProxySig
+)
+
+// ParseAccountability parses an accountability mode name ("attest" or
+// "proxysig"), as accepted by the daemons' -accountability flag.
+func ParseAccountability(s string) (Accountability, error) {
+	return core.ParseAccountability(s)
+}
 
 // Data-plane directions.
 const (

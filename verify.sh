@@ -21,6 +21,10 @@ gate go vet ./...
 gate go test -race ./internal/core/ ./internal/tls12/ ./internal/netsim/ ./internal/sessionhost/ ./internal/hsfast/
 gate go test -race ./internal/transport/...
 gate go run ./cmd/mbtls-lint ./...
+# proxysig smoke: the full proxysig session/audit/failure-path suite on
+# netsim, then the quick handshake cells, which run both accountability
+# modes end-to-end and fail if no middlebox evidence was signed.
+gate go test -run 'TestProxySig|TestAccountabilityMismatch' -count=1 ./internal/core/
 gate go run ./cmd/mbtls-bench handshake -quick
 gate go run ./cmd/mbtls-bench transport -quick
 
