@@ -38,7 +38,7 @@ func main() {
 	boundary := flag.Duration("boundary-cost", time.Microsecond, "simulated SGX transition cost for fig7")
 	jsonOut := flag.Bool("json", false, "for fig7/sessions: also write BENCH_fig7.json / BENCH_sessions.json")
 	perWorker := flag.Int("sessions-per-worker", 0, "sessions each worker runs per concurrency level (0 = default)")
-	quick := flag.Bool("quick", false, "for handshake/sessions: shrink to a smoke-test run (CI gate)")
+	quick := flag.Bool("quick", false, "for handshake/sessions/fig7: shrink to a smoke-test run (CI gate)")
 	shards := flag.Int("shards", 0, "for sessions: session-host shard count (0 = GOMAXPROCS)")
 	transportName := flag.String("transport", "", "for sessions/fig7: byte-moving backend, netsim (default) or tcp")
 	soak := flag.Bool("soak", false, "for sessions: also run the idle-session soak")
@@ -99,7 +99,18 @@ func main() {
 			exitOn(err)
 			fmt.Print(experiments.FormatFig6(rows))
 		case "fig7":
-			cells, err := experiments.RunFig7(experiments.Fig7Options{Window: *window, BoundaryCost: *boundary, Transport: *transportName})
+			fig7Window := *window
+			if *quick {
+				// Let Quick pick its own short window unless one was
+				// given explicitly.
+				fig7Window = 0
+				flag.Visit(func(f *flag.Flag) {
+					if f.Name == "window" {
+						fig7Window = *window
+					}
+				})
+			}
+			cells, err := experiments.RunFig7(experiments.Fig7Options{Window: fig7Window, BoundaryCost: *boundary, Transport: *transportName, Quick: *quick})
 			exitOn(err)
 			fmt.Print(experiments.FormatFig7(cells))
 			if *jsonOut {

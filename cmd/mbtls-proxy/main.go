@@ -44,6 +44,7 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	stekRotate := flag.Duration("stek-rotate", time.Hour, "session-ticket key rotation interval (0 disables resumption)")
 	keyshares := flag.Int("keyshares", 0, "precomputed X25519 keyshare pool size (0 = sized from shard count, negative disables)")
+	relayWorkers := flag.Int("relay-workers", 0, "parallel relay crypto workers (0 = one per core, negative = serial relay)")
 	flag.Parse()
 
 	cfg := mbtls.MiddleboxConfig{
@@ -124,6 +125,17 @@ func main() {
 		cfg.KeyShares = ksPool
 	}
 
+	// Relay crypto workers: the parallel pipeline's pool is host-scoped
+	// so one bulk session can use every configured core. A negative
+	// count opts out of pipelining entirely (the single-core baseline).
+	var relayPool *mbtls.RelayPool
+	if *relayWorkers < 0 {
+		cfg.SerialRelay = true
+	} else {
+		relayPool = mbtls.NewRelayPool(*relayWorkers)
+		cfg.RelayPool = relayPool
+	}
+
 	mb, err := mbtls.NewMiddlebox(cfg)
 	if err != nil {
 		log.Fatalf("mbtls-proxy: %v", err)
@@ -144,6 +156,7 @@ func main() {
 		MiddleboxStats: mb.Stats,
 		KeySharePool:   ksPool,
 		TicketKeys:     stek,
+		RelayPool:      relayPool,
 	})
 	if err != nil {
 		log.Fatalf("mbtls-proxy: %v", err)
@@ -199,5 +212,11 @@ func logStats(m mbtls.SessionHostMetrics) {
 	if p := m.KeySharePool; p != nil {
 		log.Printf("mbtls-proxy: fastpath keyshares hit=%d miss=%d hit_rate=%.2f wiped=%d stek_rotations=%d",
 			p.Hits, p.Misses, p.HitRate(), p.Wiped, m.TicketKeyRotations)
+	}
+	if rp := m.RelayPool; rp != nil {
+		log.Printf("mbtls-proxy: relaypool workers=%d jobs=%d records=%d util=%.2f depth=%d max_depth=%d "+
+			"submit_stalls=%d window_stalls=%d reseal_p50=%s reseal_p99=%s",
+			rp.Workers, rp.JobsProcessed, rp.RecordsProcessed, rp.Utilization, rp.InFlight, rp.MaxInFlight,
+			rp.SubmitStalls, rp.WindowStalls, rp.ResealP50, rp.ResealP99)
 	}
 }

@@ -38,7 +38,12 @@ func main() {
 	shards := flag.Int("shards", 0, "session-host shards (0 = one per core)")
 	reusePort := flag.Bool("reuseport", false, "bind one SO_REUSEPORT listener per shard (Linux)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
+	relayWorkers := flag.Int("relay-workers", 0, "crypto workers for the process-wide relay pool (0 = one per core)")
 	flag.Parse()
+
+	// Endpoints don't relay, but embedded middlebox code paths share
+	// the process-wide pool; size it before anything can create it.
+	mbtls.ConfigureRelayWorkers(*relayWorkers)
 
 	acct, err := mbtls.ParseAccountability(*accountability)
 	if err != nil {

@@ -73,11 +73,20 @@ func runBufOwnership(pass *Pass) {
 // struct field assigned from GetRecordBuf holds a pooled buffer whose
 // lifetime spans functions, so its release cannot be checked
 // per-function — instead the package must contain a matching
-// PutRecordBuf(owner.field) for the same field object.
+// PutRecordBuf(owner.field) for the same field object. Three get
+// shapes feed the rule: plain field assignment (owner.field = Get),
+// indexed-field assignment (owner.field[i] = Get — a per-slot buffer
+// array), and composite-literal initialization (&T{field: Get()} — the
+// pipeline's slot-allocation handoff, DESIGN.md §14). A release
+// through any of those shapes pairs with any get of the same field.
 func checkFieldOwners(pass *Pass) {
 	info := pass.Pkg.Info
 	fieldObj := func(e ast.Expr) types.Object {
-		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		e = ast.Unparen(e)
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			e = ast.Unparen(ix.X)
+		}
+		sel, ok := e.(*ast.SelectorExpr)
 		if !ok {
 			return nil
 		}
@@ -85,6 +94,13 @@ func checkFieldOwners(pass *Pass) {
 	}
 	gets := make(map[types.Object]token.Pos)
 	puts := make(map[types.Object]bool)
+	noteGet := func(obj types.Object, pos token.Pos) {
+		if obj != nil {
+			if _, seen := gets[obj]; !seen {
+				gets[obj] = pos
+			}
+		}
+	}
 	for _, file := range pass.Pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -97,10 +113,22 @@ func checkFieldOwners(pass *Pass) {
 					if !ok || calleeName(call) != getBufName {
 						continue
 					}
-					if obj := fieldObj(lhs); obj != nil {
-						if _, seen := gets[obj]; !seen {
-							gets[obj] = n.Pos()
-						}
+					noteGet(fieldObj(lhs), n.Pos())
+				}
+			case *ast.CompositeLit:
+				// T{field: GetRecordBuf()}: the fresh buffer is owned by
+				// the new value's field from birth.
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					call, ok := ast.Unparen(kv.Value).(*ast.CallExpr)
+					if !ok || calleeName(call) != getBufName {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						noteGet(info.Uses[key], kv.Pos())
 					}
 				}
 			case *ast.CallExpr:

@@ -79,3 +79,53 @@ type fieldLeaker struct {
 func (o *fieldLeaker) fill() {
 	o.buf = GetRecordBuf() // want "field buf holds a buffer from GetRecordBuf but the package never releases it"
 }
+
+// slot models the pipeline's slot-allocation handoff (DESIGN.md §14):
+// the buffer is acquired inside the composite literal, owned by the
+// new slot's field for its lifetime, and released field-wise when the
+// pipeline reclaims its slots.
+type slot struct {
+	out []byte
+}
+
+func newSlot() *slot {
+	return &slot{out: GetRecordBuf()}
+}
+
+func (s *slot) reclaim() {
+	PutRecordBuf(s.out)
+	s.out = nil
+}
+
+// slotArray owns one pooled buffer per lane, acquired lazily into an
+// indexed field and released by index at teardown.
+type slotArray struct {
+	lanes [2][]byte
+}
+
+func (a *slotArray) fill(i int) {
+	if a.lanes[i] == nil {
+		a.lanes[i] = GetRecordBuf()
+	}
+}
+
+func (a *slotArray) drain() {
+	for i := range a.lanes {
+		if a.lanes[i] != nil {
+			PutRecordBuf(a.lanes[i])
+			a.lanes[i] = nil
+		}
+	}
+}
+
+// slotLeaker acquires through a composite literal but the package
+// never releases the field.
+type slotLeaker struct {
+	held []byte
+}
+
+func newSlotLeaker() *slotLeaker {
+	return &slotLeaker{
+		held: GetRecordBuf(), // want "field held holds a buffer from GetRecordBuf but the package never releases it"
+	}
+}

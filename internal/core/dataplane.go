@@ -45,9 +45,40 @@ type batchResult struct {
 // to seal the close_notify a force-closed session sends at the drain
 // deadline; either way it must go through the data plane because a
 // plaintext alert would be a MAC failure for a peer holding hop keys.
+// The remaining four methods are the parallel pipeline's split of
+// handleBatch into an intake half and a worker half (DESIGN.md §14).
+// reserveBatch runs on the relay goroutine and claims the sequence
+// numbers the batch will consume — the open range from arrival order,
+// the seal range from the predicted output geometry — and returns
+// ok=false when the batch cannot be processed out of order (a
+// Processor is installed: stateful processors need ordered input and
+// transforming ones make the seal-range prediction impossible), in
+// which case nothing is reserved and the caller must use handleBatch.
+// processBatchAt then runs on any worker goroutine, any number
+// concurrently, using only the reservation and caller-owned scratch.
+// sealSeq/resetSealSeq let the fault path read the committed sealing
+// position and rewind an abandoned reservation so a subsequently
+// sealed alert still verifies at the peer.
 type dataPlaneHandler interface {
 	handleBatch(dir Direction, recs []tls12.RawRecord, dst []byte) ([]byte, batchResult, error)
 	appendAlert(dir Direction, level tls12.AlertLevel, desc tls12.AlertDescription, dst []byte) ([]byte, error)
+	reserveBatch(dir Direction, recs []tls12.RawRecord) (batchReservation, bool)
+	processBatchAt(dir Direction, recs []tls12.RawRecord, rsv batchReservation, sc *tls12.CryptoScratch, dst []byte) ([]byte, batchResult, error)
+	sealSeq(dir Direction) uint64
+	resetSealSeq(dir Direction, seq uint64)
+}
+
+// batchReservation is the sequence-number claim reserveBatch hands to
+// processBatchAt: the first open sequence (arrival order), the first
+// seal sequence, and the exact number of output records the batch will
+// seal. The prediction is exact because without a Processor every
+// inbound record reseals to ceil(plaintextLen/maxRecordPlaintext)
+// records (minimum one), and plaintext length is determined by wire
+// length.
+type batchReservation struct {
+	openStart uint64
+	sealStart uint64
+	outCount  int
 }
 
 // dataPlane is the host-memory implementation.
@@ -102,12 +133,45 @@ func appendSealedRecord(dst []byte, cs *tls12.CipherState, typ tls12.ContentType
 	return dst
 }
 
+// appendSealedRecordAt is appendSealedRecord at an explicit sequence
+// number with caller-owned scratch — the pipeline-worker variant.
+func appendSealedRecordAt(dst []byte, cs *tls12.CipherState, sc *tls12.CryptoScratch, seq uint64, typ tls12.ContentType, plaintext []byte) []byte {
+	start := len(dst)
+	dst = append(dst, byte(typ), byte(tls12.VersionTLS12>>8), byte(tls12.VersionTLS12&0xff), 0, 0)
+	dst = cs.SealAppendAt(sc, dst, seq, typ, plaintext)
+	binary.BigEndian.PutUint16(dst[start+3:start+5], uint16(len(dst)-start-tls12.RecordHeaderLen))
+	return dst
+}
+
 // dirLock returns the lock guarding a direction's cipher states.
 func (dp *dataPlane) dirLock(dir Direction) *sync.Mutex {
 	if dir == DirServerToClient {
 		return &dp.s2cMu
 	}
 	return &dp.c2sMu
+}
+
+// states returns the open/seal cipher states for a direction. Callers
+// must hold the direction's lock unless using only the explicit-
+// sequence methods on the returned states.
+func (dp *dataPlane) states(dir Direction) (openCS, sealCS *tls12.CipherState) {
+	if dir == DirServerToClient {
+		return dp.openS2C, dp.sealS2C
+	}
+	return dp.openC2S, dp.sealC2S
+}
+
+// predictOutRecords returns the number of records resealing one inbound
+// payload produces when no Processor is installed: at least one, and
+// one more per full fragment beyond maxRecordPlaintext. A payload too
+// short to open predicts one — the open will fail, and the fault path
+// rewinds the over-reserved seal range.
+func predictOutRecords(payloadLen, overhead int) int {
+	pt := payloadLen - overhead
+	if pt <= maxRecordPlaintext {
+		return 1
+	}
+	return (pt + maxRecordPlaintext - 1) / maxRecordPlaintext
 }
 
 // handleBatch implements dataPlaneHandler. A MAC failure is fatal for
@@ -152,6 +216,82 @@ func (dp *dataPlane) handleBatch(dir Direction, recs []tls12.RawRecord, dst []by
 		res.opened++
 	}
 	return dst, res, nil
+}
+
+// reserveBatch implements dataPlaneHandler. The open range is one
+// sequence per inbound record; the seal range is the exact output
+// geometry predicted from wire lengths. Reservation happens under the
+// direction lock so it serializes against the serial path and against
+// other reservations, but the claimed ranges are then consumed with no
+// lock at all.
+func (dp *dataPlane) reserveBatch(dir Direction, recs []tls12.RawRecord) (batchReservation, bool) {
+	if dp.proc != nil {
+		return batchReservation{}, false
+	}
+	mu := dp.dirLock(dir)
+	mu.Lock()
+	defer mu.Unlock()
+	openCS, sealCS := dp.states(dir)
+	var rsv batchReservation
+	overhead := sealCS.Overhead()
+	for _, rec := range recs {
+		rsv.outCount += predictOutRecords(len(rec.Payload), overhead)
+	}
+	rsv.openStart = openCS.ReserveSeq(uint64(len(recs)))
+	rsv.sealStart = sealCS.ReserveSeq(uint64(rsv.outCount))
+	return rsv, true
+}
+
+// processBatchAt implements dataPlaneHandler: handleBatch against a
+// reservation instead of live cipher-state sequences. It takes no lock
+// — any number of workers may run it concurrently for the same
+// direction, each with its own scratch — and produces output
+// byte-identical to handleBatch processing the same records at the
+// same sequence positions. Error text matches handleBatch so fault
+// classification is path-independent.
+func (dp *dataPlane) processBatchAt(dir Direction, recs []tls12.RawRecord, rsv batchReservation, sc *tls12.CryptoScratch, dst []byte) ([]byte, batchResult, error) {
+	openCS, sealCS := dp.states(dir)
+	var res batchResult
+	openSeq, sealSeq := rsv.openStart, rsv.sealStart
+	for _, rec := range recs {
+		plaintext, err := openCS.OpenInPlaceAt(sc, openSeq, rec.Type, rec.Payload)
+		if err != nil {
+			return dst, res, fmt.Errorf("core: hop MAC check failed (%s, %s): %w", dir, rec.Type, err)
+		}
+		openSeq++
+		out := plaintext
+		for first := true; first || len(out) > 0; first = false {
+			frag := out
+			if len(frag) > maxRecordPlaintext {
+				frag = frag[:maxRecordPlaintext]
+			}
+			out = out[len(frag):]
+			dst = appendSealedRecordAt(dst, sealCS, sc, sealSeq, rec.Type, frag)
+			sealSeq++
+			res.appended++
+		}
+		res.opened++
+	}
+	return dst, res, nil
+}
+
+// sealSeq implements dataPlaneHandler.
+func (dp *dataPlane) sealSeq(dir Direction) uint64 {
+	mu := dp.dirLock(dir)
+	mu.Lock()
+	defer mu.Unlock()
+	_, sealCS := dp.states(dir)
+	return sealCS.Seq()
+}
+
+// resetSealSeq implements dataPlaneHandler: the fault-path rewind over
+// reserved-but-uncommitted sealing sequences.
+func (dp *dataPlane) resetSealSeq(dir Direction, seq uint64) {
+	mu := dp.dirLock(dir)
+	mu.Lock()
+	defer mu.Unlock()
+	_, sealCS := dp.states(dir)
+	sealCS.SetSeq(seq)
 }
 
 // appendAlert implements dataPlaneHandler.
@@ -210,6 +350,60 @@ func (edp *enclaveDataPlane) handleBatch(dir Direction, recs []tls12.RawRecord, 
 		out, res, err = dp.handleBatch(dir, recs, dst)
 	})
 	return out, res, err
+}
+
+// reserveBatch implements dataPlaneHandler: one ecall claims the
+// batch's sequence ranges. Together with processBatchAt this costs two
+// boundary crossings per batch instead of the serial path's one — the
+// price of letting a worker run the crypto off the relay goroutine —
+// but the per-record amortization Figure 7 depends on is preserved:
+// crossings stay O(batches), never O(records).
+func (edp *enclaveDataPlane) reserveBatch(dir Direction, recs []tls12.RawRecord) (rsv batchReservation, ok bool) {
+	edp.e.Enter(func(mem enclave.Memory) {
+		dp, inner := mem.Get(edp.key).(*dataPlane)
+		if !inner {
+			return
+		}
+		rsv, ok = dp.reserveBatch(dir, recs)
+	})
+	return rsv, ok
+}
+
+// processBatchAt implements dataPlaneHandler: the whole batch crosses
+// the boundary as the worker's single ecall. Enclave.Enter does not
+// serialize callers, so workers processing different batches of the
+// same session proceed concurrently inside the enclave — safe because
+// processBatchAt touches only immutable state plus the reservation.
+func (edp *enclaveDataPlane) processBatchAt(dir Direction, recs []tls12.RawRecord, rsv batchReservation, sc *tls12.CryptoScratch, dst []byte) (out []byte, res batchResult, err error) {
+	out = dst
+	edp.e.Enter(func(mem enclave.Memory) {
+		dp, ok := mem.Get(edp.key).(*dataPlane)
+		if !ok {
+			err = fmt.Errorf("core: enclave data plane missing")
+			return
+		}
+		out, res, err = dp.processBatchAt(dir, recs, rsv, sc, dst)
+	})
+	return out, res, err
+}
+
+// sealSeq implements dataPlaneHandler inside the enclave.
+func (edp *enclaveDataPlane) sealSeq(dir Direction) (seq uint64) {
+	edp.e.Enter(func(mem enclave.Memory) {
+		if dp, ok := mem.Get(edp.key).(*dataPlane); ok {
+			seq = dp.sealSeq(dir)
+		}
+	})
+	return seq
+}
+
+// resetSealSeq implements dataPlaneHandler inside the enclave.
+func (edp *enclaveDataPlane) resetSealSeq(dir Direction, seq uint64) {
+	edp.e.Enter(func(mem enclave.Memory) {
+		if dp, ok := mem.Get(edp.key).(*dataPlane); ok {
+			dp.resetSealSeq(dir, seq)
+		}
+	})
 }
 
 // appendAlert implements dataPlaneHandler inside the enclave.

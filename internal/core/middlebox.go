@@ -77,6 +77,15 @@ type MiddleboxConfig struct {
 	// bounded host-scoped pool, so relay memory is bounded by the pool
 	// rather than by session count. Nil uses the process-wide pool.
 	BufPool *tls12.RecordBufPool
+	// RelayPool, when set, supplies the crypto workers for the
+	// order-preserving parallel relay pipeline (DESIGN.md §14). Nil uses
+	// the process-wide shared pool; see SerialRelay to opt out of
+	// pipelining entirely.
+	RelayPool *RelayPool
+	// SerialRelay disables the parallel relay pipeline: every batch runs
+	// inline on the relay goroutine, as before the pipeline existed.
+	// Benchmarks use it as the single-core baseline.
+	SerialRelay bool
 	// TicketKeys, when set, enables chain-ticket resumption for the
 	// middlebox's secondary sessions: it issues STEK-sealed hop tickets
 	// named after the middlebox, and resumes returning clients that
@@ -118,6 +127,9 @@ type Middlebox struct {
 	cfg   MiddleboxConfig
 	vault enclave.Vault
 	bufs  *tls12.RecordBufPool
+	// relayPool is the resolved crypto worker pool for the parallel
+	// relay pipeline; nil when cfg.SerialRelay opted out.
+	relayPool *RelayPool
 
 	// sessionSeq allocates monotonic per-session IDs; each session's
 	// vault secrets are namespaced under "session/<id>/" so concurrent
@@ -156,6 +168,12 @@ func NewMiddlebox(cfg MiddleboxConfig) (*Middlebox, error) {
 	mb.bufs = cfg.BufPool
 	if mb.bufs == nil {
 		mb.bufs = tls12.SharedRecordBufPool()
+	}
+	if !cfg.SerialRelay {
+		mb.relayPool = cfg.RelayPool
+		if mb.relayPool == nil {
+			mb.relayPool = SharedRelayPool()
+		}
 	}
 	if cfg.Enclave != nil {
 		mb.vault = enclave.NewEnclaveVault(cfg.Enclave)
@@ -244,13 +262,15 @@ func (mb *Middlebox) HandleHosted(down, up net.Conn, hooks HostHooks) error {
 
 func (mb *Middlebox) handle(down, up net.Conn, hooks HostHooks) error {
 	mb.sessions.Add(1)
+	id := mb.sessionSeq.Add(1)
 	s := &mbSession{
 		mb:          mb,
+		id:          id,
 		down:        down,
 		downR:       down,
 		up:          up,
 		hooks:       hooks,
-		vaultPrefix: fmt.Sprintf("session/%d/", mb.sessionSeq.Add(1)),
+		vaultPrefix: fmt.Sprintf("session/%d/", id),
 	}
 	s.dpCond = sync.NewCond(&s.dpMu)
 	if hooks != nil {
@@ -263,6 +283,9 @@ func (mb *Middlebox) handle(down, up net.Conn, hooks HostHooks) error {
 // mbSession is the per-connection relay state.
 type mbSession struct {
 	mb *Middlebox
+	// id is the session's monotonic ID (also the vault namespace
+	// number), used to label pipeline goroutines for profiling.
+	id uint64
 	// hooks is the hosting runtime's lifecycle surface (nil when the
 	// session is driven directly, e.g. by tests and examples).
 	hooks HostHooks
@@ -326,6 +349,19 @@ type mbSession struct {
 	dp     dataPlaneHandler
 	dpErr  error
 
+	// Pipeline state (DESIGN.md §14). gates carry each direction's
+	// committed sealing position and poison error; bg tracks background
+	// reapers run must wait out after closeAll; faultHandled dedups the
+	// fault sequence when a commit goroutine already ran it.
+	gates        [2]commitGate
+	bg           sync.WaitGroup
+	faultHandled atomic.Bool
+	// fwdSlot/fwdOut are the per-direction single-record slow path's
+	// reused batch slot and reseal buffer (alerts and the False-Start
+	// window), released when run returns.
+	fwdSlot [2][1]tls12.RawRecord
+	fwdOut  [2][]byte
+
 	closeOnce sync.Once
 }
 
@@ -354,12 +390,7 @@ func (s *mbSession) forceClose() {
 		if dp := s.dataPlaneIfReady(); dp != nil {
 			var buf [64]byte
 			for _, dir := range []Direction{DirClientToServer, DirServerToClient} {
-				wire, err := dp.appendAlert(dir, tls12.AlertLevelWarning, tls12.AlertCloseNotify, buf[:0])
-				if err != nil {
-					continue
-				}
-				conn, mu := s.outbound(dir)
-				s.writeWire(conn, mu, wire) //nolint:errcheck
+				s.sealAlertOrdered(dp, dir, tls12.AlertLevelWarning, tls12.AlertCloseNotify, buf[:0]) //nolint:errcheck
 			}
 		}
 	}
@@ -445,6 +476,20 @@ func (s *mbSession) writeEncapsulatedSub(conn net.Conn, mu *sync.Mutex, sub uint
 // run drives the session: sniff the ClientHello, decide how to
 // participate, then relay.
 func (s *mbSession) run() error {
+	// Registered before closeAll so it runs after it (LIFO): pipeline
+	// reapers may be waiting on a commit goroutine wedged in a dead
+	// transport write, which only unblocks once closeAll drops the
+	// conns. The slow-path reseal buffers are released here too — after
+	// every goroutine that could touch them is gone.
+	defer func() {
+		s.bg.Wait()
+		for i := range s.fwdOut {
+			if s.fwdOut[i] != nil {
+				s.mb.bufs.PutRecordBuf(s.fwdOut[i])
+				s.fwdOut[i] = nil
+			}
+		}
+	}()
 	defer s.closeAll()
 
 	raw, buffered, helloRaw, maxSubC2S, err := s.collectClientHello()
@@ -553,8 +598,10 @@ func (s *mbSession) run() error {
 	// but a clean EOF) means a hop died: tell both neighbors with a
 	// fatal alert before tearing down, so endpoints blocked mid-read
 	// fail fast on a protocol-level signal instead of waiting out their
-	// deadlines.
-	if cls := ClassifyError(err); cls.isFault() {
+	// deadlines. A pipeline commit goroutine may already have run this
+	// sequence for a fault it detected (faultHandled); don't count or
+	// propagate twice.
+	if cls := ClassifyError(err); cls.isFault() && !s.faultHandled.Load() {
 		s.mb.faultsObserved.Add(1)
 		s.propagateFault(alertForClass(cls))
 	}
@@ -568,13 +615,16 @@ func (s *mbSession) run() error {
 
 // propagateFault best-effort notifies both sides that the path died.
 // After key material the alert must be hop-sealed — a plaintext alert
-// would be a MAC failure for a peer holding hop keys — which is safe
-// against the still-running opposite relay because the data plane
-// locks each direction's sealing state. Before key material a
-// plaintext fatal alert is the best available signal (the endpoints
-// are still in their plaintext or primary-protected handshake). The
-// writes race the dying transports by design; losing that race just
-// means the deadline path fires instead.
+// would be a MAC failure for a peer holding hop keys — and ordered
+// behind any pipelined reseals: sealAlertOrdered rewinds each
+// direction's reserved-but-uncommitted sequence range to the committed
+// position before sealing, so the alert verifies at the peer, and
+// poisons the direction so in-flight commits drop their output instead
+// of sealing past it. Before key material a plaintext fatal alert is
+// the best available signal (the endpoints are still in their
+// plaintext or primary-protected handshake). The writes race the dying
+// transports by design; losing that race just means the deadline path
+// fires instead.
 func (s *mbSession) propagateFault(desc tls12.AlertDescription) {
 	if !s.mbtls || s.degraded.Load() {
 		return
@@ -582,12 +632,7 @@ func (s *mbSession) propagateFault(desc tls12.AlertDescription) {
 	if dp := s.dataPlaneIfReady(); dp != nil {
 		var buf [64]byte
 		for _, dir := range []Direction{DirClientToServer, DirServerToClient} {
-			wire, err := dp.appendAlert(dir, tls12.AlertLevelFatal, desc, buf[:0])
-			if err != nil {
-				continue
-			}
-			conn, mu := s.outbound(dir)
-			s.writeWire(conn, mu, wire) //nolint:errcheck
+			s.sealAlertOrdered(dp, dir, tls12.AlertLevelFatal, desc, buf[:0]) //nolint:errcheck
 		}
 		return
 	}
@@ -761,21 +806,35 @@ func (s *mbSession) spliceOneWay(dst net.Conn, src io.Reader) error {
 // size of the reseal buffer.
 const maxRelayBatch = 32
 
-// relay pumps records in one direction, participating in the mbTLS
+// relayLoop pumps records in one direction, participating in the mbTLS
 // handshake and data plane as required. Steady-state application data
 // is drained in batches: every buffered record headed for the data
-// plane is collected, opened/transformed/resealed in one handleBatch
-// call (one ecall when the plane lives in an enclave), and flushed to
-// the next hop in a single vectored write — the zero-allocation fast
-// path. Everything else (handshake, discovery, alerts) takes the
-// per-record slow path.
-func (s *mbSession) relay(dir Direction) error {
+// plane is collected and opened/transformed/resealed as one unit.
+// When the middlebox has a RelayPool, batches are submitted to the
+// order-preserving parallel pipeline (pipeline.go): sequence numbers
+// are reserved at intake, workers run the crypto concurrently, and the
+// per-direction commit goroutine releases output in arrival order —
+// the relay keeps reading ahead while crypto is in flight. Without a
+// pool (SerialRelay), or when the data plane declines out-of-order
+// processing, the batch runs inline as before. Everything else
+// (handshake, discovery, alerts) takes the per-record slow path,
+// always behind a pipeline flush so slow-path writes never overtake
+// pipelined output.
+func (s *mbSession) relayLoop(dir Direction) error {
 	src := s.downR
 	if dir == DirServerToClient {
 		src = io.Reader(s.up)
 	}
 	rr := newRecordReader(src)
 	defer rr.release()
+	// Pipeline state, created lazily at the first fast-path batch so
+	// handshake-only and non-mbTLS sessions pay nothing.
+	var pl *dirPipeline
+	defer func() {
+		if pl != nil {
+			pl.shutdown()
+		}
+	}()
 	// Reused per-direction batch state; each direction is driven by
 	// exactly one goroutine, so no locking here.
 	batch := make([]tls12.RawRecord, 0, maxRelayBatch)
@@ -784,22 +843,46 @@ func (s *mbSession) relay(dir Direction) error {
 	for {
 		rec, wire, err := rr.next()
 		if err != nil {
+			// The read error may be the echo of a fault this direction's
+			// commit goroutine already detected and acted on (it closes
+			// the transports); surface the original fault instead of the
+			// secondary close error.
+			if pl != nil {
+				if gerr := pl.takeErr(); gerr != nil && !errors.Is(gerr, io.ErrClosedPipe) {
+					return gerr
+				}
+			}
 			return err
 		}
 		dp := s.batchReady(dir, rec)
 		if dp == nil {
+			if pl != nil {
+				if err := pl.flush(); err != nil {
+					return err
+				}
+			}
 			if err := s.handleRecordWire(dir, rec, wire); err != nil {
 				return err
 			}
 			continue
 		}
+		if pl == nil && s.mb.relayPool != nil {
+			pl = newDirPipeline(s, dir, s.mb.relayPool)
+		}
 		// Fast path: drain every already-buffered data record into one
 		// batch. A record with a different disposition ends the batch
 		// and is handled after the flush, preserving stream order.
+		// Pipelined batches are capped lower than serial ones so one
+		// buffer drain splits across several workers.
+		limit := maxRelayBatch
+		pipelined := pl != nil && !pl.serialOnly
+		if pipelined {
+			limit = pipelineJobRecords
+		}
 		batch = append(batch[:0], rec)
 		var tail tls12.RawRecord
 		var tailWire []byte
-		for len(batch) < maxRelayBatch && rr.buffered() {
+		for len(batch) < limit && rr.buffered() {
 			next, nextWire, err := rr.next()
 			if err != nil {
 				return err
@@ -809,6 +892,28 @@ func (s *mbSession) relay(dir Direction) error {
 				break
 			}
 			batch = append(batch, next)
+		}
+		// A batch ended by a non-data tail must run serially: the tail's
+		// bytes sit in the read buffer behind the batch records, and
+		// submitting would detach that buffer into the job — the tail
+		// slices would alias storage the commit stage recycles.
+		if pipelined && tailWire == nil {
+			submitted, serr := pl.submit(dp, rr, batch)
+			if serr != nil {
+				return serr
+			}
+			if submitted {
+				continue
+			}
+			// The data plane declined (a Processor is installed, which
+			// needs ordered plaintext input): latch onto the serial path
+			// so later batches regain the full serial batch size.
+			pl.serialOnly = true
+		}
+		if pl != nil {
+			if err := pl.flush(); err != nil {
+				return err
+			}
 		}
 		if out, err = s.flushBatch(dir, dp, batch, out); err != nil {
 			return err
@@ -837,11 +942,25 @@ func (s *mbSession) batchReady(dir Direction, rec tls12.RawRecord) dataPlaneHand
 	return s.dataPlaneIfReady()
 }
 
-// flushBatch runs a batch through the data plane and writes the whole
-// resealed result in one outbound write. out is the reused reseal
-// buffer; the (possibly grown) buffer is returned for reuse.
+// flushBatch runs a batch through the data plane serially and writes
+// the whole resealed result in one outbound write. out is the reused
+// reseal buffer; the (possibly grown) buffer is returned for reuse.
+// Callers flush any pipelined work for the direction first (relayLoop
+// does; processForward's callers sit behind the same flush), so the
+// gate's committed position advances with the batch.
 func (s *mbSession) flushBatch(dir Direction, dp dataPlaneHandler, batch []tls12.RawRecord, out []byte) ([]byte, error) {
+	g := s.gate(dir)
+	g.flushMu.Lock()
+	if gerr := g.err; gerr != nil {
+		g.flushMu.Unlock()
+		return out, gerr
+	}
+	g.flushMu.Unlock()
 	out, res, err := dp.handleBatch(dir, batch, out[:0])
+	g.flushMu.Lock()
+	g.sealSeq += uint64(res.appended)
+	g.reserved += uint64(res.appended)
+	g.flushMu.Unlock()
 	s.mb.recordsRekeyed.Add(int64(res.opened))
 	s.mb.bytesProcessed.Add(int64(len(out) - res.appended*recordHeaderLen))
 	if s.proxySig.Load() && len(out) > 0 {
@@ -1361,6 +1480,12 @@ func (s *mbSession) runNeighborHops() {
 }
 
 func (s *mbSession) setDataPlane(dp dataPlaneHandler, err error) {
+	if dp != nil {
+		// Seed the commit gates from the plane's starting sealing
+		// sequences before any observer can see the plane (key material
+		// carries arbitrary starting sequence numbers).
+		s.initGates(dp)
+	}
 	s.dpMu.Lock()
 	if s.dp == nil && s.dpErr == nil {
 		s.dp = dp
@@ -1413,13 +1538,20 @@ func (s *mbSession) waitDataPlane() (dataPlaneHandler, error) {
 
 // processForward runs one protected record through the data plane and
 // forwards the resealed result. It is the slow-path (off-batch)
-// companion of flushBatch, used for alerts and the False-Start window;
-// the record's payload is decrypted in place and destroyed.
+// companion of flushBatch, used for alerts and the False-Start window.
+// The per-direction batch slot and reseal buffer are session-owned and
+// reused across calls — a session relaying alert-heavy traffic (or a
+// long False-Start window) must not pay a pool round-trip per record.
+// Each direction is driven by one relay goroutine, so the slots need
+// no locking; run releases the buffers at teardown.
 func (s *mbSession) processForward(dir Direction, dp dataPlaneHandler, rec tls12.RawRecord) error {
-	out := s.mb.bufs.GetRecordBuf()
-	defer s.mb.bufs.PutRecordBuf(out)
+	i := dirIndex(dir)
+	if s.fwdOut[i] == nil {
+		s.fwdOut[i] = s.mb.bufs.GetRecordBuf()
+	}
+	s.fwdSlot[i][0] = rec
 	var err error
-	batch := [1]tls12.RawRecord{rec}
-	out, err = s.flushBatch(dir, dp, batch[:], out)
+	s.fwdOut[i], err = s.flushBatch(dir, dp, s.fwdSlot[i][:], s.fwdOut[i])
+	s.fwdSlot[i][0] = tls12.RawRecord{}
 	return err
 }

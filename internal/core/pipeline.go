@@ -1,0 +1,601 @@
+// Order-preserving parallel AEAD pipeline for the middlebox relay
+// (DESIGN.md §14). Per-record open/reseal is embarrassingly parallel
+// once sequence numbers are assigned at intake: the open nonce is the
+// arrival sequence and the seal nonce the commit sequence, both
+// deterministic, so a batch's crypto can run on any worker while the
+// relay keeps reading. Three stages share the work per direction:
+//
+//	intake  (relay goroutine)  reserve sequence ranges, detach the read
+//	                           buffer, enqueue the job
+//	crypto  (RelayPool worker) open/reseal against the reservation,
+//	                           out of order, lock-free
+//	commit  (commit goroutine) release resealed output, fold proxysig
+//	                           digests, and recycle buffers in strict
+//	                           arrival order
+//
+// The commit gate tracks the committed sealing position per direction
+// so fault paths can rewind reserved-but-uncommitted sequences and
+// seal an alert that still verifies at the peer.
+package core
+
+import (
+	"context"
+	"io"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tls12"
+)
+
+const (
+	// pipelineJobRecords caps the records one pipeline job carries.
+	// Smaller than maxRelayBatch so one read-buffer drain splits into
+	// several jobs that different workers chew concurrently.
+	pipelineJobRecords = 8
+	// pipelineDepth bounds in-flight jobs per direction: the relay
+	// blocks submitting once this many are uncommitted, which bounds
+	// both memory (each job owns one read buffer and one reseal
+	// buffer) and the rewind window on faults.
+	pipelineDepth = 8
+	// latSamples sizes the reseal-latency reservoir (power of two).
+	latSamples = 4096
+)
+
+// token signals job completion through a reused one-slot channel.
+type token struct{}
+
+// relayJob is one unit of pipeline work: up to pipelineJobRecords
+// records sharing a detached read buffer, a sequence reservation, and
+// a persistent reseal buffer. Jobs are slot-recycled per direction, so
+// the steady state allocates nothing.
+type relayJob struct {
+	dir  Direction
+	dp   dataPlaneHandler
+	recs [pipelineJobRecords]tls12.RawRecord
+	n    int
+	rsv  batchReservation
+
+	// readBuf is the relay read buffer the records' payloads alias,
+	// detached from the recordReader at submit; the commit stage
+	// returns it to relayReadBufs once the output is on the wire.
+	readBuf *[]byte
+	// out is the reseal buffer, owned by the slot for its lifetime.
+	out []byte
+
+	res       batchResult
+	err       error
+	submitted time.Time
+	done      chan token // buffered(1): worker signals, committer waits
+}
+
+// RelayPool is a host-scoped crypto worker pool. Sessions submit
+// record batches; workers run the open/reseal against pre-reserved
+// sequence ranges. One pool serves every session of a host (or the
+// whole process, via SharedRelayPool), so parallelism is bounded by
+// configuration rather than by session count.
+type RelayPool struct {
+	jobs    chan *relayJob
+	workers int
+	wg      sync.WaitGroup
+	once    sync.Once
+	started time.Time
+
+	jobsDone     atomic.Int64
+	recordsDone  atomic.Int64
+	busyNanos    atomic.Int64
+	queued       atomic.Int64
+	inFlight     atomic.Int64
+	maxInFlight  atomic.Int64
+	submitStalls atomic.Int64
+	windowStalls atomic.Int64
+
+	latIdx atomic.Uint64
+	lat    [latSamples]atomic.Int64
+}
+
+// NewRelayPool starts a pool with the given worker count; workers <= 0
+// derives the count from GOMAXPROCS. Close the pool only after every
+// session that can submit to it has drained.
+func NewRelayPool(workers int) *RelayPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &RelayPool{
+		jobs:    make(chan *relayJob, 4*workers),
+		workers: workers,
+		started: time.Now(),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+var (
+	sharedRelayPoolMu sync.Mutex
+	sharedRelayPool   *RelayPool
+	sharedRelaySize   int
+)
+
+// SharedRelayPool returns the process-wide pool, created on first use
+// with GOMAXPROCS-derived workers (or the size set by
+// ConfigureSharedRelayPool). It is never closed.
+func SharedRelayPool() *RelayPool {
+	sharedRelayPoolMu.Lock()
+	defer sharedRelayPoolMu.Unlock()
+	if sharedRelayPool == nil {
+		sharedRelayPool = NewRelayPool(sharedRelaySize)
+	}
+	return sharedRelayPool
+}
+
+// ConfigureSharedRelayPool sets the worker count the shared pool is
+// created with. It has no effect once the pool exists; call it at
+// process startup (the daemons wire -relay-workers through it when no
+// host-owned pool is in play).
+func ConfigureSharedRelayPool(workers int) {
+	sharedRelayPoolMu.Lock()
+	defer sharedRelayPoolMu.Unlock()
+	if sharedRelayPool == nil {
+		sharedRelaySize = workers
+	}
+}
+
+// Close stops the workers. Submitting after Close panics; hosts close
+// their pool only after the session drain completes.
+func (p *RelayPool) Close() {
+	p.once.Do(func() {
+		close(p.jobs)
+		p.wg.Wait()
+	})
+}
+
+// Workers returns the pool's worker count.
+func (p *RelayPool) Workers() int { return p.workers }
+
+// worker runs crypto jobs until the pool closes. Each worker owns one
+// heap-resident scratch — per-call stack buffers would escape through
+// the cipher.AEAD interface and cost an allocation per record.
+func (p *RelayPool) worker() {
+	defer p.wg.Done()
+	sc := new(tls12.CryptoScratch)
+	pprof.Do(context.Background(), pprof.Labels("mbtls_stage", "pipeline-worker"), func(context.Context) {
+		for j := range p.jobs {
+			p.queued.Add(-1)
+			start := time.Now()
+			j.out, j.res, j.err = j.dp.processBatchAt(j.dir, j.recs[:j.n], j.rsv, sc, j.out[:0])
+			p.busyNanos.Add(time.Since(start).Nanoseconds())
+			p.jobsDone.Add(1)
+			p.recordsDone.Add(int64(j.n))
+			j.done <- token{}
+		}
+	})
+}
+
+// enqueue hands a job to the workers, counting a stall when every
+// worker is busy and the queue is full.
+func (p *RelayPool) enqueue(j *relayJob) {
+	p.queued.Add(1)
+	select {
+	case p.jobs <- j:
+	default:
+		p.submitStalls.Add(1)
+		p.jobs <- j
+	}
+}
+
+// noteLatency records one job's submit→commit latency in the
+// reservoir.
+func (p *RelayPool) noteLatency(d time.Duration) {
+	idx := (p.latIdx.Add(1) - 1) % latSamples
+	p.lat[idx].Store(int64(d))
+}
+
+// RelayPoolStats is a point-in-time snapshot of pool activity.
+type RelayPoolStats struct {
+	Workers          int
+	JobsProcessed    int64
+	RecordsProcessed int64
+	// Utilization is the busy fraction across all workers since the
+	// pool started (1.0 = every worker always busy).
+	Utilization float64
+	// QueueDepth is the jobs enqueued but not yet picked up;
+	// InFlight counts submitted-but-uncommitted jobs (pipeline depth)
+	// and MaxInFlight its high-water mark.
+	QueueDepth  int64
+	InFlight    int64
+	MaxInFlight int64
+	// SubmitStalls counts jobs that found every worker busy;
+	// WindowStalls counts submissions that waited for a commit to free
+	// a pipeline slot.
+	SubmitStalls int64
+	WindowStalls int64
+	// ResealP50/P99 are per-job submit→commit latency quantiles over a
+	// sliding reservoir.
+	ResealP50 time.Duration
+	ResealP99 time.Duration
+}
+
+// Stats snapshots the pool counters.
+func (p *RelayPool) Stats() RelayPoolStats {
+	s := RelayPoolStats{
+		Workers:          p.workers,
+		JobsProcessed:    p.jobsDone.Load(),
+		RecordsProcessed: p.recordsDone.Load(),
+		QueueDepth:       p.queued.Load(),
+		InFlight:         p.inFlight.Load(),
+		MaxInFlight:      p.maxInFlight.Load(),
+		SubmitStalls:     p.submitStalls.Load(),
+		WindowStalls:     p.windowStalls.Load(),
+	}
+	if elapsed := time.Since(p.started); elapsed > 0 && p.workers > 0 {
+		s.Utilization = float64(p.busyNanos.Load()) / (float64(elapsed) * float64(p.workers))
+	}
+	n := p.latIdx.Load()
+	if n > latSamples {
+		n = latSamples
+	}
+	samples := make([]int64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if v := p.lat[i].Load(); v > 0 {
+			samples = append(samples, v)
+		}
+	}
+	if len(samples) > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		s.ResealP50 = time.Duration(samples[len(samples)/2])
+		s.ResealP99 = time.Duration(samples[len(samples)*99/100])
+	}
+	return s
+}
+
+// commitGate is one direction's seal-position bookkeeping. sealSeq is
+// the committed sealing sequence (everything below it is on the wire),
+// reserved the reservation high-water; they differ only while
+// pipelined jobs are in flight. err poisons the direction: data
+// commits drop their output (the session is dying and an alert may
+// already hold the next sequence number). The mutex is held only for
+// bookkeeping plus alert sealing, never across a conn write.
+type commitGate struct {
+	flushMu   sync.Mutex
+	inited    bool
+	sealSeq   uint64
+	reserved  uint64
+	err       error
+	alertSent bool
+}
+
+// dirPipeline is one relay direction's pipeline state, owned by the
+// relay goroutine except where noted. Slot recycling between the relay
+// and the commit goroutine rides two channels: submitCh carries jobs
+// in ticket (arrival) order, freeCh returns committed slots.
+type dirPipeline struct {
+	s    *mbSession
+	dir  Direction
+	pool *RelayPool
+	gate *commitGate
+
+	// serialOnly latches after reserveBatch declines (a Processor is
+	// installed): stateful processors need ordered input, so every
+	// batch takes the serial path.
+	serialOnly bool
+
+	free  []*relayJob
+	total int
+
+	submitCh      chan *relayJob
+	freeCh        chan *relayJob
+	committerUp   bool
+	committerDone chan struct{}
+}
+
+func newDirPipeline(s *mbSession, dir Direction, pool *RelayPool) *dirPipeline {
+	return &dirPipeline{
+		s:             s,
+		dir:           dir,
+		pool:          pool,
+		gate:          s.gate(dir),
+		submitCh:      make(chan *relayJob, pipelineDepth),
+		freeCh:        make(chan *relayJob, pipelineDepth),
+		committerDone: make(chan struct{}),
+	}
+}
+
+// slot returns a job slot to submit into: a recycled one when
+// available, a fresh one while ramping up to pipelineDepth, else it
+// blocks until the commit stage frees one (the pipeline's
+// backpressure).
+func (pl *dirPipeline) slot() *relayJob {
+	for {
+		select {
+		case j := <-pl.freeCh:
+			pl.free = append(pl.free, j)
+			continue
+		default:
+		}
+		break
+	}
+	if n := len(pl.free); n > 0 {
+		j := pl.free[n-1]
+		pl.free = pl.free[:n-1]
+		return j
+	}
+	if pl.total < pipelineDepth {
+		pl.total++
+		return &relayJob{out: pl.s.mb.bufs.GetRecordBuf(), done: make(chan token, 1)}
+	}
+	pl.pool.windowStalls.Add(1)
+	return <-pl.freeCh
+}
+
+// submit reserves the batch's sequence ranges and hands it to the
+// worker pool, detaching the reader's buffer so the records stay valid
+// while the relay reads ahead. Returns submitted=false (and reserves
+// nothing) when the data plane declines out-of-order processing.
+// Relay-goroutine only: reservation order is commit order.
+func (pl *dirPipeline) submit(dp dataPlaneHandler, rr *recordReader, batch []tls12.RawRecord) (bool, error) {
+	if err := pl.takeErr(); err != nil {
+		return false, err
+	}
+	j := pl.slot()
+	rsv, ok := dp.reserveBatch(pl.dir, batch)
+	if !ok {
+		pl.free = append(pl.free, j)
+		return false, nil
+	}
+	g := pl.gate
+	g.flushMu.Lock()
+	g.reserved = rsv.sealStart + uint64(rsv.outCount)
+	g.flushMu.Unlock()
+	j.dir, j.dp, j.rsv = pl.dir, dp, rsv
+	j.n = copy(j.recs[:], batch)
+	j.readBuf = rr.detach()
+	j.submitted = time.Now()
+	if !pl.committerUp {
+		pl.committerUp = true
+		go pl.commitLoop()
+	}
+	d := pl.pool.inFlight.Add(1)
+	for {
+		m := pl.pool.maxInFlight.Load()
+		if d <= m || pl.pool.maxInFlight.CompareAndSwap(m, d) {
+			break
+		}
+	}
+	pl.submitCh <- j
+	pl.pool.enqueue(j)
+	return true, nil
+}
+
+// flush blocks until every submitted job has committed, then reports
+// the direction's poison error if any. The relay calls it before any
+// serial write to its direction, so slow-path output never overtakes
+// pipelined output.
+func (pl *dirPipeline) flush() error {
+	for pl.total-len(pl.free) > 0 {
+		pl.free = append(pl.free, <-pl.freeCh)
+	}
+	return pl.takeErr()
+}
+
+// takeErr reads the direction's poison error.
+func (pl *dirPipeline) takeErr() error {
+	g := pl.gate
+	g.flushMu.Lock()
+	err := g.err
+	g.flushMu.Unlock()
+	return err
+}
+
+// commitLoop is the per-direction commit goroutine: it waits for each
+// job in ticket order, releases its output, and recycles the slot. It
+// exits when the relay closes submitCh at teardown.
+func (pl *dirPipeline) commitLoop() {
+	pprof.Do(context.Background(), pprof.Labels(
+		"mbtls_session", strconv.FormatUint(pl.s.id, 10),
+		"mbtls_dir", pl.dir.String(),
+		"mbtls_stage", "commit",
+	), func(context.Context) {
+		for j := range pl.submitCh {
+			<-j.done
+			pl.commit(j)
+			pl.freeCh <- j
+		}
+	})
+	close(pl.committerDone)
+}
+
+// commit releases one job's resealed output in arrival order: update
+// the committed seal position, fold the proxysig digest, write the
+// wire bytes, and recycle the read buffer. A failed job flushes its
+// partial output (those records consumed sealing sequence numbers),
+// rewinds the reserved-but-unsealed range, poisons the direction, and
+// tears the session down the same way the serial path would.
+func (pl *dirPipeline) commit(j *relayJob) {
+	s, dir, g := pl.s, pl.dir, pl.gate
+	defer func() {
+		if j.readBuf != nil {
+			relayReadBufs.Put(j.readBuf)
+			j.readBuf = nil
+		}
+		pl.pool.inFlight.Add(-1)
+	}()
+	pl.pool.noteLatency(time.Since(j.submitted))
+
+	g.flushMu.Lock()
+	if g.err != nil {
+		// Poisoned (a fault alert may already hold the next sequence
+		// number): drop the output, recycle the buffers.
+		g.flushMu.Unlock()
+		return
+	}
+	committed := j.rsv.sealStart + uint64(j.res.appended)
+	g.sealSeq = committed
+	if j.err != nil {
+		// Rewind under the gate so a racing alert seals contiguously
+		// after the records this batch did commit.
+		j.dp.resetSealSeq(dir, committed)
+		g.reserved = committed
+		g.err = j.err
+		s.faultHandled.Store(true)
+	}
+	g.flushMu.Unlock()
+
+	out := j.out
+	s.mb.recordsRekeyed.Add(int64(j.res.opened))
+	s.mb.bytesProcessed.Add(int64(len(out) - j.res.appended*recordHeaderLen))
+	if s.proxySig.Load() && len(out) > 0 {
+		s.noteResealed(dir, out, j.res.appended)
+	}
+	var werr error
+	if len(out) > 0 {
+		conn, mu := s.outbound(dir)
+		werr = s.writeWire(conn, mu, out)
+	}
+	if j.err != nil {
+		pl.failSession(j.err)
+		return
+	}
+	if werr != nil {
+		g.flushMu.Lock()
+		fresh := g.err == nil
+		if fresh {
+			g.err = werr
+			s.faultHandled.Store(true)
+		}
+		g.flushMu.Unlock()
+		if fresh {
+			pl.failSession(werr)
+		}
+	}
+}
+
+// failSession runs the session-fatal sequence for an error detected at
+// commit time — the relay goroutine may be blocked reading a healthy
+// transport, so the committer must classify, propagate, and close
+// itself (run dedups via faultHandled).
+func (pl *dirPipeline) failSession(err error) {
+	if cls := ClassifyError(err); cls.isFault() {
+		pl.s.mb.faultsObserved.Add(1)
+		pl.s.propagateFault(alertForClass(cls))
+	}
+	pl.s.closeAll()
+}
+
+// shutdown ends the pipeline at relay exit. It must not block on the
+// committer: a commit write can be wedged in a dead transport until
+// run's closeAll, which only happens after the relay reports its
+// error. Slot buffers are reclaimed by a reaper the session's teardown
+// waits for (run blocks on s.bg after closeAll).
+func (pl *dirPipeline) shutdown() {
+	if !pl.committerUp {
+		pl.reclaim()
+		return
+	}
+	close(pl.submitCh)
+	pl.s.bg.Add(1)
+	go func() {
+		defer pl.s.bg.Done()
+		<-pl.committerDone
+		for pl.total-len(pl.free) > 0 {
+			pl.free = append(pl.free, <-pl.freeCh)
+		}
+		pl.reclaim()
+	}()
+}
+
+// reclaim returns every idle slot's buffers to their pools.
+func (pl *dirPipeline) reclaim() {
+	for _, j := range pl.free {
+		if j.readBuf != nil {
+			relayReadBufs.Put(j.readBuf)
+			j.readBuf = nil
+		}
+		if j.out != nil {
+			pl.s.mb.bufs.PutRecordBuf(j.out)
+			j.out = nil
+		}
+	}
+	pl.free = pl.free[:0]
+}
+
+// dirIndex maps a Direction to a dense array index.
+func dirIndex(dir Direction) int {
+	if dir == DirServerToClient {
+		return 1
+	}
+	return 0
+}
+
+// gate returns a direction's commit gate.
+func (s *mbSession) gate(dir Direction) *commitGate {
+	return &s.gates[dirIndex(dir)]
+}
+
+// initGates seeds both gates' seal positions from the freshly
+// installed data plane (key material carries arbitrary starting
+// sequence numbers). Runs before the plane is published, so every
+// observer of dp sees initialized gates.
+func (s *mbSession) initGates(dp dataPlaneHandler) {
+	for _, dir := range []Direction{DirClientToServer, DirServerToClient} {
+		g := s.gate(dir)
+		g.flushMu.Lock()
+		if !g.inited {
+			g.sealSeq = dp.sealSeq(dir)
+			g.reserved = g.sealSeq
+			g.inited = true
+		}
+		g.flushMu.Unlock()
+	}
+}
+
+// sealAlertOrdered seals an alert at the committed sealing position,
+// rewinding any reserved-but-uncommitted range first so the alert
+// verifies at the peer, and poisons the direction so later data
+// commits drop their (now out-of-sequence) output. It replaces the
+// direct appendAlert calls on the fault and force-close paths.
+func (s *mbSession) sealAlertOrdered(dp dataPlaneHandler, dir Direction, level tls12.AlertLevel, desc tls12.AlertDescription, buf []byte) error {
+	g := s.gate(dir)
+	g.flushMu.Lock()
+	if g.alertSent {
+		g.flushMu.Unlock()
+		return nil
+	}
+	if g.inited && g.reserved != g.sealSeq {
+		dp.resetSealSeq(dir, g.sealSeq)
+		g.reserved = g.sealSeq
+	}
+	wire, err := dp.appendAlert(dir, level, desc, buf)
+	if err != nil {
+		g.flushMu.Unlock()
+		return err
+	}
+	g.sealSeq++
+	g.reserved++
+	g.alertSent = true
+	if g.err == nil {
+		g.err = io.ErrClosedPipe
+	}
+	g.flushMu.Unlock()
+	conn, mu := s.outbound(dir)
+	return s.writeWire(conn, mu, wire)
+}
+
+// relay wraps the relay loop in pprof labels so -cpuprofile output
+// attributes data-plane work per session, direction, and stage.
+func (s *mbSession) relay(dir Direction) (err error) {
+	pprof.Do(context.Background(), pprof.Labels(
+		"mbtls_session", strconv.FormatUint(s.id, 10),
+		"mbtls_dir", dir.String(),
+		"mbtls_stage", "relay",
+	), func(context.Context) {
+		err = s.relayLoop(dir)
+	})
+	return err
+}

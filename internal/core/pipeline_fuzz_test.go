@@ -1,0 +1,241 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/tls12"
+)
+
+// FuzzParallelReseal is the differential oracle for the parallel AEAD
+// pipeline (DESIGN.md §14): for an arbitrary record sequence — sizes,
+// batch boundaries, alert records, and mid-stream corruption all fuzzer
+// chosen — the pipelined path (reserveBatch at intake, processBatchAt
+// on concurrent workers, commit in arrival order) must produce the
+// byte-identical output stream and the identical terminal error as the
+// serial handleBatch path. Both planes run the same key material, so
+// "identical" really is byte-for-byte, not just structural.
+
+// fuzzRecSpec is one record decoded from fuzz input.
+type fuzzRecSpec struct {
+	size     int  // plaintext bytes
+	alert    bool // seal as a warning alert instead of application data
+	corrupt  bool // flip one ciphertext byte after sealing
+	endBatch bool // batch boundary after this record
+}
+
+const (
+	fuzzMaxRecords = 48
+	fuzzMaxSize    = 2000
+)
+
+// decodeRecSpecs turns fuzz bytes into record specs: three bytes per
+// record (size lo, size hi, flags).
+func decodeRecSpecs(data []byte) []fuzzRecSpec {
+	var specs []fuzzRecSpec
+	for len(data) >= 3 && len(specs) < fuzzMaxRecords {
+		size := (int(data[0]) | int(data[1])<<8) % (fuzzMaxSize + 1)
+		flags := data[2]
+		specs = append(specs, fuzzRecSpec{
+			size:     size,
+			alert:    flags&1 != 0,
+			corrupt:  flags&2 != 0,
+			endBatch: flags&4 != 0,
+		})
+		data = data[3:]
+	}
+	return specs
+}
+
+// fuzzKit builds two data planes over the same key material plus the
+// source cipher state that seals inbound records for the chosen
+// direction.
+func fuzzKit(t *testing.T, dir Direction) (serial, parallel *dataPlane, src *tls12.CipherState) {
+	t.Helper()
+	hopA, err := GenerateHopKeys(testSuite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hopB, err := GenerateHopKeys(testSuite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km := &KeyMaterial{Version: tls12.VersionTLS12, Down: *hopA, Up: *hopB}
+	if serial, err = newDataPlane(km, nil); err != nil {
+		t.Fatal(err)
+	}
+	if parallel, err = newDataPlane(km, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The plane opens C2S with the downstream hop key and S2C with the
+	// upstream one, so the source seals under whichever key the chosen
+	// direction opens.
+	key, iv := hopA.C2SKey, hopA.C2SIV
+	if dir == DirServerToClient {
+		key, iv = hopB.S2CKey, hopB.S2CIV
+	}
+	if src, err = tls12.NewCipherState(testSuite, key, iv, 0); err != nil {
+		t.Fatal(err)
+	}
+	return serial, parallel, src
+}
+
+func FuzzParallelReseal(f *testing.F) {
+	enc := func(specs ...fuzzRecSpec) []byte {
+		var b []byte
+		for _, s := range specs {
+			var flags byte
+			if s.alert {
+				flags |= 1
+			}
+			if s.corrupt {
+				flags |= 2
+			}
+			if s.endBatch {
+				flags |= 4
+			}
+			b = append(b, byte(s.size), byte(s.size>>8), flags)
+		}
+		return b
+	}
+	// Clean multi-batch stream.
+	f.Add(byte(0), enc(fuzzRecSpec{size: 100}, fuzzRecSpec{size: 1500, endBatch: true},
+		fuzzRecSpec{size: 0}, fuzzRecSpec{size: 700}))
+	// Corruption mid-batch: partial output plus a MAC error.
+	f.Add(byte(0), enc(fuzzRecSpec{size: 64}, fuzzRecSpec{size: 64, corrupt: true},
+		fuzzRecSpec{size: 64}))
+	// Corruption in a later batch: earlier batches must still commit.
+	f.Add(byte(1), enc(fuzzRecSpec{size: 900, endBatch: true}, fuzzRecSpec{size: 32},
+		fuzzRecSpec{size: 800, corrupt: true, endBatch: true}, fuzzRecSpec{size: 5}))
+	// Alerts interleaved with data, both directions.
+	f.Add(byte(1), enc(fuzzRecSpec{size: 2, alert: true}, fuzzRecSpec{size: 1200, endBatch: true},
+		fuzzRecSpec{size: 2, alert: true, corrupt: true}))
+
+	f.Fuzz(func(t *testing.T, dirByte byte, data []byte) {
+		specs := decodeRecSpecs(data)
+		if len(specs) == 0 {
+			t.Skip()
+		}
+		dir := DirClientToServer
+		if dirByte&1 != 0 {
+			dir = DirServerToClient
+		}
+		serialDP, parDP, src := fuzzKit(t, dir)
+
+		// Seal the stream once; both paths get independent copies because
+		// opening destroys payloads in place.
+		var serialBatches, parBatches [][]tls12.RawRecord
+		var curSerial, curPar []tls12.RawRecord
+		for _, spec := range specs {
+			typ := tls12.TypeApplicationData
+			plain := bytes.Repeat([]byte{0x5A}, spec.size)
+			if spec.alert {
+				typ = tls12.TypeAlert
+				plain = []byte{byte(tls12.AlertLevelWarning), 0}
+			}
+			sealed := src.Seal(typ, plain)
+			if spec.corrupt && len(sealed) > 0 {
+				sealed[len(sealed)/2] ^= 0x80
+			}
+			curSerial = append(curSerial, tls12.RawRecord{Type: typ, Payload: append([]byte(nil), sealed...)})
+			curPar = append(curPar, tls12.RawRecord{Type: typ, Payload: sealed})
+			if spec.endBatch || len(curSerial) == pipelineJobRecords {
+				serialBatches = append(serialBatches, curSerial)
+				parBatches = append(parBatches, curPar)
+				curSerial, curPar = nil, nil
+			}
+		}
+		if len(curSerial) > 0 {
+			serialBatches = append(serialBatches, curSerial)
+			parBatches = append(parBatches, curPar)
+		}
+
+		// Serial reference: the relay stops at the first failed batch,
+		// flushing the partial output that consumed sealing sequences.
+		var serialOut []byte
+		var serialRes batchResult
+		var serialErr error
+		for _, b := range serialBatches {
+			var res batchResult
+			serialOut, res, serialErr = serialDP.handleBatch(dir, b, serialOut)
+			serialRes.appended += res.appended
+			serialRes.opened += res.opened
+			if serialErr != nil {
+				break
+			}
+		}
+
+		// Parallel path: reserve every batch in intake order (the relay
+		// reads ahead of the crypto), run the crypto concurrently, commit
+		// in arrival order with the gate's semantics — a failed batch
+		// flushes its partial output, rewinds the seal position, and
+		// poisons the direction so later batches drop.
+		type jobResult struct {
+			out []byte
+			res batchResult
+			err error
+		}
+		reservations := make([]batchReservation, len(parBatches))
+		for i, b := range parBatches {
+			rsv, ok := parDP.reserveBatch(dir, b)
+			if !ok {
+				t.Fatal("reserveBatch declined a processor-free batch")
+			}
+			reservations[i] = rsv
+		}
+		results := make([]jobResult, len(parBatches))
+		var wg sync.WaitGroup
+		for i := range parBatches {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sc := new(tls12.CryptoScratch)
+				r := &results[i]
+				r.out, r.res, r.err = parDP.processBatchAt(dir, parBatches[i], reservations[i], sc, nil)
+			}(i)
+		}
+		wg.Wait()
+		var parOut []byte
+		var parRes batchResult
+		var parErr error
+		for i := range results {
+			if parErr != nil {
+				break // poisoned direction: commit drops the output
+			}
+			r := &results[i]
+			parOut = append(parOut, r.out...)
+			parRes.appended += r.res.appended
+			parRes.opened += r.res.opened
+			if r.err != nil {
+				parErr = r.err
+				parDP.resetSealSeq(dir, reservations[i].sealStart+uint64(r.res.appended))
+			}
+		}
+
+		if !bytes.Equal(serialOut, parOut) {
+			t.Fatalf("output streams diverge: serial %d bytes, parallel %d bytes", len(serialOut), len(parOut))
+		}
+		if serialRes != parRes {
+			t.Fatalf("accounting diverges: serial %+v, parallel %+v", serialRes, parRes)
+		}
+		switch {
+		case (serialErr == nil) != (parErr == nil):
+			t.Fatalf("terminal outcome diverges: serial err %v, parallel err %v", serialErr, parErr)
+		case serialErr != nil:
+			if ClassifyError(serialErr) != ClassifyError(parErr) {
+				t.Fatalf("error classes diverge: serial %s (%v), parallel %s (%v)",
+					ClassifyError(serialErr), serialErr, ClassifyError(parErr), parErr)
+			}
+			if serialErr.Error() != parErr.Error() {
+				t.Fatalf("error text diverges: %q vs %q", serialErr, parErr)
+			}
+		default:
+			// Clean run: after the fact, both planes' sealing positions
+			// must agree (the pipeline's rewind bookkeeping never ran).
+			if s, p := serialDP.sealSeq(dir), parDP.sealSeq(dir); s != p {
+				t.Fatalf("seal positions diverge: serial %d, parallel %d", s, p)
+			}
+		}
+	})
+}

@@ -62,6 +62,27 @@ func (rr *recordReader) release() {
 	rr.r, rr.w = 0, 0
 }
 
+// detach hands the current buffer to the caller and replaces it with a
+// fresh one, copying any unparsed leftover bytes across. The pipeline
+// uses it at submit: the records of the batch keep aliasing the old
+// buffer, which the returned pool token now owns — the commit stage
+// returns it to relayReadBufs once the batch's output is on the wire —
+// while the reader continues parsing from the fresh buffer.
+//
+// Callers must not detach while any already-returned record that is
+// NOT part of the detached batch is still live: a tail record parsed
+// after the batch also aliases the old buffer, so a batch ended by a
+// tail must take the serial (no-detach) path instead.
+func (rr *recordReader) detach() *[]byte {
+	old := rr.bp
+	bp := relayReadBufs.Get().(*[]byte)
+	n := copy(*bp, rr.buf[rr.r:rr.w])
+	rr.buf = *bp
+	rr.bp = bp
+	rr.r, rr.w = 0, n
+	return old
+}
+
 // peekHeader parses the header at the current position without
 // consuming it. ok is false when fewer than a full record's bytes are
 // buffered.

@@ -17,11 +17,29 @@ import (
 // Fig7BufferSizes are the paper's x-axis chunk sizes.
 var Fig7BufferSizes = []int{512, 1024, 2048, 4096, 8192, 12288}
 
+// Fig7WorkersAxis is the relay-pipeline workers sweep: the serial
+// baseline (Fig7SerialWorkers) then 1/2/4/8 crypto workers.
+var Fig7WorkersAxis = []int{Fig7SerialWorkers, 1, 2, 4, 8}
+
+// Fig7WorkersBufSizes are the chunk sizes the workers sweep runs at;
+// 16 KiB (a full TLS record per chunk) is where crypto dominates and
+// parallel scaling is most visible.
+var Fig7WorkersBufSizes = []int{4096, 16384}
+
+// Fig7SerialWorkers marks a workers-sweep cell running the pre-pipeline
+// serial relay (the single-core baseline the 1-worker cell is measured
+// against).
+const Fig7SerialWorkers = -1
+
 // Fig7Cell is one configuration × buffer-size measurement.
 type Fig7Cell struct {
 	Encryption bool `json:"encryption"`
 	Enclave    bool `json:"enclave"`
 	BufSize    int  `json:"buf_size"`
+	// Workers distinguishes relay-pipeline sweep cells: 0 is a classic
+	// matrix cell (default pipeline), Fig7SerialWorkers (-1) the serial
+	// baseline, and N>0 a dedicated N-worker pool.
+	Workers int `json:"workers,omitempty"`
 	// Gbps is the delivered application throughput through the
 	// middlebox.
 	Gbps float64 `json:"gbps"`
@@ -32,6 +50,12 @@ type Fig7Cell struct {
 	// record on the isolated middlebox stage (see WriteFig7JSON); the
 	// zero-allocation pipeline targets 0.
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// ResealP50Micros/ResealP99Micros are per-job submit→commit reseal
+	// latency quantiles in microseconds, present on workers-sweep cells
+	// with a dedicated pool (the throughput-vs-latency tradeoff of
+	// deeper pipelines).
+	ResealP50Micros float64 `json:"reseal_p50_us,omitempty"`
+	ResealP99Micros float64 `json:"reseal_p99_us,omitempty"`
 }
 
 // Fig7Options tunes the run.
@@ -50,6 +74,13 @@ type Fig7Options struct {
 	// TransportNetsim (default, in-memory pipes) or TransportTCP
 	// (loopback kernel sockets).
 	Transport string
+	// WorkersAxis overrides the relay-pipeline workers sweep
+	// (Fig7WorkersAxis); an explicit empty non-nil slice skips the
+	// sweep.
+	WorkersAxis []int
+	// Quick shrinks the run to a smoke test (the CI gate): one buffer
+	// size, a short window, and a two-point workers sweep.
+	Quick bool
 }
 
 // RunFig7 reproduces Figure 7 ("SGX (Non-)Overhead"): middlebox
@@ -75,6 +106,23 @@ func RunFig7(opts Fig7Options) ([]Fig7Cell, error) {
 	bufSizes := opts.BufSizes
 	if len(bufSizes) == 0 {
 		bufSizes = Fig7BufferSizes
+	}
+	workersAxis := opts.WorkersAxis
+	if workersAxis == nil {
+		workersAxis = Fig7WorkersAxis
+	}
+	workersBufs := Fig7WorkersBufSizes
+	if opts.Quick {
+		if opts.Window <= 0 {
+			window = 50 * time.Millisecond
+		}
+		if len(opts.BufSizes) == 0 {
+			bufSizes = []int{4096}
+		}
+		if opts.WorkersAxis == nil {
+			workersAxis = []int{Fig7SerialWorkers, 2}
+		}
+		workersBufs = []int{4096}
 	}
 
 	ca, err := certs.NewCA("fig7 root")
@@ -109,12 +157,27 @@ func RunFig7(opts Fig7Options) ([]Fig7Cell, error) {
 	for _, encryption := range []bool{false, true} {
 		for _, useEnclave := range []bool{false, true} {
 			for _, bufSize := range bufSizes {
-				cell, err := fig7Cell(ca, serverCert, mbCert, platform, fab, encryption, useEnclave, bufSize, streams, window)
+				cell, err := fig7Cell(ca, serverCert, mbCert, platform, fab, encryption, useEnclave, bufSize, 0, streams, window)
 				if err != nil {
 					return nil, fmt.Errorf("fig7 enc=%v sgx=%v buf=%d: %w", encryption, useEnclave, bufSize, err)
 				}
 				cells = append(cells, cell)
 			}
+		}
+	}
+	// Relay-pipeline workers sweep: encrypted, no enclave (the crypto
+	// scaling axis — the enclave rows would measure boundary crossings,
+	// which the classic matrix already covers). One stream, because the
+	// question the sweep answers is single-session scaling: the serial
+	// relay caps one bulk session at one core per direction no matter
+	// the host's core count, and the pipeline is what lifts that cap.
+	for _, workers := range workersAxis {
+		for _, bufSize := range workersBufs {
+			cell, err := fig7Cell(ca, serverCert, mbCert, platform, fab, true, false, bufSize, workers, 1, window)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 workers=%d buf=%d: %w", workers, bufSize, err)
+			}
+			cells = append(cells, cell)
 		}
 	}
 	return cells, nil
@@ -124,11 +187,22 @@ func RunFig7(opts Fig7Options) ([]Fig7Cell, error) {
 // fixed-size chunks through one middlebox to a sink server for the
 // window duration.
 func fig7Cell(ca *certs.CA, serverCert, mbCert *tls12.Certificate, platform *enclave.Platform,
-	fab *connFab, encryption, useEnclave bool, bufSize, streams int, window time.Duration) (Fig7Cell, error) {
+	fab *connFab, encryption, useEnclave bool, bufSize, workers, streams int, window time.Duration) (Fig7Cell, error) {
 
-	cell := Fig7Cell{Encryption: encryption, Enclave: useEnclave, BufSize: bufSize}
+	cell := Fig7Cell{Encryption: encryption, Enclave: useEnclave, BufSize: bufSize, Workers: workers}
 
 	mbCfg := core.MiddleboxConfig{Mode: core.ClientSide, Certificate: mbCert}
+	// Workers-sweep cells pin the relay pipeline: the serial marker
+	// disables it, a positive count gets a dedicated pool so the cell's
+	// utilization and latency are not mixed with other cells'.
+	var cellPool *core.RelayPool
+	switch {
+	case workers == Fig7SerialWorkers:
+		mbCfg.SerialRelay = true
+	case workers > 0:
+		cellPool = core.NewRelayPool(workers)
+		mbCfg.RelayPool = cellPool
+	}
 	var encl *enclave.Enclave
 	if useEnclave {
 		encl = platform.CreateEnclave(enclave.CodeImage{Name: "fig7-mbox", Version: "1.0"})
@@ -143,6 +217,9 @@ func fig7Cell(ca *certs.CA, serverCert, mbCert *tls12.Certificate, platform *enc
 	var deliveredMu sync.Mutex
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
+	// handleWG tracks the middlebox session goroutines so a dedicated
+	// cell pool is only closed after every session drained.
+	var handleWG sync.WaitGroup
 
 	// Establish all sessions before opening the measurement window.
 	type endpoints struct {
@@ -162,7 +239,11 @@ func fig7Cell(ca *certs.CA, serverCert, mbCert *tls12.Certificate, platform *enc
 			c0b.Close()
 			return cell, fmt.Errorf("stream %d server hop: %w", s, err)
 		}
-		go mb.Handle(c0b, c1a) //nolint:errcheck
+		handleWG.Add(1)
+		go func() {
+			defer handleWG.Done()
+			mb.Handle(c0b, c1a) //nolint:errcheck
+		}()
 		if !encryption {
 			eps[s] = endpoints{w: c0a, r: c1b, c: func() { c0a.Close(); c1b.Close() }}
 			continue
@@ -257,15 +338,24 @@ func fig7Cell(ca *certs.CA, serverCert, mbCert *tls12.Certificate, platform *enc
 	elapsed := time.Since(start)
 	// A stream dying mid-window invalidates the measurement; report it
 	// before teardown floods the error channel with shutdown noise.
-	select {
-	case err := <-errs:
+	teardown := func() {
 		close(stop)
 		wg.Wait()
+		handleWG.Wait()
+		if cellPool != nil {
+			st := cellPool.Stats()
+			cell.ResealP50Micros = float64(st.ResealP50) / 1e3
+			cell.ResealP99Micros = float64(st.ResealP99) / 1e3
+			cellPool.Close()
+		}
+	}
+	select {
+	case err := <-errs:
+		teardown()
 		return cell, fmt.Errorf("stream failed during measurement: %w", err)
 	default:
 	}
-	close(stop)
-	wg.Wait()
+	teardown()
 
 	cell.Gbps = float64(bytes) * 8 / elapsed.Seconds() / 1e9
 	if encl != nil {
@@ -318,14 +408,23 @@ func WriteFig7JSON(path string, cells []Fig7Cell) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// FormatFig7 renders the cells as the paper's Figure 7 series.
+// FormatFig7 renders the cells as the paper's Figure 7 series, followed
+// by the relay-pipeline workers sweep when present.
 func FormatFig7(cells []Fig7Cell) string {
+	var classic, sweep []Fig7Cell
+	for _, c := range cells {
+		if c.Workers == 0 {
+			classic = append(classic, c)
+		} else {
+			sweep = append(sweep, c)
+		}
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 7: SGX (Non-)Overhead — middlebox throughput (Gbps)\n")
 	fmt.Fprintf(&b, "%-32s", "Configuration \\ Buffer")
 	sizes := []int{}
 	seen := map[int]bool{}
-	for _, c := range cells {
+	for _, c := range classic {
 		if !seen[c.BufSize] {
 			seen[c.BufSize] = true
 			sizes = append(sizes, c.BufSize)
@@ -339,13 +438,31 @@ func FormatFig7(cells []Fig7Cell) string {
 				map[bool]string{false: " + No Enclave", true: " + Enclave"}[sgx]
 			fmt.Fprintf(&b, "%-32s", label)
 			for _, size := range sizes {
-				for _, c := range cells {
+				for _, c := range classic {
 					if c.Encryption == enc && c.Enclave == sgx && c.BufSize == size {
 						fmt.Fprintf(&b, " | %8.2f", c.Gbps)
 					}
 				}
 			}
 			fmt.Fprintf(&b, "\n")
+		}
+	}
+	if len(sweep) > 0 {
+		fmt.Fprintf(&b, "\nParallel relay pipeline — workers sweep (encrypted, no enclave)\n")
+		fmt.Fprintf(&b, "%-10s | %8s | %8s | %12s | %12s\n", "Workers", "Buffer", "Gbps", "reseal p50", "reseal p99")
+		fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 62))
+		for _, c := range sweep {
+			label := fmt.Sprintf("%d", c.Workers)
+			if c.Workers == Fig7SerialWorkers {
+				label = "serial"
+			}
+			lat50, lat99 := "-", "-"
+			if c.ResealP50Micros > 0 {
+				lat50 = fmt.Sprintf("%.1fµs", c.ResealP50Micros)
+				lat99 = fmt.Sprintf("%.1fµs", c.ResealP99Micros)
+			}
+			fmt.Fprintf(&b, "%-10s | %8s | %8.2f | %12s | %12s\n",
+				label, byteSize(c.BufSize), c.Gbps, lat50, lat99)
 		}
 	}
 	return b.String()

@@ -1,0 +1,18 @@
+package sessionhost_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestMain warms the shared relay pool before any test snapshots a
+// goroutine baseline: the pool's workers are process-lifetime by
+// design, so the count-based goleak accounting must see them in its
+// Base() rather than charge them to whichever test first relays
+// application data.
+func TestMain(m *testing.M) {
+	core.SharedRelayPool()
+	os.Exit(m.Run())
+}

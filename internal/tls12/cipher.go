@@ -48,6 +48,12 @@ type CipherState struct {
 	aead cipher.AEAD
 	seq  uint64
 
+	// salt is the 4-byte implicit nonce part, fixed at construction and
+	// never written afterwards. The explicit-sequence variants
+	// (OpenInPlaceAt, SealAppendAt) read it concurrently, so it must stay
+	// immutable; the serial path keeps its own copy in nonceBuf.
+	salt [gcmImplicitNonceLen]byte
+
 	// nonceBuf holds the assembled 12-byte GCM nonce: the implicit salt
 	// (fixed at construction) followed by the per-record explicit part.
 	nonceBuf [gcmImplicitNonceLen + gcmExplicitNonceLen]byte
@@ -79,6 +85,7 @@ func NewCipherState(suiteID uint16, key, iv []byte, seq uint64) (*CipherState, e
 		return nil, err
 	}
 	cs := &CipherState{aead: aead, seq: seq}
+	copy(cs.salt[:], iv)
 	copy(cs.nonceBuf[:gcmImplicitNonceLen], iv)
 	return cs, nil
 }
@@ -158,3 +165,79 @@ func (cs *CipherState) Open(typ ContentType, payload []byte) ([]byte, error) {
 
 // Overhead returns the number of bytes Seal adds to a plaintext.
 func (cs *CipherState) Overhead() int { return sealOverhead }
+
+// ReserveSeq atomically-with-respect-to-its-caller claims the next n
+// sequence numbers and returns the first. It must be called from the
+// single goroutine that owns the serial path (the relay's intake
+// stage); after reservation the claimed range may be consumed
+// concurrently via the At variants. Interleaving serial Seal/Open calls
+// with outstanding reservations would double-spend sequence numbers, so
+// callers must not mix the two for the same range.
+func (cs *CipherState) ReserveSeq(n uint64) uint64 {
+	seq := cs.seq
+	cs.seq += n
+	return seq
+}
+
+// SetSeq rewinds (or advances) the next sequence number. It exists for
+// the fault path: when a reserved range is abandoned mid-batch, the
+// owner rewinds to the last committed sequence so a subsequently sealed
+// alert verifies at the peer. Like ReserveSeq it must be called from
+// the goroutine that owns the serial path, with no reservations in
+// flight past the new value.
+func (cs *CipherState) SetSeq(seq uint64) { cs.seq = seq }
+
+// CryptoScratch holds the per-call scratch buffers the explicit-sequence
+// variants use instead of the CipherState's own (serial-only) scratch.
+// Each pipeline worker owns one heap-resident scratch: arrays declared
+// on the stack would escape through the cipher.AEAD interface call and
+// cost an allocation per record.
+type CryptoScratch struct {
+	nonceBuf [gcmImplicitNonceLen + gcmExplicitNonceLen]byte
+	adBuf    [13]byte
+}
+
+// additionalDataAt is additionalData against caller-owned scratch.
+func additionalDataAt(sc *CryptoScratch, seq uint64, typ ContentType, plaintextLen int) []byte {
+	binary.BigEndian.PutUint64(sc.adBuf[:8], seq)
+	sc.adBuf[8] = byte(typ)
+	binary.BigEndian.PutUint16(sc.adBuf[9:11], VersionTLS12)
+	binary.BigEndian.PutUint16(sc.adBuf[11:13], uint16(plaintextLen))
+	return sc.adBuf[:]
+}
+
+// SealAppendAt is SealAppend at an explicit sequence number, using
+// caller-owned scratch and leaving the CipherState's own sequence and
+// scratch untouched. It reads only the AEAD and the immutable salt, so
+// any number of SealAppendAt/OpenInPlaceAt calls (with distinct scratch)
+// may run concurrently with each other and with the serial path —
+// provided the serial path is not sealing the same direction, which the
+// relay's reservation discipline guarantees. Output is byte-identical
+// to SealAppend at the same sequence number.
+func (cs *CipherState) SealAppendAt(sc *CryptoScratch, dst []byte, seq uint64, typ ContentType, plaintext []byte) []byte {
+	copy(sc.nonceBuf[:gcmImplicitNonceLen], cs.salt[:])
+	binary.BigEndian.PutUint64(sc.nonceBuf[gcmImplicitNonceLen:], seq)
+	dst = append(dst, sc.nonceBuf[gcmImplicitNonceLen:]...)
+	return cs.aead.Seal(dst, sc.nonceBuf[:], plaintext, additionalDataAt(sc, seq, typ, len(plaintext)))
+}
+
+// OpenInPlaceAt is OpenInPlace at an explicit sequence number, using
+// caller-owned scratch. The CipherState's own sequence is never
+// consulted or advanced — success and failure are reported identically,
+// and the caller's reservation discipline decides what a failure means
+// for the stream. The same concurrency contract as SealAppendAt
+// applies.
+func (cs *CipherState) OpenInPlaceAt(sc *CryptoScratch, seq uint64, typ ContentType, payload []byte) ([]byte, error) {
+	if len(payload) < sealOverhead {
+		return nil, &AlertError{Description: AlertBadRecordMAC}
+	}
+	copy(sc.nonceBuf[:gcmImplicitNonceLen], cs.salt[:])
+	copy(sc.nonceBuf[gcmImplicitNonceLen:], payload[:gcmExplicitNonceLen])
+	ciphertext := payload[gcmExplicitNonceLen:]
+	plaintextLen := len(ciphertext) - gcmTagLen
+	plaintext, err := cs.aead.Open(ciphertext[:0], sc.nonceBuf[:], ciphertext, additionalDataAt(sc, seq, typ, plaintextLen))
+	if err != nil {
+		return nil, &AlertError{Description: AlertBadRecordMAC}
+	}
+	return plaintext, nil
+}

@@ -69,6 +69,13 @@ type (
 	// SessionHost and the middlebox it fronts.
 	RecordBufPool = tls12.RecordBufPool
 
+	// RelayPool is the host-scoped crypto worker pool behind the
+	// order-preserving parallel relay pipeline; RelayPoolStats is its
+	// metrics snapshot (utilization, pipeline depth, stalls, reseal
+	// latency quantiles).
+	RelayPool      = core.RelayPool
+	RelayPoolStats = core.RelayPoolStats
+
 	// TLSConfig configures the underlying TLS 1.2 engine.
 	TLSConfig = tls12.Config
 	// Certificate is an Ed25519 certificate chain with its key.
@@ -190,6 +197,22 @@ func NewSessionHost(cfg SessionHostConfig) (*SessionHost, error) {
 // most maxRetained buffers.
 func NewRecordBufPool(maxRetained int) *RecordBufPool {
 	return tls12.NewRecordBufPool(maxRetained)
+}
+
+// NewRelayPool starts a relay crypto worker pool; workers <= 0 derives
+// the count from GOMAXPROCS. Close it only after the sessions using it
+// have drained (a SessionHost with Config.RelayWorkers set does this
+// itself).
+func NewRelayPool(workers int) *RelayPool {
+	return core.NewRelayPool(workers)
+}
+
+// ConfigureRelayWorkers sets the worker count the process-wide shared
+// relay pool is created with (0 = GOMAXPROCS-derived). It must run
+// before the first middlebox session relays data; it has no effect
+// once the shared pool exists.
+func ConfigureRelayWorkers(workers int) {
+	core.ConfigureSharedRelayPool(workers)
 }
 
 // NewKeySharePool builds a host-scoped X25519 precompute pool holding
